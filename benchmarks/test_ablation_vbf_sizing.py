@@ -1,0 +1,53 @@
+"""Ablation: versioned-bloom-filter sizing.
+
+The paper sizes the VBF (100,000 slots, 5 hashes) for <1% false
+positives.  A too-small filter still never serves stale data (Theorem 2)
+but loses its benefit: false positives force fallbacks to the Merkle
+freshness check.  This ablation measures check requests under shrinking
+filters after a burst of updates.
+"""
+
+from conftest import run_once
+
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.experiments.harness import render_table
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _checks_with_slots(slots: int) -> int:
+    system = V2FSSystem(
+        SystemConfig(txs_per_block=6, vbf_slots=slots)
+    )
+    system.advance_all(16)
+    generator = WorkloadGenerator(
+        system.universe, system.config.start_time,
+        system.latest_time, queries_per_workload=4,
+    )
+    workload = generator.workload("Q6", window_hours=8)
+    client = system.make_client(QueryMode.INTER_VBF)
+    for sql in workload.queries:
+        client.query(sql)  # warm the cache
+    system.advance_block("eth")  # updates raise some VBF slots
+    checks = 0
+    for sql in workload.queries:
+        checks += client.query(sql).stats.check_requests
+    return checks
+
+
+def test_ablation_vbf_sizing(benchmark, save_result):
+    slots_sweep = [64, 512, 8192]
+
+    def run():
+        return {slots: _checks_with_slots(slots)
+                for slots in slots_sweep}
+
+    results = run_once(benchmark, run)
+    text = render_table(
+        ["VBF slots", "check requests after update"],
+        [[str(slots), str(results[slots])] for slots in slots_sweep],
+        title="Ablation: VBF sizing vs freshness-check fallbacks",
+    )
+    save_result("ablation_vbf_sizing", text)
+    # A generously sized filter never does worse than a cramped one.
+    assert results[8192] <= results[64]

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 10: client network requests (page vs freshness-check)
+for Q1, Q2, Q6, Mixed.
+
+Expected shape: the inter-query cache removes the vast majority of page
+transmissions; the VBF removes essentially all freshness-check requests
+(99.7% in the paper; 100% here when no update lands mid-workload).
+"""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig9to11
+
+
+def _results():
+    cached = getattr(fig9to11, "_LAST_RESULTS", None)
+    if cached is not None:
+        return cached
+    return fig9to11.run(windows=SWEEP_WINDOWS, **SWEEP)
+
+
+def test_fig10_network_requests(benchmark, save_result):
+    results = run_once(benchmark, _results)
+    save_result("fig10_network_requests", fig9to11.render_fig10(results))
+
+    widest = max(SWEEP_WINDOWS)
+    for workload in ("Q2", "Q6", "Mixed"):
+        cell = results[workload][widest]
+        assert cell["Inter"].page_requests < cell["Baseline"].page_requests
+        assert cell["Intra"].page_requests <= \
+            cell["Baseline"].page_requests
+        # The VBF eliminates (nearly) all check requests.
+        assert cell["Inter+Vbf"].check_requests <= max(
+            1, cell["Inter"].check_requests // 10
+        )
+    fig9to11._LAST_RESULTS = results

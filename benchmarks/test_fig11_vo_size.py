@@ -1,0 +1,33 @@
+"""Regenerates Fig. 11: consolidated-VO size per query for Q1, Q2, Q6,
+Mixed.
+
+Expected shape: VO sizes stay in the kilobyte range — negligible next to
+page traffic — and the cached modes' VOs are no larger than Baseline's
+(fresh-subtree claims replace many per-page claims).
+"""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig9to11
+from repro.vfs.interface import PAGE_SIZE
+
+
+def _results():
+    cached = getattr(fig9to11, "_LAST_RESULTS", None)
+    if cached is not None:
+        return cached
+    return fig9to11.run(windows=SWEEP_WINDOWS, **SWEEP)
+
+
+def test_fig11_vo_size(benchmark, save_result):
+    results = run_once(benchmark, _results)
+    save_result("fig11_vo_size", fig9to11.render_fig11(results))
+
+    for workload, by_window in results.items():
+        for window, per_mode in by_window.items():
+            for mode, metrics in per_mode.items():
+                assert metrics.avg_vo_bytes > 0
+                # VO is small change next to the pages it authenticates.
+                if metrics.page_requests:
+                    pages_bytes = metrics.page_requests * PAGE_SIZE
+                    assert metrics.vo_bytes < pages_bytes

@@ -1,0 +1,23 @@
+"""Regenerates Fig. 12: V2FS vs the ordinary (unverified) engine.
+
+Expected shape: the verified system is a small constant factor slower
+than the same engine running locally without verification (2.9-3.9x in
+the paper on Baseline; the cached modes close most of the gap).
+"""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_vs_plain(benchmark, save_result):
+    results = run_once(
+        benchmark, lambda: fig12.run(windows=SWEEP_WINDOWS, **SWEEP)
+    )
+    save_result("fig12_vs_plain", fig12.render(results))
+
+    for window, row in results["windows"].items():
+        # Verification is never free...
+        assert row["Baseline"] > row["Plain"]
+        # ...but the optimized client stays within a small factor.
+        assert row["Inter+Vbf"] < row["Baseline"] * 1.2

@@ -1,0 +1,29 @@
+"""Regenerates Fig. 13(a): impact of client cache capacity.
+
+Expected shape: Inter/Inter+Vbf keep improving with a bigger cache (they
+retain pages across queries); Intra plateaus once one query's pages fit.
+"""
+
+from conftest import SWEEP, run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13a_cache_size(benchmark, save_result):
+    cache_sizes = [32 << 10, 64 << 10, 128 << 10, 256 << 10]
+    results = run_once(
+        benchmark,
+        lambda: fig13.run_cache_size(
+            cache_sizes=cache_sizes, window_hours=12, **SWEEP
+        ),
+    )
+    save_result("fig13a_cache_size", fig13.render(results))
+
+    by_size = results["cache"]
+    smallest = by_size[cache_sizes[0]]
+    largest = by_size[cache_sizes[-1]]
+    # A bigger cache means fewer (or equal) page transmissions for the
+    # inter-query modes; a cramped cache forces refetches.
+    for label in ("Inter", "Inter+Vbf"):
+        assert largest[label]["page_requests"] <= \
+            smallest[label]["page_requests"]

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 13(b): impact of database updates on query latency.
+
+Expected shape: Baseline/Intra are unaffected by update volume; the
+inter-query cache loses some effectiveness as updates stale its pages,
+yet Inter/Inter+Vbf still beat Baseline.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13b_update_impact(benchmark, save_result):
+    results = run_once(
+        benchmark,
+        lambda: fig13.run_update_impact(
+            update_blocks=[0, 1, 2, 4],
+            window_hours=12,
+            hours=40,
+            txs_per_block=6,
+            queries_per_workload=8,
+        ),
+    )
+    save_result("fig13b_update_impact", fig13.render(results))
+
+    by_blocks = results["updates"]
+    calm = by_blocks[0]
+    stormy = by_blocks[4]
+    # The caches still win under heavy updates (paper Sec. VII-B).
+    assert stormy["Inter+Vbf"] < stormy["Baseline"]
+    assert stormy["Inter"] < stormy["Baseline"]
+    # And updates erode (or at best preserve) the cached advantage.
+    calm_gain = calm["Baseline"] / calm["Inter+Vbf"]
+    stormy_gain = stormy["Baseline"] / stormy["Inter+Vbf"]
+    assert stormy_gain < calm_gain * 1.5

@@ -1,0 +1,25 @@
+"""Regenerates Fig. 14: query latency for Q3, Q4, Q5, Q7, Q8 (appendix
+counterpart of Fig. 9)."""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig14to16
+
+
+def test_fig14_latency_other(benchmark, save_result):
+    results = run_once(
+        benchmark,
+        lambda: fig14to16.run(windows=SWEEP_WINDOWS, **SWEEP),
+    )
+    from repro.experiments import fig9to11
+
+    save_result(
+        "fig14_latency_other",
+        fig9to11.render_fig9(results).replace("Fig. 9", "Fig. 14"),
+    )
+    widest = max(SWEEP_WINDOWS)
+    for workload in ("Q3", "Q4", "Q5", "Q7", "Q8"):
+        cell = results[workload][widest]
+        assert cell["Inter+Vbf"].avg_latency_s < \
+            cell["Baseline"].avg_latency_s
+    fig14to16._LAST_RESULTS = results

@@ -1,0 +1,28 @@
+"""Regenerates Fig. 15: network requests for Q3, Q4, Q5, Q7, Q8."""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig9to11, fig14to16
+
+
+def _results():
+    cached = getattr(fig14to16, "_LAST_RESULTS", None)
+    if cached is not None:
+        return cached
+    return fig14to16.run(windows=SWEEP_WINDOWS, **SWEEP)
+
+
+def test_fig15_requests_other(benchmark, save_result):
+    results = run_once(benchmark, _results)
+    save_result(
+        "fig15_requests_other",
+        fig9to11.render_fig10(results).replace("Fig. 10", "Fig. 15"),
+    )
+    widest = max(SWEEP_WINDOWS)
+    for workload in results:
+        cell = results[workload][widest]
+        assert cell["Inter"].page_requests <= \
+            cell["Baseline"].page_requests
+        assert cell["Inter+Vbf"].check_requests <= \
+            cell["Inter"].check_requests
+    fig14to16._LAST_RESULTS = results

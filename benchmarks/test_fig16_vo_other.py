@@ -1,0 +1,28 @@
+"""Regenerates Fig. 16: VO sizes for Q3, Q4, Q5, Q7, Q8.
+
+Expected shape: kilobyte-range VOs, far below the page traffic they
+authenticate (the paper keeps them under 10 MB at its 70M-row scale).
+"""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig9to11, fig14to16
+
+
+def _results():
+    cached = getattr(fig14to16, "_LAST_RESULTS", None)
+    if cached is not None:
+        return cached
+    return fig14to16.run(windows=SWEEP_WINDOWS, **SWEEP)
+
+
+def test_fig16_vo_other(benchmark, save_result):
+    results = run_once(benchmark, _results)
+    save_result(
+        "fig16_vo_other",
+        fig9to11.render_fig11(results).replace("Fig. 11", "Fig. 16"),
+    )
+    for workload, by_window in results.items():
+        for window, per_mode in by_window.items():
+            for metrics in per_mode.values():
+                assert 0 < metrics.avg_vo_bytes < 10 << 20

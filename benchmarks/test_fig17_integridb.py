@@ -1,0 +1,25 @@
+"""Regenerates Fig. 17: comparison with IntegriDB.
+
+Expected shape: V2FS builds/updates the verifiable database one to two
+orders of magnitude faster and answers verifiable range queries orders
+of magnitude faster, with the query gap *widening* as the table grows
+(accumulator group operations scale with n; hashing does not).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig17
+
+
+def test_fig17_integridb(benchmark, save_result):
+    sizes = [100, 300, 1000]
+    results = run_once(benchmark, lambda: fig17.run(sizes=sizes))
+    save_result("fig17_integridb", fig17.render(results))
+
+    rows = results["sizes"]
+    for count in sizes:
+        assert rows[count]["update_speedup"] > 10
+        assert rows[count]["query_speedup"] > 5
+    # The query gap widens with database size.
+    assert rows[sizes[-1]]["query_speedup"] > \
+        rows[sizes[0]]["query_speedup"]

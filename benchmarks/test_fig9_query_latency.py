@@ -1,0 +1,39 @@
+"""Regenerates Fig. 9: query latency (exec + net) for Q1, Q2, Q6, Mixed
+across query windows and all four cache modes.
+
+Expected shape: Baseline latency grows with the window (network-bound);
+Inter and Inter+Vbf flatten it by serving cached pages; Q1 stays
+execution-dominated because it touches few pages.
+"""
+
+from conftest import SWEEP, SWEEP_WINDOWS, run_once
+
+from repro.experiments import fig9to11
+
+
+def _results():
+    cached = getattr(fig9to11, "_LAST_RESULTS", None)
+    if cached is not None:
+        return cached
+    return fig9to11.run(windows=SWEEP_WINDOWS, **SWEEP)
+
+
+def test_fig9_query_latency(benchmark, save_result):
+    results = run_once(benchmark, _results)
+    save_result("fig9_query_latency", fig9to11.render_fig9(results))
+
+    for workload in ("Q2", "Q6", "Mixed"):
+        widest = max(SWEEP_WINDOWS)
+        cell = results[workload][widest]
+        baseline = cell["Baseline"].avg_latency_s
+        inter_vbf = cell["Inter+Vbf"].avg_latency_s
+        # The caches must win on network-bound workloads at wide windows.
+        assert inter_vbf < baseline
+    # Network dominates Baseline latency except for Q1 (paper Sec. VII-B).
+    q1 = results["Q1"][max(SWEEP_WINDOWS)]["Baseline"]
+    assert q1.avg_net_s < q1.avg_exec_s
+    mixed = results["Mixed"][max(SWEEP_WINDOWS)]["Baseline"]
+    assert mixed.avg_net_s > mixed.avg_exec_s
+
+    # Stash for the companion figures (10, 11) in the same process.
+    fig9to11._LAST_RESULTS = results

@@ -1,0 +1,12 @@
+"""Regenerates Table I: qualitative comparison of verification systems."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_comparison(benchmark, save_result):
+    results = run_once(benchmark, table1.run)
+    text = table1.render(results)
+    save_result("table1_comparison", text)
+    assert any("Ours (V2FS)" in " ".join(row) for row in results["rows"])

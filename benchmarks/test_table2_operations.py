@@ -1,0 +1,13 @@
+"""Regenerates Table II: relational operations per test query, derived
+from the actual query ASTs and checked against the paper's matrix."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_operations(benchmark, save_result):
+    results = run_once(benchmark, table2.run)
+    text = table2.render(results)
+    save_result("table2_operations", text)
+    assert results["matches_paper"]

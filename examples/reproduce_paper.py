@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the full experiment harness behind ``benchmarks/``; running it
+prints the text rendition of Tables I-II and Figures 8-17.  Expect a
+total runtime of several minutes (each figure is a real multi-party
+experiment, not a lookup).
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig8,
+    fig9to11,
+    fig12,
+    fig13,
+    fig14to16,
+    fig17,
+    table1,
+    table2,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweeps (roughly 4x faster, same shapes)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        sweep = dict(hours=30, txs_per_block=5, queries_per_workload=4)
+        windows = [3, 12, 24]
+        batches = [1, 2, 4, 8]
+        integridb_sizes = [100, 300]
+    else:
+        sweep = dict(hours=56, txs_per_block=8, queries_per_workload=8)
+        windows = [3, 6, 12, 24, 48]
+        batches = [1, 2, 4, 8, 16]
+        integridb_sizes = [100, 300, 1000]
+
+    stages = [
+        ("Table I", lambda: table1.render(table1.run())),
+        ("Table II", lambda: table2.render(table2.run())),
+        ("Figure 8", lambda: fig8.render(fig8.run(batches=batches))),
+        ("Figures 9-11", lambda: fig9to11.render(
+            fig9to11.run(windows=windows, **sweep)
+        )),
+        ("Figure 12", lambda: fig12.render(
+            fig12.run(windows=windows, **sweep)
+        )),
+        ("Figure 13", lambda: fig13.render({
+            "cache": fig13.run_cache_size(
+                window_hours=windows[1], **sweep
+            )["cache"],
+            "updates": fig13.run_update_impact(
+                window_hours=windows[1],
+            )["updates"],
+        })),
+        ("Figures 14-16", lambda: fig14to16.render(
+            fig14to16.run(windows=windows, **sweep)
+        )),
+        ("Figure 17", lambda: fig17.render(
+            fig17.run(sizes=integridb_sizes)
+        )),
+    ]
+    for name, runner in stages:
+        started = time.perf_counter()
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(runner())
+        print(f"[{name} regenerated in "
+              f"{time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

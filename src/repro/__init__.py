@@ -1,0 +1,26 @@
+"""V2FS: a verifiable virtual filesystem for multi-chain query
+authentication.
+
+A complete Python reproduction of the ICDE 2024 paper (Wang et al.),
+including every substrate: the SQL database engine, the two-layer Merkle
+ADS, a simulated SGX enclave, the DCert framework, synthetic source
+chains with Blockchain-ETL-style extraction, the ISP/client verification
+protocol, both query caches, the versioned bloom filter, and the
+IntegriDB baseline.
+
+Start with :class:`repro.core.system.V2FSSystem`::
+
+    from repro.core.system import SystemConfig, V2FSSystem
+    from repro.client.vfs import QueryMode
+
+    system = V2FSSystem(SystemConfig())
+    system.advance_all(6)
+    client = system.make_client(QueryMode.INTER_VBF)
+    result = client.query("SELECT COUNT(*) FROM eth_transactions")
+
+See ``README.md`` for the architecture tour, ``DESIGN.md`` for the
+paper-to-repro mapping, and ``EXPERIMENTS.md`` for paper-vs-measured
+results.
+"""
+
+__version__ = "1.0.0"

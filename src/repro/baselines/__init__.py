@@ -1,0 +1,12 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.integridb` — a functional reimplementation of
+  IntegriDB's accumulator-based verifiable index (Fig. 17 comparison);
+* :mod:`repro.baselines.plain` — the ordinary, unverified database
+  runner (Fig. 12 comparison).
+"""
+
+from repro.baselines.integridb import IntegriDbLike
+from repro.baselines.plain import PlainRunner
+
+__all__ = ["IntegriDbLike", "PlainRunner"]

@@ -1,0 +1,49 @@
+"""Ordinary (unverified) database runner — the Fig. 12 baseline.
+
+Runs the same engine on a plain local replica of the ISP's data: zero
+network, zero verification, no caches needed.  The ratio between this
+runner and the verified client isolates V2FS's integrity overhead, which
+the paper reports as 2.9-3.9x on the Mixed workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.db.engine import Engine
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class PlainRunMetrics:
+    """Timing of one workload on the unverified engine."""
+
+    workload: str
+    queries: int
+    total_s: float
+
+    @property
+    def avg_s(self) -> float:
+        return self.total_s / max(1, self.queries)
+
+
+class PlainRunner:
+    """Executes workloads on an unverified engine replica."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def run(self, workload: Workload) -> PlainRunMetrics:
+        started = time.perf_counter()
+        for sql in workload.queries:
+            self.engine.execute(sql)
+        return PlainRunMetrics(
+            workload=workload.name,
+            queries=len(workload.queries),
+            total_s=time.perf_counter() - started,
+        )
+
+    def run_queries(self, queries: List[str]) -> PlainRunMetrics:
+        return self.run(Workload(name="adhoc", queries=list(queries)))

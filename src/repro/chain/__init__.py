@@ -1,0 +1,39 @@
+"""Source-chain substrate: blocks, consensus, synthetic chains, and ETL.
+
+The paper's data sources are the Bitcoin and Ethereum mainnets, extracted
+with Blockchain ETL into relational tables.  This package provides the
+equivalent substrate:
+
+* :mod:`repro.chain.block` — headers, blocks, and hash linking;
+* :mod:`repro.chain.consensus` — the light-client consensus check the
+  query client runs on observed headers;
+* :mod:`repro.chain.chain` — an append-only blockchain container;
+* :mod:`repro.chain.datagen` — seeded Bitcoin-like and Ethereum-like
+  activity generators sharing one universe of addresses/assets (so
+  multi-chain joins are meaningful);
+* :mod:`repro.chain.etl` — Blockchain-ETL-style extraction of relational
+  rows from blocks.
+"""
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import SimulatedPoW, check_header
+from repro.chain.datagen import (
+    BitcoinLikeGenerator,
+    EthereumLikeGenerator,
+    Universe,
+)
+from repro.chain.etl import extract_rows, schema_for_chain
+
+__all__ = [
+    "BitcoinLikeGenerator",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "EthereumLikeGenerator",
+    "SimulatedPoW",
+    "Universe",
+    "check_header",
+    "extract_rows",
+    "schema_for_chain",
+]

@@ -1,0 +1,91 @@
+"""Block and header model shared by all simulated source chains.
+
+A header binds the chain id, height, previous-header digest, a Merkle root
+over the block's transaction payloads, a timestamp, and a consensus nonce.
+``BlockHeader.digest()`` is the canonical block identity used by DCert, the
+V2FS certificate, and the light client.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.crypto.hashing import Digest, hash_bytes, hash_concat, hash_pair
+
+
+def payload_digest(payload: Dict[str, Any]) -> Digest:
+    """Canonical digest of one transaction payload (sorted-key JSON)."""
+    return hash_bytes(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+
+
+def transactions_root(payloads: List[Dict[str, Any]]) -> Digest:
+    """Merkle root over the block's transaction payloads."""
+    level = [payload_digest(p) for p in payloads]
+    if not level:
+        return hash_bytes(b"empty-tx-root")
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            hash_pair(level[i], level[i + 1]) for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header of a simulated block."""
+
+    chain_id: str
+    height: int
+    prev_digest: Digest
+    tx_root: Digest
+    timestamp: int
+    nonce: int = 0
+
+    def digest(self) -> Digest:
+        """The block identity: a digest over all header fields."""
+        return hash_concat(
+            [
+                b"hdr",
+                self.chain_id.encode("utf-8"),
+                self.height.to_bytes(8, "big"),
+                self.prev_digest,
+                self.tx_root,
+                self.timestamp.to_bytes(8, "big"),
+                self.nonce.to_bytes(8, "big"),
+            ]
+        )
+
+    def with_nonce(self, nonce: int) -> "BlockHeader":
+        return BlockHeader(
+            self.chain_id,
+            self.height,
+            self.prev_digest,
+            self.tx_root,
+            self.timestamp,
+            nonce,
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block: header plus the list of transaction payloads."""
+
+    header: BlockHeader
+    transactions: List[Dict[str, Any]] = field(default_factory=list)
+
+    def digest(self) -> Digest:
+        return self.header.digest()
+
+    def verify_body(self) -> bool:
+        """Check that the header's tx root matches the carried payloads."""
+        return transactions_root(self.transactions) == self.header.tx_root
+
+
+#: Previous-digest value of every genesis block.
+GENESIS_PREV: Digest = hash_bytes(b"genesis")

@@ -1,0 +1,105 @@
+"""Append-only blockchain container used by the simulated source chains.
+
+A :class:`Blockchain` holds mined blocks, enforces hash-linking and height
+monotonicity on append, and serves headers/blocks to the other parties
+(DCert CI, V2FS CI, ISP, query client) — the paper's steps (1)-(4) of
+Figure 4 are reads from this object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chain.block import (
+    GENESIS_PREV,
+    Block,
+    BlockHeader,
+    transactions_root,
+)
+from repro.chain.consensus import SimulatedPoW
+from repro.errors import ChainError
+
+
+class Blockchain:
+    """One simulated source chain."""
+
+    def __init__(
+        self,
+        chain_id: str,
+        pow_params: Optional[SimulatedPoW] = None,
+    ) -> None:
+        self.chain_id = chain_id
+        self.pow_params = pow_params if pow_params is not None else SimulatedPoW()
+        self._blocks: List[Block] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def height(self) -> int:
+        """Height of the latest block (-1 when empty)."""
+        return len(self._blocks) - 1
+
+    def make_block(
+        self, transactions: List[Dict[str, Any]], timestamp: int
+    ) -> Block:
+        """Mine the next block over ``transactions`` (does not append)."""
+        prev = (
+            self._blocks[-1].header.digest()
+            if self._blocks
+            else GENESIS_PREV
+        )
+        header = BlockHeader(
+            chain_id=self.chain_id,
+            height=len(self._blocks),
+            prev_digest=prev,
+            tx_root=transactions_root(transactions),
+            timestamp=timestamp,
+        )
+        mined = self.pow_params.mine(header)
+        return Block(header=mined, transactions=list(transactions))
+
+    def append(self, block: Block) -> None:
+        """Validate and append a mined block."""
+        expected_prev = (
+            self._blocks[-1].header.digest()
+            if self._blocks
+            else GENESIS_PREV
+        )
+        if block.header.height != len(self._blocks):
+            raise ChainError(
+                f"expected height {len(self._blocks)}, "
+                f"got {block.header.height}"
+            )
+        if block.header.prev_digest != expected_prev:
+            raise ChainError("block does not link to the chain tip")
+        if block.header.chain_id != self.chain_id:
+            raise ChainError("block belongs to a different chain")
+        if not block.verify_body():
+            raise ChainError("transaction root does not match the body")
+        if not self.pow_params.check(block.header):
+            raise ChainError("block fails the consensus check")
+        self._blocks.append(block)
+
+    def mine_and_append(
+        self, transactions: List[Dict[str, Any]], timestamp: int
+    ) -> Block:
+        block = self.make_block(transactions, timestamp)
+        self.append(block)
+        return block
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._blocks[height]
+
+    def header_at(self, height: int) -> BlockHeader:
+        return self.block_at(height).header
+
+    def latest_header(self) -> BlockHeader:
+        if not self._blocks:
+            raise ChainError("chain is empty")
+        return self._blocks[-1].header
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)

@@ -1,0 +1,254 @@
+"""Blockchain-ETL-style extraction of relational rows from blocks.
+
+Converts a block of either simulated chain into rows for a fixed family of
+relational tables (the analog of the paper's 16 Blockchain-ETL tables).
+Every row carries ``block_height`` and ``block_time`` so that the paper's
+time-window queries can be expressed as range predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.chain.block import Block
+
+#: Column definitions per table: (name, sql_type).
+Schema = Dict[str, List[Tuple[str, str]]]
+
+_BTC_SCHEMA: Schema = {
+    "btc_blocks": [
+        ("height", "INTEGER"),
+        ("block_hash", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("tx_count", "INTEGER"),
+    ],
+    "btc_transactions": [
+        ("tx_id", "TEXT"),
+        ("block_height", "INTEGER"),
+        ("block_time", "INTEGER"),
+        ("fee", "INTEGER"),
+        ("input_value", "INTEGER"),
+        ("output_value", "INTEGER"),
+        ("input_count", "INTEGER"),
+        ("output_count", "INTEGER"),
+    ],
+    "btc_inputs": [
+        ("tx_id", "TEXT"),
+        ("idx", "INTEGER"),
+        ("address", "TEXT"),
+        ("value", "INTEGER"),
+        ("block_time", "INTEGER"),
+    ],
+    "btc_outputs": [
+        ("tx_id", "TEXT"),
+        ("idx", "INTEGER"),
+        ("address", "TEXT"),
+        ("value", "INTEGER"),
+        ("block_time", "INTEGER"),
+    ],
+    "btc_nft_transfers": [
+        ("tx_id", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("collection", "TEXT"),
+        ("token_id", "TEXT"),
+        ("from_address", "TEXT"),
+        ("to_address", "TEXT"),
+        ("marketplace", "TEXT"),
+        ("price", "REAL"),
+    ],
+}
+
+_ETH_SCHEMA: Schema = {
+    "eth_blocks": [
+        ("height", "INTEGER"),
+        ("block_hash", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("tx_count", "INTEGER"),
+    ],
+    "eth_transactions": [
+        ("hash", "TEXT"),
+        ("block_height", "INTEGER"),
+        ("block_time", "INTEGER"),
+        ("from_address", "TEXT"),
+        ("to_address", "TEXT"),
+        ("value", "INTEGER"),
+        ("gas_used", "INTEGER"),
+        ("gas_price", "INTEGER"),
+    ],
+    "eth_token_transfers": [
+        ("tx_hash", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("token_address", "TEXT"),
+        ("symbol", "TEXT"),
+        ("from_address", "TEXT"),
+        ("to_address", "TEXT"),
+        ("value", "INTEGER"),
+    ],
+    "eth_nft_transfers": [
+        ("tx_hash", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("collection", "TEXT"),
+        ("token_id", "TEXT"),
+        ("from_address", "TEXT"),
+        ("to_address", "TEXT"),
+        ("marketplace", "TEXT"),
+        ("price", "REAL"),
+    ],
+    "eth_logs": [
+        ("tx_hash", "TEXT"),
+        ("block_time", "INTEGER"),
+        ("address", "TEXT"),
+        ("topic", "TEXT"),
+    ],
+}
+
+
+def schema_for_chain(chain_id: str) -> Schema:
+    """Return the relational schema for one chain's extracted tables."""
+    if chain_id == "btc":
+        return dict(_BTC_SCHEMA)
+    if chain_id == "eth":
+        return dict(_ETH_SCHEMA)
+    raise ValueError(f"unknown chain id {chain_id!r}")
+
+
+def full_schema() -> Schema:
+    """Return the union of both chains' schemas (the ISP's database)."""
+    schema = dict(_BTC_SCHEMA)
+    schema.update(_ETH_SCHEMA)
+    return schema
+
+
+def extract_rows(block: Block) -> Dict[str, List[Dict[str, Any]]]:
+    """Extract relational rows from one block, keyed by table name."""
+    chain_id = block.header.chain_id
+    if chain_id == "btc":
+        return _extract_btc(block)
+    if chain_id == "eth":
+        return _extract_eth(block)
+    raise ValueError(f"unknown chain id {chain_id!r}")
+
+
+def _extract_btc(block: Block) -> Dict[str, List[Dict[str, Any]]]:
+    time = block.header.timestamp
+    rows: Dict[str, List[Dict[str, Any]]] = {t: [] for t in _BTC_SCHEMA}
+    rows["btc_blocks"].append(
+        {
+            "height": block.header.height,
+            "block_hash": block.header.digest().hex(),
+            "block_time": time,
+            "tx_count": len(block.transactions),
+        }
+    )
+    for tx in block.transactions:
+        inputs = tx.get("inputs", [])
+        outputs = tx.get("outputs", [])
+        rows["btc_transactions"].append(
+            {
+                "tx_id": tx["tx_id"],
+                "block_height": block.header.height,
+                "block_time": time,
+                "fee": tx["fee"],
+                "input_value": sum(i["value"] for i in inputs),
+                "output_value": sum(o["value"] for o in outputs),
+                "input_count": len(inputs),
+                "output_count": len(outputs),
+            }
+        )
+        for idx, item in enumerate(inputs):
+            rows["btc_inputs"].append(
+                {
+                    "tx_id": tx["tx_id"],
+                    "idx": idx,
+                    "address": item["address"],
+                    "value": item["value"],
+                    "block_time": time,
+                }
+            )
+        for idx, item in enumerate(outputs):
+            rows["btc_outputs"].append(
+                {
+                    "tx_id": tx["tx_id"],
+                    "idx": idx,
+                    "address": item["address"],
+                    "value": item["value"],
+                    "block_time": time,
+                }
+            )
+        nft = tx.get("nft_transfer")
+        if nft is not None:
+            rows["btc_nft_transfers"].append(
+                {
+                    "tx_id": tx["tx_id"],
+                    "block_time": time,
+                    "collection": nft["collection"],
+                    "token_id": nft["token_id"],
+                    "from_address": nft["from_address"],
+                    "to_address": nft["to_address"],
+                    "marketplace": nft["marketplace"],
+                    "price": nft["price"],
+                }
+            )
+    return rows
+
+
+def _extract_eth(block: Block) -> Dict[str, List[Dict[str, Any]]]:
+    time = block.header.timestamp
+    rows: Dict[str, List[Dict[str, Any]]] = {t: [] for t in _ETH_SCHEMA}
+    rows["eth_blocks"].append(
+        {
+            "height": block.header.height,
+            "block_hash": block.header.digest().hex(),
+            "block_time": time,
+            "tx_count": len(block.transactions),
+        }
+    )
+    for tx in block.transactions:
+        rows["eth_transactions"].append(
+            {
+                "hash": tx["hash"],
+                "block_height": block.header.height,
+                "block_time": time,
+                "from_address": tx["from_address"],
+                "to_address": tx["to_address"],
+                "value": tx["value"],
+                "gas_used": tx["gas_used"],
+                "gas_price": tx["gas_price"],
+            }
+        )
+        for transfer in tx.get("token_transfers", []):
+            rows["eth_token_transfers"].append(
+                {
+                    "tx_hash": tx["hash"],
+                    "block_time": time,
+                    "token_address": transfer["token_address"],
+                    "symbol": transfer["symbol"],
+                    "from_address": transfer["from_address"],
+                    "to_address": transfer["to_address"],
+                    "value": transfer["value"],
+                }
+            )
+        nft = tx.get("nft_transfer")
+        if nft is not None:
+            rows["eth_nft_transfers"].append(
+                {
+                    "tx_hash": tx["hash"],
+                    "block_time": time,
+                    "collection": nft["collection"],
+                    "token_id": nft["token_id"],
+                    "from_address": nft["from_address"],
+                    "to_address": nft["to_address"],
+                    "marketplace": nft["marketplace"],
+                    "price": nft["price"],
+                }
+            )
+        for log in tx.get("logs", []):
+            rows["eth_logs"].append(
+                {
+                    "tx_hash": tx["hash"],
+                    "block_time": time,
+                    "address": log["address"],
+                    "topic": log["topic"],
+                }
+            )
+    return rows

@@ -1,0 +1,220 @@
+"""Client-side page caches (Section V of the paper).
+
+Two caches are provided:
+
+* :class:`IntraQueryCache` — a per-query page map, discarded at query end;
+* :class:`InterQueryCache` — the persistent structure of Algorithm 5: it
+  keeps pages *and* ADS node digests learned from past verifications, so
+  the client can send a Merkle path of its cached ancestors to the ISP
+  and have a single matching digest confirm the freshness of a whole
+  subtree.  Every node carries a fresh/unknown flag that resets at each
+  query; eviction is LRU over pages, dropping the evicted page's cached
+  ancestors with it.
+
+For the VBF extension (Section V-B) each cached page also stores ``V_n``
+(the certificate version at which it was last known fresh) and ``S_n``
+(its slot positions in the filter).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import Digest, hash_bytes, hash_pair
+from repro.merkle.page_tree import EMPTY
+from repro.vfs.interface import PAGE_SIZE
+
+PageKey = Tuple[str, int]
+NodeKey = Tuple[str, int, int]
+
+
+class IntraQueryCache:
+    """Pages fetched during the current query (Section V-A, intra).
+
+    Bounded by the same capacity budget as the inter-query cache with
+    LRU eviction — this is what makes the paper's Figure 13(a) shape
+    (Intra improves with cache size until one query's working set fits,
+    then plateaus) reproducible.
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 30) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._pages: "OrderedDict[PageKey, bytes]" = OrderedDict()
+
+    def get(self, key: PageKey) -> Optional[bytes]:
+        page = self._pages.get(key)
+        if page is not None:
+            self._pages.move_to_end(key)
+        return page
+
+    def put(self, key: PageKey, page: bytes) -> None:
+        self._pages[key] = page
+        self._pages.move_to_end(key)
+        while len(self._pages) * PAGE_SIZE > self.capacity_bytes:
+            self._pages.popitem(last=False)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class CachedPage:
+    """One inter-query cache entry."""
+
+    __slots__ = ("page", "digest", "version", "slots")
+
+    def __init__(self, page: bytes, version: int) -> None:
+        self.page = page
+        self.digest: Digest = hash_bytes(page)
+        #: V_n — certificate version at which the page was last fresh.
+        self.version = version
+        #: S_n — VBF slot positions (computed lazily by the client).
+        self.slots: Optional[Tuple[int, ...]] = None
+
+
+class InterQueryCache:
+    """Persistent page + ancestor-digest cache with freshness tracking."""
+
+    def __init__(self, capacity_bytes: int = 1 << 30) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._pages: "OrderedDict[PageKey, CachedPage]" = OrderedDict()
+        #: Internal-node digests learned from past VO verifications.
+        self._nodes: Dict[NodeKey, Digest] = {}
+        #: Nodes confirmed fresh during the *current* query.
+        self._fresh: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    # -- query lifecycle -------------------------------------------------
+
+    def begin_query(self) -> None:
+        """Mark every cached node unknown (Algorithm 5 preamble)."""
+        self._fresh.clear()
+
+    # -- page access -------------------------------------------------------
+
+    def get(self, key: PageKey) -> Optional[CachedPage]:
+        entry = self._pages.get(key)
+        if entry is not None:
+            self._pages.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def insert(self, key: PageKey, page: bytes, version: int) -> None:
+        """Insert a freshly fetched page (fresh by definition)."""
+        self._pages[key] = CachedPage(page, version)
+        self._pages.move_to_end(key)
+        self.mark_fresh_leaf(key, version)
+        self._evict_if_needed()
+
+    def update(self, key: PageKey, page: bytes, version: int) -> None:
+        """Replace a stale page; its cached ancestors are now invalid."""
+        self.invalidate_ancestors(key)
+        self.insert(key, page, version)
+
+    # -- freshness -----------------------------------------------------------
+
+    def mark_fresh_leaf(self, key: PageKey, version: int) -> None:
+        path, page_id = key
+        self._fresh.add((path, 0, page_id))
+        entry = self._pages.get(key)
+        if entry is not None:
+            entry.version = max(entry.version, version)
+
+    def mark_fresh_node(self, path: str, level: int, index: int,
+                        version: int) -> None:
+        """An ancestor matched at the ISP: its whole subtree is fresh."""
+        self._fresh.add((path, level, index))
+        first = index << level
+        last = ((index + 1) << level) - 1
+        for (entry_path, page_id), entry in self._pages.items():
+            if entry_path == path and first <= page_id <= last:
+                entry.version = max(entry.version, version)
+
+    def is_fresh(self, key: PageKey, max_height: int = 48) -> bool:
+        path, page_id = key
+        return any(
+            (path, level, page_id >> level) in self._fresh
+            for level in range(max_height + 1)
+        )
+
+    # -- ancestor digests ----------------------------------------------------
+
+    def learn_node(self, path: str, level: int, index: int,
+                   digest: Digest) -> None:
+        """Remember an internal-node digest proven by a VO."""
+        if level > 0:
+            self._nodes[(path, level, index)] = digest
+
+    def known_digest(
+        self, path: str, level: int, index: int, page_count: int
+    ) -> Optional[Digest]:
+        """Digest at a node, from the leaf page, stored nodes, or children.
+
+        Positions entirely beyond ``page_count`` are structural EMPTY
+        padding whose digests are public constants.  Digests memoized
+        while the file was shorter can go stale when the file grows into
+        its padding; stale entries simply never match at the ISP and the
+        check falls through to a deeper (still correct) level.
+        """
+        if (index << level) >= page_count:
+            return EMPTY[level]
+        if level == 0:
+            entry = self._pages.get((path, index))
+            return entry.digest if entry is not None else None
+        stored = self._nodes.get((path, level, index))
+        if stored is not None:
+            return stored
+        left = self.known_digest(path, level - 1, index * 2, page_count)
+        if left is None:
+            return None
+        right = self.known_digest(path, level - 1, index * 2 + 1, page_count)
+        if right is None:
+            return None
+        digest = hash_pair(left, right)
+        self._nodes[(path, level, index)] = digest
+        return digest
+
+    def digs_path(
+        self, key: PageKey, height: int, page_count: int
+    ) -> List[Tuple[int, int, Digest]]:
+        """The top-down Merkle path of known ancestor digests for a page.
+
+        This is what the client sends to the ISP for freshness
+        validation (Algorithm 5, line 8).
+        """
+        path, page_id = key
+        entries: List[Tuple[int, int, Digest]] = []
+        for level in range(height, -1, -1):
+            index = page_id >> level
+            digest = self.known_digest(path, level, index, page_count)
+            if digest is not None:
+                entries.append((level, index, digest))
+        return entries
+
+    def invalidate_ancestors(self, key: PageKey) -> None:
+        """Drop stored ancestor digests after a page changed."""
+        path, page_id = key
+        for (node_path, level, index) in list(self._nodes):
+            if node_path == path and (page_id >> level) == index:
+                del self._nodes[(node_path, level, index)]
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while len(self._pages) * PAGE_SIZE > self.capacity_bytes:
+            key, _ = self._pages.popitem(last=False)
+            self.invalidate_ancestors(key)
+
+    # -- stats ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def size_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,170 @@
+"""The query client: end-to-end verifiable query execution.
+
+One :class:`QueryClient` models the paper's lightweight client node: it
+observes block headers from the source-chain networks, holds the
+attestation root of trust, owns a persistent inter-query cache, and runs
+an unmodified database engine over the client V2FS.
+
+``query(sql)`` performs the full Algorithm 4 cycle:
+
+1. *initialize* — fetch and validate ``C_V2FS`` against the attested
+   enclave key and the observed chain heads;
+2. *compute* — run the SQL engine; every page it touches flows through
+   :class:`~repro.client.vfs.ClientSession` with the configured cache
+   mode; external-sort temp files stay local (Appendix A);
+3. *finalize* — fetch the consolidated VO and verify every recorded
+   digest against the certificate's ADS root.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import SimulatedPoW, check_header
+from repro.client.caches import InterQueryCache
+from repro.client.vfs import ClientSession, ClientVfs, QueryMode
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.signature import PublicKey
+from repro.db.engine import Engine, ResultSet
+from repro.errors import CertificateError
+from repro.isp.server import IspServer
+from repro.network.transport import (
+    CATEGORY_CERT,
+    NetworkCostModel,
+    NetworkStats,
+    Transport,
+)
+from repro.sgx.attestation import AttestationReport, AttestationService
+from repro.vfs.local import LocalFilesystem
+
+
+@dataclass
+class QueryStats:
+    """Per-query metrics matching the paper's evaluation breakdown."""
+
+    exec_s: float = 0.0
+    net_s: float = 0.0
+    page_requests: int = 0
+    check_requests: int = 0
+    meta_requests: int = 0
+    vo_bytes: int = 0
+    bytes_transferred: int = 0
+    network: NetworkStats = field(default_factory=NetworkStats)
+
+    @property
+    def latency_s(self) -> float:
+        return self.exec_s + self.net_s
+
+
+@dataclass
+class VerifiedResult:
+    """A verified query answer plus its cost profile."""
+
+    columns: List[str]
+    rows: List[tuple]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryClient:
+    """A lightweight verifying client bound to one ISP."""
+
+    def __init__(
+        self,
+        isp: IspServer,
+        chains: Dict[str, Blockchain],
+        attestation_report: AttestationReport,
+        attestation_root: PublicKey,
+        expected_measurement: bytes,
+        mode: QueryMode = QueryMode.INTER_VBF,
+        cache_bytes: int = 1 << 30,
+        pow_params: Optional[Dict[str, SimulatedPoW]] = None,
+        cost_model: Optional[NetworkCostModel] = None,
+    ) -> None:
+        self.isp = isp
+        self.chains = dict(chains)
+        self.mode = mode
+        self.cache_bytes = cache_bytes
+        self.pow_params = dict(pow_params or {})
+        self.transport = Transport(cost_model)
+        self.inter_cache: Optional[InterQueryCache] = (
+            InterQueryCache(cache_bytes) if mode.uses_inter_cache else None
+        )
+        # Establish pk_sgx once, through attestation (not by trusting
+        # the ISP): the quote binds the measurement to the enclave key.
+        self.pk_sgx = AttestationService.verify_report(
+            attestation_report, attestation_root, expected_measurement
+        )
+
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str) -> VerifiedResult:
+        """Run one verifiable query (Algorithm 4)."""
+        before_net = self.transport.stats.snapshot()
+        started = time.perf_counter()
+
+        certificate = self._fetch_and_validate_certificate()
+        session = ClientSession(
+            self.isp,
+            self.transport,
+            certificate,
+            self.mode,
+            inter_cache=self.inter_cache,
+            cache_bytes=self.cache_bytes,
+        )
+        # One filesystem serves both roles (Appendix A / Algorithm 6):
+        # remote pages verifiably, locally created temp files directly.
+        vfs = ClientVfs(session)
+        engine = Engine(vfs, temp_vfs=vfs)
+        try:
+            result: ResultSet = engine.execute(sql)
+            vo_bytes = session.finalize()
+        except Exception:
+            # Whatever went wrong (malformed data from the ISP, proof
+            # failure, engine error), the pages this query cached are
+            # unverified and must not survive.
+            session.rollback_cache()
+            raise
+        finally:
+            vfs.drop_temp_files()
+
+        exec_s = time.perf_counter() - started
+        net = self.transport.stats.delta_since(before_net)
+        stats = QueryStats(
+            exec_s=exec_s,
+            net_s=net.simulated_time_s,
+            page_requests=net.requests.get("page", 0),
+            check_requests=net.requests.get("check", 0),
+            meta_requests=net.requests.get("meta", 0),
+            vo_bytes=vo_bytes,
+            bytes_transferred=net.total_bytes(),
+            network=net,
+        )
+        return VerifiedResult(
+            columns=result.columns, rows=result.rows, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fetch_and_validate_certificate(self) -> V2fsCertificate:
+        """Algorithm 4, initialize phase (lines 2-8)."""
+        certificate = self.isp.get_certificate()
+        self.transport.account(
+            CATEGORY_CERT, 8, certificate.byte_size()
+        )
+        certificate.verify_signature(self.pk_sgx)
+        for chain_id, chain in self.chains.items():
+            header = chain.latest_header()  # observed from the network
+            digest, height = certificate.chain_state(chain_id)
+            if digest != header.digest() or height != header.height:
+                raise CertificateError(
+                    f"certificate is stale for chain {chain_id!r}"
+                )
+            pow_params = self.pow_params.get(chain_id, SimulatedPoW())
+            check_header(header, pow_params, chain_id)
+        return certificate

@@ -1,0 +1,323 @@
+"""Client-side V2FS: remote page access with deferred verification.
+
+:class:`ClientSession` is the client half of one query (Algorithm 4, plus
+Algorithm 5 and the VBF fast path depending on the query mode).  It talks
+to the ISP, maintains the caches, and records every digest the engine's
+computation depended on in ``digsToVerify`` — to be checked against the
+consolidated VO in the finalize phase.
+
+:class:`ClientVfs` adapts a session to the
+:class:`~repro.vfs.interface.VirtualFilesystem` contract so the unmodified
+database engine can run on top of it.  The main filesystem is strictly
+read-only on the client; temporary files (external-sort spills) live in a
+separate local filesystem per Appendix A.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.client.caches import InterQueryCache, IntraQueryCache
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.errors import StorageError, VerificationError
+from repro.isp.server import IspServer
+from repro.merkle import page_tree
+from repro.merkle.ads import V2fsAds
+from repro.merkle.proof import collect_proof_files
+from repro.network.transport import (
+    CATEGORY_CHECK,
+    CATEGORY_META,
+    CATEGORY_PAGE,
+    CATEGORY_VO,
+    Transport,
+)
+from repro.vbf.versioned_bloom import VersionedBloomFilter
+from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
+
+PageKey = Tuple[str, int]
+
+
+class QueryMode(enum.Enum):
+    """The four configurations compared in the paper's Figures 9-16."""
+
+    BASELINE = "baseline"
+    INTRA = "intra"
+    INTER = "inter"
+    INTER_VBF = "inter+vbf"
+
+    @property
+    def uses_inter_cache(self) -> bool:
+        return self in (QueryMode.INTER, QueryMode.INTER_VBF)
+
+
+class ClientSession:
+    """Client state for one verifiable query."""
+
+    def __init__(
+        self,
+        isp: IspServer,
+        transport: Transport,
+        certificate: V2fsCertificate,
+        mode: QueryMode,
+        inter_cache: Optional[InterQueryCache] = None,
+        cache_bytes: int = 1 << 30,
+    ) -> None:
+        self.isp = isp
+        self.transport = transport
+        self.certificate = certificate
+        self.mode = mode
+        self.session_id = isp.open_session()
+        self.intra_cache = IntraQueryCache(cache_bytes)
+        self.inter_cache = inter_cache
+        if mode.uses_inter_cache:
+            if inter_cache is None:
+                raise ValueError(f"mode {mode} requires an inter-query cache")
+            inter_cache.begin_query()
+        self.vbf: Optional[VersionedBloomFilter] = (
+            certificate.vbf() if mode is QueryMode.INTER_VBF else None
+        )
+        # digsToVerify (Algorithm 4, line 9), split by claim kind.
+        self.page_claims: Dict[PageKey, Digest] = {}
+        self.node_claims: Dict[Tuple[str, int, int], Digest] = {}
+        self.used_metas: Dict[str, Tuple[bool, int, int]] = {}
+        #: Pages inserted into the inter-query cache during this query;
+        #: rolled back if final verification fails.
+        self._inserted_keys: List[PageKey] = []
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    def file_meta(self, path: str) -> Tuple[bool, int, int]:
+        """(exists, size, page_count), fetched once per query per file."""
+        meta = self.used_metas.get(path)
+        if meta is None:
+            meta = self.isp.get_file_meta(self.session_id, path)
+            self.transport.account(
+                CATEGORY_META, len(path.encode()), 17
+            )
+            self.used_metas[path] = meta
+        return meta
+
+    # ------------------------------------------------------------------
+    # Page access — the heart of Algorithms 4 and 5
+    # ------------------------------------------------------------------
+
+    def access_page(self, path: str, page_id: int) -> bytes:
+        key = (path, page_id)
+        if self.mode is QueryMode.BASELINE:
+            return self._fetch_page(key)
+        if self.mode is QueryMode.INTRA:
+            cached = self.intra_cache.get(key)
+            if cached is not None:
+                return cached
+            page = self._fetch_page(key)
+            self.intra_cache.put(key, page)
+            return page
+        return self._access_with_inter_cache(key)
+
+    def _fetch_page(self, key: PageKey) -> bytes:
+        """Unconditional page request (Algorithm 4 read path)."""
+        path, page_id = key
+        page = self.isp.get_page(self.session_id, path, page_id)
+        self.transport.account(
+            CATEGORY_PAGE, len(path.encode()) + 8, PAGE_SIZE
+        )
+        self.page_claims[key] = hash_bytes(page)
+        return page
+
+    def _access_with_inter_cache(self, key: PageKey) -> bytes:
+        cache = self.inter_cache
+        assert cache is not None
+        path, page_id = key
+        entry = cache.get(key)
+        if entry is None:
+            page = self._fetch_page(key)
+            cache.insert(key, page, self.certificate.version)
+            self._inserted_keys.append(key)
+            return page
+        if cache.is_fresh(key):
+            return entry.page
+        # VBF fast path (Section V-B): zero-network freshness proof.
+        if self.vbf is not None:
+            if entry.slots is None:
+                entry.slots = self.vbf.positions(path, page_id)
+            if self.vbf.fresh_since(entry.slots, entry.version):
+                cache.mark_fresh_leaf(key, self.certificate.version)
+                return entry.page
+        # Merkle freshness check (Algorithm 5).
+        _, _, page_count = self.file_meta(path)
+        height = page_tree.height_for(page_count)
+        digs_path = cache.digs_path(key, height, page_count)
+        request_bytes = len(path.encode()) + 8 + 44 * len(digs_path)
+        response = self.isp.validate_path(
+            self.session_id, path, page_id, digs_path
+        )
+        if response[0] == "fresh":
+            _, level, index, digest = response
+            self.transport.account(CATEGORY_CHECK, request_bytes, 44)
+            expected = cache.known_digest(path, level, index, page_count)
+            if expected != digest:
+                raise VerificationError(
+                    "ISP confirmed freshness of a digest we did not send"
+                )
+            cache.mark_fresh_node(path, level, index,
+                                  self.certificate.version)
+            self.node_claims[(path, level, index)] = digest
+            return entry.page
+        _, page = response
+        self.transport.account(CATEGORY_CHECK, request_bytes, PAGE_SIZE)
+        self.page_claims[key] = hash_bytes(page)
+        cache.update(key, page, self.certificate.version)
+        self._inserted_keys.append(key)
+        return page
+
+    # ------------------------------------------------------------------
+    # Finalize (Algorithm 4, lines 19-21)
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> int:
+        """Fetch and verify the consolidated VO; returns its byte size.
+
+        On failure the pages cached during this query are evicted (they
+        are unauthenticated) and :class:`~repro.errors.VerificationError`
+        propagates.
+        """
+        vo = self.isp.finalize_session(self.session_id)
+        vo_bytes = vo.byte_size()
+        self.transport.account(CATEGORY_VO, 8, vo_bytes)
+        try:
+            established = V2fsAds.verify_read_proof(
+                vo, self.certificate.ads_root,
+                self.page_claims, self.node_claims,
+            )
+            self._verify_metas(vo)
+        except Exception:
+            self.rollback_cache()
+            raise
+        # Harvest authenticated ancestor digests for future freshness
+        # checks (this is how the cache's Merkle subtrees grow).
+        if self.inter_cache is not None:
+            for path, values in established.items():
+                for (level, index), digest in values.items():
+                    self.inter_cache.learn_node(path, level, index, digest)
+        return vo_bytes
+
+    def _verify_metas(self, vo) -> None:
+        """Every file metadata the engine used must match the skeleton."""
+        proof_files = collect_proof_files(vo.trie)
+        for path, (exists, size, page_count) in self.used_metas.items():
+            if not exists:
+                raise VerificationError(
+                    f"cannot authenticate non-existence of {path}"
+                )
+            meta = proof_files.get(path)
+            if meta is None:
+                raise VerificationError(
+                    f"VO does not cover metadata of {path}"
+                )
+            if meta.size != size or meta.page_count != page_count:
+                raise VerificationError(
+                    f"ISP reported stale metadata for {path}"
+                )
+
+    def rollback_cache(self) -> None:
+        """Evict every page this session inserted (it is unverified).
+
+        Called when the query fails for any reason before the VO check
+        completes — a failed or aborted query must never leave
+        unauthenticated pages in the persistent cache.
+        """
+        if self.inter_cache is None:
+            return
+        for key in self._inserted_keys:
+            self.inter_cache._pages.pop(key, None)
+            self.inter_cache.invalidate_ancestors(key)
+        self._inserted_keys.clear()
+
+
+class ClientVfs(VirtualFilesystem):
+    """Filesystem view over a :class:`ClientSession` with local temps.
+
+    Remote (ISP-backed) files are strictly read-only.  Files *created*
+    through this filesystem become **local temporary files** per the
+    paper's Appendix A (Algorithm 6): the query engine's external-sort
+    spills are written locally, read back without verification (the
+    engine computed them itself), and removed when the query finishes.
+    """
+
+    def __init__(self, session: ClientSession) -> None:
+        self.session = session
+        # Local temp area (Algorithm 6); torn down by drop_temp_files().
+        from repro.vfs.local import LocalFilesystem
+
+        self._temp = LocalFilesystem()
+
+    def open(self, path: str, create: bool = False):
+        if self._temp.exists(path):
+            return self._temp.open(path)
+        if create:
+            # Algorithm 6, write path: the target does not exist at the
+            # ISP's storage — create a corresponding local temp file.
+            return self._temp.open(path, create=True)
+        exists, _, _ = self.session.file_meta(path)
+        if not exists:
+            raise StorageError(f"{path} does not exist at the ISP")
+        return ClientFile(self.session, path)
+
+    def exists(self, path: str) -> bool:
+        if self._temp.exists(path):
+            return True
+        exists, _, _ = self.session.file_meta(path)
+        return exists
+
+    def remove(self, path: str) -> None:
+        if self._temp.exists(path):
+            self._temp.remove(path)
+            return
+        raise StorageError("remote files are read-only on the client")
+
+    def list_files(self) -> List[str]:
+        return self._temp.list_files()
+
+    def drop_temp_files(self) -> None:
+        """Algorithm 6 finalize: remove every local temporary file."""
+        for path in self._temp.list_files():
+            self._temp.remove(path)
+
+
+class ClientFile(VirtualFile):
+    """Read-only remote file handle."""
+
+    def __init__(self, session: ClientSession, path: str) -> None:
+        super().__init__(path)
+        self._session = session
+
+    def size(self) -> int:
+        self._check_open()
+        _, size, _ = self._session.file_meta(self.path)
+        return size
+
+    def read(self, count: int) -> bytes:
+        self._check_open()
+        _, size, _ = self._session.file_meta(self.path)
+        available = max(0, size - self.offset)
+        count = min(count, available)
+        out = bytearray()
+        while count > 0:
+            page_id = self.offset // PAGE_SIZE
+            within = self.offset % PAGE_SIZE
+            take = min(count, PAGE_SIZE - within)
+            page = self._session.access_page(self.path, page_id)
+            out += page[within:within + take]
+            self.offset += take
+            count -= take
+        return bytes(out)
+
+    def write(self, data: bytes) -> int:
+        raise StorageError("the client filesystem is read-only")
+
+    def close(self) -> None:
+        self.closed = True

@@ -1,0 +1,51 @@
+"""System assembly: certificates, the V2FS CI, the ISP, and full wiring.
+
+This package ties the substrates together into the five-party system of
+the paper's Figure 4:
+
+* :mod:`repro.core.certificate` — the V2FS certificate ``C_V2FS``;
+* :mod:`repro.core.ci` — the V2FS certificate issuer (SGX-resident
+  maintenance of the database + ADS, Algorithms 1-3);
+* :mod:`repro.core.system` — :class:`~repro.core.system.V2FSSystem`, the
+  end-to-end assembly used by examples, experiments, and tests.
+
+Submodules are loaded lazily: the client package imports
+``repro.core.certificate`` while ``repro.core.system`` imports the
+client, so eager re-exports here would create an import cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.core.certificate import V2fsCertificate
+    from repro.core.ci import MaintenanceReport, V2fsCertificateIssuer
+    from repro.core.system import QueryMode, SystemConfig, V2FSSystem
+
+__all__ = [
+    "MaintenanceReport",
+    "QueryMode",
+    "SystemConfig",
+    "V2FSSystem",
+    "V2fsCertificate",
+    "V2fsCertificateIssuer",
+]
+
+_EXPORTS = {
+    "V2fsCertificate": ("repro.core.certificate", "V2fsCertificate"),
+    "MaintenanceReport": ("repro.core.ci", "MaintenanceReport"),
+    "V2fsCertificateIssuer": ("repro.core.ci", "V2fsCertificateIssuer"),
+    "QueryMode": ("repro.core.system", "QueryMode"),
+    "SystemConfig": ("repro.core.system", "SystemConfig"),
+    "V2FSSystem": ("repro.core.system", "V2FSSystem"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,83 @@
+"""The V2FS certificate ``C_V2FS``.
+
+Per Section IV-A the certificate binds the ADS root to the latest block
+of every source chain, signed by the key sealed in the CI's enclave::
+
+    <h_ADS, [(dig_1, hgt_1), ..., (dig_n, hgt_n)], sig>
+
+The Section V-B extension adds a monotonically increasing version number
+and the versioned bloom filter, both covered by the signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.crypto.signature import PublicKey, Signature, verify
+from repro.errors import CertificateError
+from repro.vbf.versioned_bloom import VersionedBloomFilter
+
+#: One per-chain state entry: (chain_id, latest header digest, height).
+ChainState = Tuple[str, Digest, int]
+
+
+@dataclass(frozen=True)
+class V2fsCertificate:
+    """A signed snapshot of the filesystem + multi-chain state."""
+
+    ads_root: Digest
+    chain_states: Tuple[ChainState, ...]
+    version: int
+    signature: Signature
+    vbf_encoded: Optional[bytes] = None
+
+    @staticmethod
+    def message_bytes(
+        ads_root: Digest,
+        chain_states: Tuple[ChainState, ...],
+        version: int,
+        vbf_encoded: Optional[bytes],
+    ) -> bytes:
+        """Canonical signed payload (Algorithm 3, line 8)."""
+        parts = [b"v2fs-cert", ads_root, version.to_bytes(8, "big")]
+        for chain_id, digest, height in chain_states:
+            parts.append(chain_id.encode("utf-8"))
+            parts.append(digest)
+            parts.append(height.to_bytes(8, "big"))
+        if vbf_encoded is not None:
+            parts.append(hash_bytes(vbf_encoded))
+        return b"|".join(parts)
+
+    def message(self) -> bytes:
+        return self.message_bytes(
+            self.ads_root, self.chain_states, self.version, self.vbf_encoded
+        )
+
+    def verify_signature(self, public_key: PublicKey) -> None:
+        """Raise :class:`~repro.errors.CertificateError` on a bad signature."""
+        if not verify(public_key, self.message(), self.signature):
+            raise CertificateError("V2FS certificate signature invalid")
+
+    def chain_state(self, chain_id: str) -> Tuple[Digest, int]:
+        for name, digest, height in self.chain_states:
+            if name == chain_id:
+                return digest, height
+        raise CertificateError(
+            f"certificate has no state for chain {chain_id!r}"
+        )
+
+    def vbf(self) -> Optional[VersionedBloomFilter]:
+        """Decode the embedded bloom filter, if present."""
+        if self.vbf_encoded is None:
+            return None
+        return VersionedBloomFilter.decode(self.vbf_encoded)
+
+    def byte_size(self) -> int:
+        """Wire size of the certificate (for network accounting)."""
+        size = 32 + 8 + 288  # root + version + signature
+        size += sum(len(c) + 32 + 8 for c, _, _ in self.chain_states)
+        if self.vbf_encoded is not None:
+            size += len(self.vbf_encoded)
+        return size

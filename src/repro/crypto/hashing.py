@@ -1,0 +1,58 @@
+"""BLAKE2b digest helpers.
+
+All hashes in the system are 32-byte BLAKE2b digests, matching the paper's
+choice of BLAKE2b as the cryptographic hash function.  Digests are plain
+``bytes`` (aliased as :data:`Digest` for readability in signatures), which
+keeps them hashable, comparable, and serializable without wrapper objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Size, in bytes, of every digest produced by this module.
+DIGEST_SIZE = 32
+
+#: Type alias for a 32-byte BLAKE2b digest.
+Digest = bytes
+
+#: Digest of the empty string; used as the canonical "empty" placeholder.
+EMPTY_DIGEST: Digest = hashlib.blake2b(b"", digest_size=DIGEST_SIZE).digest()
+
+
+def hash_bytes(data: bytes) -> Digest:
+    """Return the BLAKE2b digest of ``data``."""
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
+
+
+def hash_str(text: str) -> Digest:
+    """Return the BLAKE2b digest of ``text`` encoded as UTF-8."""
+    return hash_bytes(text.encode("utf-8"))
+
+
+def hash_pair(left: Digest, right: Digest) -> Digest:
+    """Return ``H(left || right)``, the digest of two concatenated digests.
+
+    This is the Merkle internal-node combiner used throughout the ADS,
+    mirroring the paper's ``h0 = H(h1 || h2)``.
+    """
+    return hash_bytes(left + right)
+
+
+def hash_concat(parts: Iterable[bytes]) -> Digest:
+    """Return the digest of the concatenation of ``parts``.
+
+    Each part is length-prefixed before hashing so that distinct part
+    boundaries can never collide (``["ab", "c"]`` vs ``["a", "bc"]``).
+    """
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def keyed_hash(key: bytes, data: bytes) -> Digest:
+    """Return a keyed BLAKE2b digest (used for salted bloom-filter hashes)."""
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE, key=key[:64]).digest()

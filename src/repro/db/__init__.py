@@ -1,0 +1,26 @@
+"""A from-scratch page-based relational database engine.
+
+The paper plugs an *off-the-shelf* engine (SQLite) into V2FS through the
+POSIX I/O boundary.  Python's stdlib ``sqlite3`` cannot host a custom VFS,
+so this package provides the engine: a small but real relational database
+whose every byte of I/O flows through a
+:class:`~repro.vfs.interface.VirtualFilesystem` — which is exactly the
+property V2FS needs.
+
+Layers (bottom-up):
+
+* :mod:`repro.db.types` / :mod:`repro.db.record` — value model and the
+  on-page record codec;
+* :mod:`repro.db.pager` — page allocation and the per-file header page;
+* :mod:`repro.db.btree` — page-based B+Trees for tables (rowid-keyed)
+  and secondary indexes (value-keyed);
+* :mod:`repro.db.catalog` — persistent schema: tables, columns, indexes;
+* :mod:`repro.db.sql` — tokenizer, AST, and recursive-descent parser;
+* :mod:`repro.db.plan` — expressions, planner, and iterator executor
+  (scans, index scans, joins, aggregation, external sort, set ops);
+* :mod:`repro.db.engine` — the public facade: ``Engine.execute(sql)``.
+"""
+
+from repro.db.engine import Engine, ResultSet
+
+__all__ = ["Engine", "ResultSet"]

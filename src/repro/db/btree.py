@@ -1,0 +1,329 @@
+"""Page-based B+Tree.
+
+One B+Tree per table (keyed by ``[rowid]``) and per secondary index
+(keyed by ``[column_value, rowid]``).  Keys are lists of SQL values with
+SQLite-style cross-type ordering; values are opaque byte strings (encoded
+rows for tables, empty for indexes).
+
+Node layout (one node per 4 KiB page):
+
+* leaf: ``[1][count:2][next_leaf:4]`` then ``count`` entries of
+  ``key-record || value-len:4 || value``;
+* internal: ``[2][count:2][child0:4]`` then ``count`` entries of
+  ``key-record || child:4`` — subtree ``i`` holds keys in
+  ``[key[i-1], key[i])``.
+
+Inserts split on byte overflow and propagate upward; deletes remove the
+entry without rebalancing (the workloads are append-dominated; a sparse
+node remains a valid node).  Leaves are chained for range scans.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from repro.db.record import decode_record, encode_record
+from repro.db.types import SqlValue, sort_key
+from repro.errors import SQLExecutionError, StorageError
+from repro.db.pager import Pager
+from repro.vfs.interface import PAGE_SIZE
+
+Key = List[SqlValue]
+
+_LEAF = 1
+_INTERNAL = 2
+
+
+def key_tuple(key: Key) -> tuple:
+    """Total-order comparison key for a composite B+Tree key."""
+    return tuple(sort_key(v) for v in key)
+
+
+def compare_to_bound(key: Key, bound: Key, pad: int) -> int:
+    """Compare ``key`` to a possibly-shorter ``bound``.
+
+    ``pad`` is -1 when the bound acts as a low bound (missing components
+    read as minus infinity) and +1 for a high bound (plus infinity).
+    """
+    for key_part, bound_part in zip(key, bound):
+        a, b = sort_key(key_part), sort_key(bound_part)
+        if a < b:
+            return -1
+        if a > b:
+            return 1
+    if len(key) == len(bound):
+        return 0
+    return -pad
+
+
+class _Leaf:
+    __slots__ = ("entries", "next_leaf")
+
+    def __init__(
+        self,
+        entries: Optional[List[Tuple[Key, bytes]]] = None,
+        next_leaf: int = 0,
+    ) -> None:
+        self.entries = entries if entries is not None else []
+        self.next_leaf = next_leaf
+
+    def encoded_size(self) -> int:
+        size = 1 + 2 + 4
+        for key, value in self.entries:
+            size += len(encode_record(key)) + 4 + len(value)
+        return size
+
+    def encode(self) -> bytes:
+        parts = [
+            bytes([_LEAF]),
+            struct.pack(">HI", len(self.entries), self.next_leaf),
+        ]
+        for key, value in self.entries:
+            parts.append(encode_record(key))
+            parts.append(struct.pack(">I", len(value)))
+            parts.append(value)
+        raw = b"".join(parts)
+        if len(raw) > PAGE_SIZE:
+            raise StorageError("leaf node exceeds page size")
+        return raw + b"\x00" * (PAGE_SIZE - len(raw))
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[Key], children: List[int]) -> None:
+        self.keys = keys
+        self.children = children
+
+    def encoded_size(self) -> int:
+        size = 1 + 2 + 4
+        for key in self.keys:
+            size += len(encode_record(key)) + 4
+        return size
+
+    def encode(self) -> bytes:
+        parts = [
+            bytes([_INTERNAL]),
+            struct.pack(">HI", len(self.keys), self.children[0]),
+        ]
+        for key, child in zip(self.keys, self.children[1:]):
+            parts.append(encode_record(key))
+            parts.append(struct.pack(">I", child))
+        raw = b"".join(parts)
+        if len(raw) > PAGE_SIZE:
+            raise StorageError("internal node exceeds page size")
+        return raw + b"\x00" * (PAGE_SIZE - len(raw))
+
+
+def _decode_node(raw: bytes):
+    kind = raw[0]
+    count, first = struct.unpack_from(">HI", raw, 1)
+    offset = 7
+    if kind == _LEAF:
+        entries: List[Tuple[Key, bytes]] = []
+        for _ in range(count):
+            key, offset = decode_record(raw, offset)
+            (vlen,) = struct.unpack_from(">I", raw, offset)
+            offset += 4
+            entries.append((key, raw[offset:offset + vlen]))
+            offset += vlen
+        return _Leaf(entries, first)
+    if kind == _INTERNAL:
+        keys: List[Key] = []
+        children = [first]
+        for _ in range(count):
+            key, offset = decode_record(raw, offset)
+            (child,) = struct.unpack_from(">I", raw, offset)
+            offset += 4
+            keys.append(key)
+            children.append(child)
+        return _Internal(keys, children)
+    raise StorageError(f"corrupt B+Tree node (kind {kind})")
+
+
+class BTree:
+    """A B+Tree bound to one :class:`~repro.db.pager.Pager`."""
+
+    def __init__(self, pager: Pager) -> None:
+        self.pager = pager
+
+    # -- node I/O ------------------------------------------------------
+
+    def _load(self, pid: int):
+        return _decode_node(self.pager.read_page(pid))
+
+    def _save(self, pid: int, node) -> None:
+        self.pager.write_page(pid, node.encode())
+
+    # -- public operations ---------------------------------------------
+
+    def insert(self, key: Key, value: bytes,
+               allow_duplicate: bool = False) -> None:
+        """Insert ``key -> value``.
+
+        Duplicate keys raise unless ``allow_duplicate``; with duplicates
+        allowed the new entry lands adjacent to its equals.
+        """
+        if self.pager.root_pid == 0:
+            pid = self.pager.allocate_page()
+            self._save(pid, _Leaf([(key, value)]))
+            self.pager.root_pid = pid
+            self.pager.entry_count = 1
+            self.pager.mark_header_dirty()
+            return
+        split = self._insert_into(self.pager.root_pid, key, value,
+                                  allow_duplicate)
+        if split is not None:
+            sep_key, right_pid = split
+            new_root = _Internal([sep_key], [self.pager.root_pid, right_pid])
+            pid = self.pager.allocate_page()
+            self._save(pid, new_root)
+            self.pager.root_pid = pid
+        self.pager.entry_count += 1
+        self.pager.mark_header_dirty()
+
+    def _insert_into(
+        self, pid: int, key: Key, value: bytes, allow_duplicate: bool
+    ) -> Optional[Tuple[Key, int]]:
+        node = self._load(pid)
+        if isinstance(node, _Leaf):
+            tuples = [key_tuple(k) for k, _ in node.entries]
+            target = key_tuple(key)
+            pos = bisect_right(tuples, target)
+            if not allow_duplicate and pos > 0 and tuples[pos - 1] == target:
+                raise SQLExecutionError(f"duplicate key {key!r}")
+            node.entries.insert(pos, (key, value))
+            if node.encoded_size() <= PAGE_SIZE:
+                self._save(pid, node)
+                return None
+            return self._split_leaf(pid, node)
+        pos = self._child_index(node, key)
+        split = self._insert_into(node.children[pos], key, value,
+                                  allow_duplicate)
+        if split is None:
+            return None
+        sep_key, right_pid = split
+        node.keys.insert(pos, sep_key)
+        node.children.insert(pos + 1, right_pid)
+        if node.encoded_size() <= PAGE_SIZE:
+            self._save(pid, node)
+            return None
+        return self._split_internal(pid, node)
+
+    def _split_leaf(self, pid: int, node: _Leaf) -> Tuple[Key, int]:
+        mid = len(node.entries) // 2
+        right = _Leaf(node.entries[mid:], node.next_leaf)
+        right_pid = self.pager.allocate_page()
+        node.entries = node.entries[:mid]
+        node.next_leaf = right_pid
+        self._save(right_pid, right)
+        self._save(pid, node)
+        return list(right.entries[0][0]), right_pid
+
+    def _split_internal(self, pid: int, node: _Internal) -> Tuple[Key, int]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Internal(node.keys[mid + 1:], node.children[mid + 1:])
+        right_pid = self.pager.allocate_page()
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._save(right_pid, right)
+        self._save(pid, node)
+        return sep_key, right_pid
+
+    @staticmethod
+    def _child_index(node: _Internal, key: Key) -> int:
+        tuples = [key_tuple(k) for k in node.keys]
+        return bisect_right(tuples, key_tuple(key))
+
+    def get(self, key: Key) -> Optional[bytes]:
+        """Point lookup; returns the value or None."""
+        for found_key, value in self.scan(low=key, high=key):
+            return value
+        return None
+
+    def delete(self, key: Key) -> bool:
+        """Remove the first entry with exactly ``key``; True if found."""
+        if self.pager.root_pid == 0:
+            return False
+        pid = self.pager.root_pid
+        node = self._load(pid)
+        while isinstance(node, _Internal):
+            pid = node.children[self._child_index_low(node, key)]
+            node = self._load(pid)
+        target = key_tuple(key)
+        while True:
+            tuples = [key_tuple(k) for k, _ in node.entries]
+            pos = bisect_left(tuples, target)
+            if pos < len(tuples) and tuples[pos] == target:
+                del node.entries[pos]
+                self._save(pid, node)
+                self.pager.entry_count -= 1
+                self.pager.mark_header_dirty()
+                return True
+            if pos < len(tuples) or node.next_leaf == 0:
+                return False
+            pid = node.next_leaf
+            node = self._load(pid)
+
+    @staticmethod
+    def _child_index_low(node: _Internal, key: Key) -> int:
+        tuples = [key_tuple(k) for k in node.keys]
+        return bisect_left(tuples, key_tuple(key))
+
+    def scan(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[Key, bytes]]:
+        """Yield entries with ``low <= key <= high`` in key order.
+
+        Bounds may be key *prefixes* (e.g. ``[value]`` against
+        ``[value, rowid]`` keys); missing components read as minus/plus
+        infinity for the low/high bound respectively.
+        """
+        if self.pager.root_pid == 0:
+            return
+        pid = self.pager.root_pid
+        node = self._load(pid)
+        while isinstance(node, _Internal):
+            if low is None:
+                pid = node.children[0]
+            else:
+                # Descend to the leftmost child that can hold keys >= low.
+                # Strict inequality: a separator equal to the bound may
+                # still have equal keys in the left sibling (duplicates
+                # can straddle a split boundary).
+                pos = 0
+                for i, node_key in enumerate(node.keys):
+                    if compare_to_bound(node_key, low, pad=-1) < 0:
+                        pos = i + 1
+                    else:
+                        break
+                pid = node.children[pos]
+            node = self._load(pid)
+        while True:
+            for key, value in node.entries:
+                if low is not None:
+                    cmp = compare_to_bound(key, low, pad=-1)
+                    if cmp < 0 or (cmp == 0 and not low_inclusive):
+                        continue
+                if high is not None:
+                    cmp = compare_to_bound(key, high, pad=1)
+                    if cmp > 0 or (cmp == 0 and not high_inclusive):
+                        return
+                yield key, value
+            if node.next_leaf == 0:
+                return
+            node = self._load(node.next_leaf)
+
+    def items(self) -> Iterator[Tuple[Key, bytes]]:
+        """Full in-order scan."""
+        return self.scan()
+
+    def __len__(self) -> int:
+        return self.pager.entry_count

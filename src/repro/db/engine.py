@@ -1,0 +1,451 @@
+"""The database engine facade.
+
+``Engine(vfs)`` is the "off-the-shelf database engine" of the paper: it
+speaks SQL upward and the V2FS POSIX interface downward.  Swapping the
+``vfs`` argument changes the deployment:
+
+* a :class:`~repro.vfs.local.LocalFilesystem` — plain local database
+  (the paper's ordinary-SQLite baseline);
+* the CI's maintenance VFS — updates inside the simulated enclave;
+* the client VFS — verifiable query processing against a remote ISP.
+
+Temporary spill files (external sort) go to a *separate* filesystem,
+``temp_vfs``, mirroring the paper's Appendix A: temp data is engine-local
+and never verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.db.btree import BTree
+from repro.db.catalog import Catalog, IndexInfo, TableInfo
+from repro.db.pager import Pager
+from repro.db.plan.expressions import Schema
+from repro.db.plan.planner import AccessProvider, plan_select
+from repro.db.record import decode_record, encode_record
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_statement
+from repro.db.types import SqlValue, coerce, compare, normalize_type
+from repro.errors import SQLCatalogError, SQLExecutionError
+from repro.vfs.interface import VirtualFilesystem
+from repro.vfs.local import LocalFilesystem
+
+
+@dataclass
+class ResultSet:
+    """Result of one statement: column names and materialized rows.
+
+    For DML statements (INSERT/UPDATE/DELETE), ``rowcount`` carries the
+    number of affected rows and ``rows`` is empty.
+    """
+
+    columns: List[str]
+    rows: List[Tuple[SqlValue, ...]]
+    rowcount: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> SqlValue:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SQLExecutionError("result is not a single scalar")
+        return self.rows[0][0]
+
+
+class Engine(AccessProvider):
+    """SQL engine over a virtual filesystem."""
+
+    def __init__(
+        self,
+        vfs: VirtualFilesystem,
+        base_path: str = "/db",
+        temp_vfs: Optional[VirtualFilesystem] = None,
+        sort_memory_rows: int = 4096,
+    ) -> None:
+        self.vfs = vfs
+        self.base_path = base_path.rstrip("/")
+        self.temp_vfs = (
+            temp_vfs if temp_vfs is not None else LocalFilesystem()
+        )
+        self._sort_memory_rows = sort_memory_rows
+        self._catalog: Optional[Catalog] = None
+
+    # ------------------------------------------------------------------
+    # Catalog handling
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog_path(self) -> str:
+        return f"{self.base_path}/catalog"
+
+    @property
+    def catalog(self) -> Catalog:
+        if self._catalog is None:
+            self._catalog = Catalog.load(self.vfs, self.catalog_path)
+        return self._catalog
+
+    def _save_catalog(self) -> None:
+        self.catalog.save(self.vfs, self.catalog_path)
+
+    def _table_file(self, name: str) -> str:
+        return f"{self.base_path}/tables/{name}.tbl"
+
+    def _index_file(self, name: str) -> str:
+        return f"{self.base_path}/indexes/{name}.idx"
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        raise SQLExecutionError(f"unsupported statement {statement!r}")
+
+    def _execute_select(self, select: ast.Select) -> ResultSet:
+        plan, names = plan_select(select, self)
+        rows = [tuple(row) for row in plan.rows()]
+        return ResultSet(columns=names, rows=rows)
+
+    def explain(self, sql: str) -> str:
+        """Render the operator tree the planner builds for a SELECT.
+
+        A plan-introspection aid (``EXPLAIN``-alike): one line per
+        operator, indented by depth, with scans showing their access
+        path (sequential vs index range).
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise SQLExecutionError("explain supports SELECT statements")
+        plan, _ = plan_select(statement, self)
+        lines: List[str] = []
+
+        def walk(operator, depth: int) -> None:
+            lines.append("  " * depth + operator.describe())
+            for child in operator.children():
+                walk(child, depth + 1)
+
+        walk(plan, 0)
+        return "\n".join(lines)
+
+    def _execute_create_table(self, stmt: ast.CreateTable) -> ResultSet:
+        columns = [
+            (name, normalize_type(type_name))
+            for name, type_name in stmt.columns
+        ]
+        table = TableInfo(
+            name=stmt.name,
+            columns=columns,
+            file_path=self._table_file(stmt.name),
+        )
+        self.catalog.add_table(table)
+        Pager(self.vfs, table.file_path, create=True).close()
+        self._save_catalog()
+        return ResultSet(columns=[], rows=[])
+
+    def _execute_create_index(self, stmt: ast.CreateIndex) -> ResultSet:
+        index = IndexInfo(
+            name=stmt.name,
+            table=stmt.table,
+            column=stmt.column,
+            file_path=self._index_file(stmt.name),
+        )
+        self.catalog.add_index(index)
+        pager = Pager(self.vfs, index.file_path, create=True)
+        # Backfill from existing rows.
+        table = self.catalog.table(stmt.table)
+        column_index = table.column_index(stmt.column)
+        tree = BTree(pager)
+        for rowid, values in self._iter_table(table):
+            tree.insert([values[column_index], rowid], b"",
+                        allow_duplicate=True)
+        pager.close()
+        self._save_catalog()
+        return ResultSet(columns=[], rows=[])
+
+    def _execute_insert(self, stmt: ast.Insert) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        column_order = (
+            [table.column_index(c) for c in stmt.columns]
+            if stmt.columns
+            else list(range(len(table.columns)))
+        )
+        rows: List[List[SqlValue]] = []
+        for exprs in stmt.rows:
+            if len(exprs) != len(column_order):
+                raise SQLExecutionError(
+                    "INSERT value count does not match column count"
+                )
+            values: List[SqlValue] = [None] * len(table.columns)
+            for target, expr in zip(column_order, exprs):
+                values[target] = _literal_value(expr)
+            rows.append(values)
+        count = self.insert_rows(stmt.table, rows)
+        return ResultSet(columns=[], rows=[], rowcount=count)
+
+    def _matching_rows(self, table: TableInfo, where):
+        """Materialize (rowid, values) pairs satisfying ``where``."""
+        from repro.db.plan.expressions import (
+            SubqueryRunner,
+            compile_expr,
+            predicate,
+        )
+
+        schema = [(table.name, column) for column, _ in table.columns]
+        keep = None
+        if where is not None:
+            keep = predicate(compile_expr(
+                where, schema, SubqueryRunner(self.run_subquery)
+            ))
+        return [
+            (rowid, values)
+            for rowid, values in self._iter_table(table)
+            if keep is None or keep(values)
+        ]
+
+    def _execute_update(self, stmt: ast.Update) -> ResultSet:
+        """UPDATE: rewrite matching rows and maintain every index."""
+        from repro.db.plan.expressions import SubqueryRunner, compile_expr
+
+        table = self.catalog.table(stmt.table)
+        schema = [(table.name, column) for column, _ in table.columns]
+        runner = SubqueryRunner(self.run_subquery)
+        assignments = [
+            (table.column_index(column),
+             compile_expr(expr, schema, runner))
+            for column, expr in stmt.assignments
+        ]
+        matches = self._matching_rows(table, stmt.where)
+        if not matches:
+            return ResultSet(columns=[], rows=[], rowcount=0)
+        table_pager = Pager(self.vfs, table.file_path)
+        table_tree = BTree(table_pager)
+        index_trees = []
+        for index in table.indexes:
+            pager = Pager(self.vfs, index.file_path)
+            index_trees.append(
+                (table.column_index(index.column), BTree(pager), pager)
+            )
+        for rowid, old_values in matches:
+            new_values = list(old_values)
+            for position, value_fn in assignments:
+                _, sql_type = table.columns[position]
+                new_values[position] = coerce(value_fn(old_values),
+                                              sql_type)
+            table_tree.delete([rowid])
+            table_tree.insert([rowid], encode_record(new_values))
+            for position, tree, _ in index_trees:
+                if old_values[position] != new_values[position]:
+                    tree.delete([old_values[position], rowid])
+                    tree.insert([new_values[position], rowid], b"",
+                                allow_duplicate=True)
+        table_pager.close()
+        for _, _, pager in index_trees:
+            pager.close()
+        return ResultSet(columns=[], rows=[], rowcount=len(matches))
+
+    def _execute_delete(self, stmt: ast.Delete) -> ResultSet:
+        """DELETE: drop matching rows and their index entries."""
+        table = self.catalog.table(stmt.table)
+        matches = self._matching_rows(table, stmt.where)
+        if not matches:
+            return ResultSet(columns=[], rows=[], rowcount=0)
+        table_pager = Pager(self.vfs, table.file_path)
+        table_tree = BTree(table_pager)
+        index_trees = []
+        for index in table.indexes:
+            pager = Pager(self.vfs, index.file_path)
+            index_trees.append(
+                (table.column_index(index.column), BTree(pager), pager)
+            )
+        for rowid, values in matches:
+            table_tree.delete([rowid])
+            for position, tree, _ in index_trees:
+                tree.delete([values[position], rowid])
+        table_pager.close()
+        for _, _, pager in index_trees:
+            pager.close()
+        return ResultSet(columns=[], rows=[], rowcount=len(matches))
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[List[SqlValue]]
+    ) -> int:
+        """Bulk-insert fully-ordered value lists; returns the row count.
+
+        This is the ETL ingestion path: it opens each B+Tree once for the
+        whole batch, which is also what keeps the CI's write set (P_w)
+        compact per block.
+        """
+        table = self.catalog.table(table_name)
+        table_pager = Pager(self.vfs, table.file_path, create=True)
+        table_tree = BTree(table_pager)
+        index_pagers: List[Tuple[int, BTree, Pager]] = []
+        for index in table.indexes:
+            pager = Pager(self.vfs, index.file_path, create=True)
+            index_pagers.append(
+                (table.column_index(index.column), BTree(pager), pager)
+            )
+        count = 0
+        for values in rows:
+            coerced = [
+                coerce(value, sql_type)
+                for value, (_, sql_type) in zip(values, table.columns)
+            ]
+            if len(coerced) != len(table.columns):
+                raise SQLExecutionError(
+                    f"row width {len(coerced)} does not match table "
+                    f"{table_name} ({len(table.columns)} columns)"
+                )
+            rowid = table_pager.take_rowid()
+            table_tree.insert([rowid], encode_record(coerced))
+            for column_index, tree, _ in index_pagers:
+                tree.insert([coerced[column_index], rowid], b"",
+                            allow_duplicate=True)
+            count += 1
+        table_pager.close()
+        for _, _, pager in index_pagers:
+            pager.close()
+        return count
+
+    # ------------------------------------------------------------------
+    # AccessProvider implementation (planner storage interface)
+    # ------------------------------------------------------------------
+
+    def table_schema(self, table_name: str, binding: str) -> Schema:
+        table = self.catalog.table(table_name)
+        return [(binding, column) for column, _ in table.columns]
+
+    def seq_scan(self, table_name: str) -> Callable[[], Iterator[List[SqlValue]]]:
+        table = self.catalog.table(table_name)
+
+        def factory() -> Iterator[List[SqlValue]]:
+            for _, values in self._iter_table(table):
+                yield values
+        return factory
+
+    def index_range_scan(
+        self,
+        table_name: str,
+        column: str,
+        low: SqlValue,
+        high: SqlValue,
+        low_inc: bool,
+        high_inc: bool,
+    ) -> Callable[[], Iterator[List[SqlValue]]]:
+        table = self.catalog.table(table_name)
+        index = table.index_on(column)
+        if index is None:
+            raise SQLCatalogError(
+                f"no index on {table_name}.{column}"
+            )
+
+        def factory() -> Iterator[List[SqlValue]]:
+            index_pager = Pager(self.vfs, index.file_path)
+            table_pager = Pager(self.vfs, table.file_path)
+            index_tree = BTree(index_pager)
+            table_tree = BTree(table_pager)
+            try:
+                # Index keys are [value, rowid]; the bounds are prefixes,
+                # so exclusive endpoints must be re-checked on the value
+                # component (a [v, rowid] key always sorts after [v]).
+                low_key = None if low is None else [low]
+                high_key = None if high is None else [high]
+                for key, _ in index_tree.scan(low=low_key, high=high_key):
+                    value = key[0]
+                    if low is not None and not low_inc \
+                            and compare(value, low) == 0:
+                        continue
+                    if high is not None and not high_inc \
+                            and compare(value, high) == 0:
+                        continue
+                    rowid = key[-1]
+                    record = table_tree.get([rowid])
+                    if record is None:
+                        continue  # row deleted after index entry
+                    values, _ = decode_record(record, 0)
+                    yield values
+            finally:
+                index_pager.close()
+                table_pager.close()
+        return factory
+
+    def has_index(self, table_name: str, column: str) -> bool:
+        try:
+            table = self.catalog.table(table_name)
+        except SQLCatalogError:
+            return False
+        return table.index_on(column) is not None
+
+    def index_lookup(
+        self, table_name: str, column: str
+    ) -> Callable[[SqlValue], Iterable[List[SqlValue]]]:
+        factory_cache: Dict[Any, List[List[SqlValue]]] = {}
+        range_scan = self.index_range_scan
+
+        def lookup(value: SqlValue) -> Iterable[List[SqlValue]]:
+            if value in factory_cache:
+                return factory_cache[value]
+            rows = list(
+                range_scan(table_name, column, value, value, True, True)()
+            )
+            factory_cache[value] = rows
+            return rows
+        return lookup
+
+    def run_subquery(self, select: ast.Select) -> List[tuple]:
+        return self._execute_select(select).rows
+
+    def temp_filesystem(self) -> VirtualFilesystem:
+        return self.temp_vfs
+
+    @property
+    def sort_memory_rows(self) -> int:
+        return self._sort_memory_rows
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _iter_table(
+        self, table: TableInfo
+    ) -> Iterator[Tuple[int, List[SqlValue]]]:
+        pager = Pager(self.vfs, table.file_path)
+        tree = BTree(pager)
+        try:
+            for key, record in tree.items():
+                values, _ = decode_record(record, 0)
+                yield key[0], values
+        finally:
+            pager.close()
+
+
+def _literal_value(expr: ast.Expr) -> SqlValue:
+    """Evaluate a constant INSERT expression."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        value = _literal_value(expr.operand)
+        if not isinstance(value, (int, float)):
+            raise SQLExecutionError("cannot negate a non-numeric literal")
+        return -value
+    raise SQLExecutionError(
+        "INSERT supports literal values only; use insert_rows() for bulk data"
+    )

@@ -1,0 +1,104 @@
+"""Per-file page management.
+
+Each table and each index lives in its own file.  Page 0 is the header
+page holding the file's magic, allocated page count, B+Tree root page id,
+the next rowid, and the entry count; data pages follow.  The pager
+performs *no caching*: every page access reaches the virtual filesystem,
+because page-access visibility at the VFS boundary is precisely what V2FS
+instruments (caching is the job of the V2FS client layer, not the
+engine — mirroring how the paper runs SQLite with a minimal page cache).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
+
+_MAGIC = b"V2FSDB01"
+_HEADER_FMT = ">8sIIQQ"  # magic, page_count, root_pid, next_rowid, entries
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+class Pager:
+    """Allocates pages and owns the header of one storage file."""
+
+    def __init__(self, vfs: VirtualFilesystem, path: str,
+                 create: bool = False) -> None:
+        self.path = path
+        self._file: VirtualFile = vfs.open(path, create=create)
+        if self._file.size() == 0:
+            if not create:
+                raise StorageError(f"{path} is empty and create=False")
+            self.page_count = 1  # header page
+            self.root_pid = 0   # 0 = no root yet
+            self.next_rowid = 1
+            self.entry_count = 0
+            self._write_header()
+        else:
+            self._read_header()
+        self._header_dirty = False
+
+    def _read_header(self) -> None:
+        raw = self._file.read_page(0)
+        magic, page_count, root_pid, next_rowid, entries = struct.unpack_from(
+            _HEADER_FMT, raw, 0
+        )
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path} is not a database file")
+        self.page_count = page_count
+        self.root_pid = root_pid
+        self.next_rowid = next_rowid
+        self.entry_count = entries
+
+    def _write_header(self) -> None:
+        raw = struct.pack(
+            _HEADER_FMT,
+            _MAGIC,
+            self.page_count,
+            self.root_pid,
+            self.next_rowid,
+            self.entry_count,
+        )
+        self._file.write_page(0, raw + b"\x00" * (PAGE_SIZE - _HEADER_SIZE))
+
+    def mark_header_dirty(self) -> None:
+        self._header_dirty = True
+
+    def flush(self) -> None:
+        """Persist header changes (call after a batch of updates)."""
+        if self._header_dirty:
+            self._write_header()
+            self._header_dirty = False
+
+    def allocate_page(self) -> int:
+        """Reserve a fresh page id."""
+        pid = self.page_count
+        self.page_count += 1
+        self._header_dirty = True
+        return pid
+
+    def take_rowid(self) -> int:
+        rowid = self.next_rowid
+        self.next_rowid += 1
+        self._header_dirty = True
+        return rowid
+
+    def read_page(self, page_id: int) -> bytes:
+        if page_id <= 0 or page_id >= self.page_count:
+            raise StorageError(
+                f"page {page_id} out of range in {self.path}"
+            )
+        return self._file.read_page(page_id)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if page_id <= 0 or page_id >= self.page_count:
+            raise StorageError(
+                f"page {page_id} out of range in {self.path}"
+            )
+        self._file.write_page(page_id, data)
+
+    def close(self) -> None:
+        self.flush()
+        self._file.close()

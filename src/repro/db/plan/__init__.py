@@ -1,0 +1,5 @@
+"""Query planning and execution: expressions, operators, planner."""
+
+from repro.db.plan.planner import plan_select
+
+__all__ = ["plan_select"]

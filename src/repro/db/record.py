@@ -1,0 +1,91 @@
+"""On-page record codec.
+
+Rows and B+Tree keys are serialized with a compact tagged encoding:
+
+========  =======================================
+tag byte  payload
+========  =======================================
+``0``     NULL (no payload)
+``1``     INTEGER — 8-byte signed big-endian
+``2``     REAL — 8-byte IEEE-754 double
+``3``     TEXT — 4-byte length + UTF-8 bytes
+========  =======================================
+
+A record is the concatenation of its encoded values prefixed by a 2-byte
+value count.  Decoding is self-delimiting, so records can be packed
+back-to-back in B+Tree nodes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.db.types import SqlValue
+from repro.errors import SQLTypeError
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_REAL = 2
+_TAG_TEXT = 3
+
+#: Upper bound on one encoded record; keeps every record well within a page.
+MAX_RECORD_BYTES = 3500
+
+
+def encode_value(value: SqlValue) -> bytes:
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        return bytes([_TAG_INT]) + struct.pack(">q", int(value))
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + struct.pack(">q", value)
+    if isinstance(value, float):
+        return bytes([_TAG_REAL]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TAG_TEXT]) + struct.pack(">I", len(raw)) + raw
+    raise SQLTypeError(f"cannot encode value {value!r}")
+
+
+def decode_value(data: bytes, offset: int) -> Tuple[SqlValue, int]:
+    """Decode one value at ``offset``; return (value, next offset)."""
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from(">q", data, offset)
+        return value, offset + 8
+    if tag == _TAG_REAL:
+        (value,) = struct.unpack_from(">d", data, offset)
+        return value, offset + 8
+    if tag == _TAG_TEXT:
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    raise SQLTypeError(f"unknown value tag {tag}")
+
+
+def encode_record(values: List[SqlValue]) -> bytes:
+    """Encode a row (or composite key) as one record."""
+    parts = [struct.pack(">H", len(values))]
+    parts.extend(encode_value(v) for v in values)
+    encoded = b"".join(parts)
+    if len(encoded) > MAX_RECORD_BYTES:
+        raise SQLTypeError(
+            f"record of {len(encoded)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte limit"
+        )
+    return encoded
+
+
+def decode_record(data: bytes, offset: int = 0) -> Tuple[List[SqlValue], int]:
+    """Decode one record at ``offset``; return (values, next offset)."""
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    values: List[SqlValue] = []
+    for _ in range(count):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    return values, offset

@@ -1,0 +1,6 @@
+"""SQL front-end: tokenizer, AST, and recursive-descent parser."""
+
+from repro.db.sql.parser import parse_statement
+from repro.db.sql.tokenizer import Token, tokenize
+
+__all__ = ["Token", "parse_statement", "tokenize"]

@@ -1,0 +1,212 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+All nodes are frozen dataclasses with structural equality, which the
+planner relies on (e.g. matching a SELECT expression against GROUP BY
+keys is an AST equality test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str | None
+
+
+@dataclass(frozen=True)
+class Column:
+    table: Optional[str]  # alias or table name, None if unqualified
+    name: str
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-', '+', 'NOT'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # arithmetic, comparison, AND, OR, '||'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Function call; aggregates are COUNT/SUM/AVG/MIN/MAX."""
+
+    name: str  # upper-cased
+    args: Tuple["Expr", ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expr"
+    items: Tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    operand: "Expr"
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like:
+    operand: "Expr"
+    pattern: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case:
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: Tuple[Tuple["Expr", "Expr"], ...]
+    default: Optional["Expr"] = None
+
+
+Expr = Union[
+    Literal, Column, Star, Unary, Binary, FuncCall, InList, InSubquery,
+    ScalarSubquery, Between, Like, IsNull, Case,
+]
+
+#: Aggregate function names.
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    select: "Select"
+    alias: str
+
+    def binding(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join:
+    left: "FromItem"
+    right: Union[TableRef, SubqueryRef]
+    condition: Expr
+    left_outer: bool = False
+
+
+FromItem = Union[TableRef, SubqueryRef, Join]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    from_item: Optional[FromItem] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    #: (op, select) pairs chained by UNION / UNION ALL.
+    compounds: Tuple[Tuple[str, "Select"], ...] = ()
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]  # empty = all columns in order
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]  # (column, value expr)
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[Tuple[str, str], ...]  # (name, declared type)
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    column: str
+
+
+Statement = Union[Select, Insert, Update, Delete, CreateTable, CreateIndex]

@@ -1,0 +1,126 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects.  Keywords are
+case-insensitive and reported upper-case; identifiers keep their case
+(optionally double-quoted); string literals use single quotes with ``''``
+escaping, as in SQLite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SQLParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC", "AS", "JOIN", "INNER", "LEFT", "ON", "AND", "OR", "NOT",
+    "IN", "BETWEEN", "LIKE", "IS", "NULL", "UNION", "ALL", "DISTINCT",
+    "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INDEX", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "CAST", "OFFSET", "UPDATE", "SET", "DELETE",
+    "OUTER", "EXPLAIN",
+}
+
+# Token kinds.
+KW = "KW"          # keyword (value upper-cased)
+IDENT = "IDENT"    # identifier
+NUMBER = "NUMBER"  # numeric literal (value is int or float)
+STRING = "STRING"  # string literal (value is str)
+OP = "OP"          # operator or punctuation
+EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    position: int
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+_TWO_CHAR_OPS = {"<=", ">=", "<>", "!=", "||"}
+_ONE_CHAR_OPS = set("+-*/%(),.=<>;")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`~repro.errors.SQLParseError`."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        start = i
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            i += 1
+            is_float = ch == "."
+            while i < n and (text[i].isdigit() or text[i] in ".eE+-"):
+                if text[i] in "+-" and text[i - 1] not in "eE":
+                    break
+                if text[i] == ".":
+                    is_float = True
+                if text[i] in "eE":
+                    is_float = True
+                i += 1
+            literal = text[start:i]
+            try:
+                value = float(literal) if is_float else int(literal)
+            except ValueError:
+                raise SQLParseError(f"bad numeric literal {literal!r}")
+            tokens.append(Token(NUMBER, value, start))
+            continue
+        if ch == "'":
+            parts = []
+            i += 1
+            while True:
+                if i >= n:
+                    raise SQLParseError("unterminated string literal")
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(STRING, "".join(parts), start))
+            continue
+        if ch == '"':
+            i += 1
+            close = text.find('"', i)
+            if close == -1:
+                raise SQLParseError("unterminated quoted identifier")
+            tokens.append(Token(IDENT, text[i:close], start))
+            i = close + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KW, upper, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        if text[i:i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, text[i:i + 2], start))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, start))
+            i += 1
+            continue
+        raise SQLParseError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens

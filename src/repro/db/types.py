@@ -1,0 +1,88 @@
+"""Value model of the database engine.
+
+Three storage classes are supported — INTEGER, REAL, and TEXT — plus SQL
+NULL, mirroring the subset of SQLite's type system the paper's workloads
+use.  Comparison follows SQLite's cross-type ordering: NULL sorts before
+numbers, numbers before text; integers and reals compare numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.errors import SQLTypeError
+
+INTEGER = "INTEGER"
+REAL = "REAL"
+TEXT = "TEXT"
+
+_TYPES = (INTEGER, REAL, TEXT)
+
+#: A SQL value as represented in Python.
+SqlValue = Optional[Any]  # int | float | str | None
+
+
+def normalize_type(name: str) -> str:
+    """Map a declared column type to a storage class (SQLite-style)."""
+    upper = name.upper()
+    if "INT" in upper:
+        return INTEGER
+    if any(tag in upper for tag in ("REAL", "FLOA", "DOUB")):
+        return REAL
+    if any(tag in upper for tag in ("CHAR", "TEXT", "CLOB")):
+        return TEXT
+    raise SQLTypeError(f"unsupported column type {name!r}")
+
+
+def coerce(value: SqlValue, sql_type: str) -> SqlValue:
+    """Coerce a Python value into a column's storage class."""
+    if value is None:
+        return None
+    if sql_type == INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SQLTypeError(f"cannot store {value!r} in an INTEGER column")
+    if sql_type == REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise SQLTypeError(f"cannot store {value!r} in a REAL column")
+    if sql_type == TEXT:
+        if isinstance(value, str):
+            return value
+        raise SQLTypeError(f"cannot store {value!r} in a TEXT column")
+    raise SQLTypeError(f"unknown storage class {sql_type!r}")
+
+
+def type_rank(value: SqlValue) -> int:
+    """Cross-type ordering rank: NULL < numbers < text."""
+    if value is None:
+        return 0
+    if isinstance(value, (int, float)):
+        return 1
+    if isinstance(value, str):
+        return 2
+    raise SQLTypeError(f"unorderable value {value!r}")
+
+
+def sort_key(value: SqlValue) -> Tuple[int, Any]:
+    """A total-order key across all SQL values."""
+    rank = type_rank(value)
+    if rank == 0:
+        return (0, 0)
+    return (rank, value)
+
+
+def compare(a: SqlValue, b: SqlValue) -> int:
+    """Three-way comparison under the total order."""
+    ka, kb = sort_key(a), sort_key(b)
+    if ka < kb:
+        return -1
+    if ka > kb:
+        return 1
+    return 0

@@ -1,0 +1,19 @@
+"""DCert: decentralized certification of source-chain blocks.
+
+Implements the DCert framework the paper builds on (Ji et al.,
+Middleware 2022): an SGX-backed certificate issuer recursively certifies
+each block by validating the new header, the state transition from the
+previous block, and the previous block's certificate.  Lightweight
+verifiers then need only the latest header and certificate.
+
+API mirrors the paper's:
+
+* ``DCert.certify(blk_prev, cert_prev, blk_new, sk) -> cert_new``
+  — :meth:`repro.dcert.certifier.DCertIssuer.certify`
+* ``DCert.valid(cert, hdr, pk) -> {0, 1}``
+  — :func:`repro.dcert.certifier.dcert_valid`
+"""
+
+from repro.dcert.certifier import DCertCertificate, DCertIssuer, dcert_valid
+
+__all__ = ["DCertCertificate", "DCertIssuer", "dcert_valid"]

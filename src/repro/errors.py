@@ -1,0 +1,67 @@
+"""Exception hierarchy for the V2FS reproduction.
+
+Every failure mode in the system raises a subclass of :class:`ReproError`,
+so callers can catch the whole family or a specific condition.  Verification
+failures are deliberately separated from operational errors: a
+:class:`VerificationError` means an *integrity* property was violated
+(potentially an attack), while the other subclasses signal ordinary misuse
+or resource problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class VerificationError(ReproError):
+    """An integrity check failed (tampered data, forged proof/certificate)."""
+
+
+class CertificateError(VerificationError):
+    """A DCert or V2FS certificate failed validation."""
+
+
+class ProofError(VerificationError):
+    """A Merkle proof failed to reconstruct the expected root."""
+
+
+class StorageError(ReproError):
+    """A filesystem/page-store operation failed (missing file, bad offset)."""
+
+
+class FileNotFoundInStoreError(StorageError):
+    """The requested path does not exist in the page store."""
+
+
+class SQLError(ReproError):
+    """Base class for database-engine errors."""
+
+
+class SQLParseError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLCatalogError(SQLError):
+    """Reference to an unknown table/column/index, or a duplicate definition."""
+
+
+class SQLTypeError(SQLError):
+    """A value had the wrong type for the requested operation."""
+
+
+class SQLExecutionError(SQLError):
+    """A runtime failure while executing a query plan."""
+
+
+class ChainError(ReproError):
+    """A blockchain structural rule was violated (bad link, height, etc.)."""
+
+
+class EnclaveError(ReproError):
+    """Illegal use of the simulated SGX enclave boundary."""
+
+
+class NetworkError(ReproError):
+    """A simulated network transport failure."""

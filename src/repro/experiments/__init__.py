@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(...) -> dict`` returning the figure's data
+series plus a ``render(results) -> str`` text table, so the benchmarks
+can regenerate (and print) each table and figure of the evaluation:
+
+========  =====================================================
+module    reproduces
+========  =====================================================
+table1    Table I  — qualitative system comparison
+table2    Table II — relational operations per test query
+fig8      Fig. 8   — database update cost with/without SGX
+fig9to11  Figs. 9-11 — latency / requests / VO (Q1, Q2, Q6, Mixed)
+fig12     Fig. 12  — V2FS vs ordinary (unverified) engine
+fig13     Fig. 13  — cache-size and update-rate impact
+fig14to16 Figs. 14-16 — latency / requests / VO (Q3-Q5, Q7, Q8)
+fig17     Fig. 17  — comparison with IntegriDB
+========  =====================================================
+"""
+
+from repro.experiments.harness import (
+    ExperimentEnv,
+    WorkloadMetrics,
+    build_env,
+    run_workload,
+)
+
+__all__ = [
+    "ExperimentEnv",
+    "WorkloadMetrics",
+    "build_env",
+    "run_workload",
+]

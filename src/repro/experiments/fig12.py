@@ -1,0 +1,76 @@
+"""Figure 12 — V2FS vs the ordinary (unverified) database.
+
+Runs the Mixed workload on (a) the verified client in every cache mode
+and (b) the same engine over a plain local replica with no network and
+no verification.  The paper reports its system 2.9-3.9x slower than
+ordinary SQLite — the price of the integrity guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.plain import PlainRunner
+from repro.client.vfs import QueryMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    MODE_LABELS,
+    build_env,
+    fmt_seconds,
+    render_table,
+    run_workload,
+)
+
+DEFAULT_WINDOWS = [3, 6, 12, 24, 48]
+
+
+def run(
+    windows: List[int] = DEFAULT_WINDOWS,
+    modes: Optional[List[QueryMode]] = None,
+    hours: int = 56,
+    txs_per_block: int = 8,
+    queries_per_workload: int = 20,
+) -> Dict:
+    modes = modes if modes is not None else ALL_MODES
+    env = build_env(
+        hours=hours,
+        txs_per_block=txs_per_block,
+        queries_per_workload=queries_per_workload,
+    )
+    plain = PlainRunner(env.system.plain_replica())
+    results: Dict[int, Dict[str, float]] = {}
+    per_type = max(1, queries_per_workload // 4)
+    for window in windows:
+        workload = env.generator.mixed(window, per_type=per_type)
+        row: Dict[str, float] = {}
+        plain_metrics = plain.run(workload)
+        row["Plain"] = plain_metrics.avg_s
+        for mode in modes:
+            client = env.system.make_client(mode)
+            metrics = run_workload(client, workload)
+            row[MODE_LABELS[mode]] = metrics.avg_latency_s
+        results[window] = row
+    return {"windows": results}
+
+
+def render(results: Dict) -> str:
+    by_window = results["windows"]
+    labels = list(next(iter(by_window.values())).keys())
+    headers = ["window(h)"] + labels + [
+        f"{label}/Plain" for label in labels if label != "Plain"
+    ]
+    rows = []
+    for window, row in sorted(by_window.items()):
+        cells = [str(window)]
+        cells += [fmt_seconds(row[label]) for label in labels]
+        plain = max(row["Plain"], 1e-9)
+        cells += [
+            f"{row[label] / plain:.1f}x"
+            for label in labels if label != "Plain"
+        ]
+        rows.append(cells)
+    return render_table(
+        headers, rows,
+        title="Fig. 12: Mixed-workload latency vs the ordinary "
+              "(unverified) engine",
+    )

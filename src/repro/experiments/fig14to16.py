@@ -1,0 +1,36 @@
+"""Figures 14-16 — query performance for the remaining workloads.
+
+The appendix counterpart of Figures 9-11, covering Q3, Q4, Q5, Q7, and
+Q8.  Same sweep, same metrics, same expected shapes (paper: Inter up to
+3.3x and Inter+Vbf up to 4.1x over Baseline; VBF saves 99.4% of check
+requests; VO below 10 MB at the paper's scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.client.vfs import QueryMode
+from repro.experiments import fig9to11
+
+DEFAULT_WORKLOADS = ["Q3", "Q4", "Q5", "Q7", "Q8"]
+
+
+def run(
+    workloads: List[str] = DEFAULT_WORKLOADS,
+    windows: Optional[List[int]] = None,
+    modes: Optional[List[QueryMode]] = None,
+    **kwargs,
+) -> Dict:
+    windows = windows if windows is not None else fig9to11.DEFAULT_WINDOWS
+    return fig9to11.run(
+        workloads=workloads, windows=windows, modes=modes, **kwargs
+    )
+
+
+def render(results: Dict) -> str:
+    return "\n\n".join([
+        fig9to11.render_fig9(results).replace("Fig. 9", "Fig. 14"),
+        fig9to11.render_fig10(results).replace("Fig. 10", "Fig. 15"),
+        fig9to11.render_fig11(results).replace("Fig. 11", "Fig. 16"),
+    ])

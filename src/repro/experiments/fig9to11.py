@@ -1,0 +1,146 @@
+"""Figures 9-11 — query performance for Q1, Q2, Q6, and Mixed.
+
+One sweep produces all three figures:
+
+* Fig. 9 — query latency, broken into *exec* (client computation) and
+  *net* (simulated transmission), per workload x window x mode;
+* Fig. 10 — client network requests, split into *page* retrievals and
+  freshness *check* requests;
+* Fig. 11 — consolidated-VO size per query.
+
+Expected shapes (paper): Inter and Inter+Vbf beat Baseline by small
+integer factors (up to 4.1x / 6.1x there), the VBF removes ~99% of
+check requests, network dominates latency except for Q1, and the VO
+stays far below page traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.client.vfs import QueryMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    MODE_LABELS,
+    WorkloadMetrics,
+    build_env,
+    fmt_bytes,
+    fmt_seconds,
+    render_table,
+    run_workload,
+)
+
+DEFAULT_WORKLOADS = ["Q1", "Q2", "Q6", "Mixed"]
+DEFAULT_WINDOWS = [3, 6, 12, 24, 48]
+
+
+def run(
+    workloads: List[str] = DEFAULT_WORKLOADS,
+    windows: List[int] = DEFAULT_WINDOWS,
+    modes: Optional[List[QueryMode]] = None,
+    hours: int = 56,
+    txs_per_block: int = 8,
+    queries_per_workload: int = 20,
+) -> Dict:
+    """Run the sweep; returns {workload: {window: {mode: metrics}}}."""
+    modes = modes if modes is not None else ALL_MODES
+    env = build_env(
+        hours=hours,
+        txs_per_block=txs_per_block,
+        queries_per_workload=queries_per_workload,
+    )
+    results: Dict[str, Dict[int, Dict[str, WorkloadMetrics]]] = {}
+    for workload_name in workloads:
+        results[workload_name] = {}
+        for window in windows:
+            if workload_name == "Mixed":
+                per_type = max(1, queries_per_workload // 4)
+                workload = env.generator.mixed(window, per_type=per_type)
+            else:
+                workload = env.generator.workload(workload_name, window)
+            per_mode: Dict[str, WorkloadMetrics] = {}
+            for mode in modes:
+                # A fresh client per (workload, window, mode) cell, as in
+                # the paper: the inter-query cache warms up *within* the
+                # 20-query workload.
+                client = env.system.make_client(mode)
+                per_mode[MODE_LABELS[mode]] = run_workload(
+                    client, workload
+                )
+            results[workload_name][window] = per_mode
+    return results
+
+
+def render_fig9(results: Dict) -> str:
+    """Latency table (exec + net per query, averaged)."""
+    sections = []
+    for workload_name, by_window in results.items():
+        headers = ["window(h)"]
+        modes = list(next(iter(by_window.values())).keys())
+        for mode in modes:
+            headers += [f"{mode} total", f"{mode} exec", f"{mode} net"]
+        rows = []
+        for window, per_mode in sorted(by_window.items()):
+            row = [str(window)]
+            for mode in modes:
+                m = per_mode[mode]
+                row += [
+                    fmt_seconds(m.avg_latency_s),
+                    fmt_seconds(m.avg_exec_s),
+                    fmt_seconds(m.avg_net_s),
+                ]
+            rows.append(row)
+        sections.append(render_table(
+            headers, rows,
+            title=f"Fig. 9 [{workload_name}]: avg query latency",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_fig10(results: Dict) -> str:
+    """Network-request table (page + check, totals per workload run)."""
+    sections = []
+    for workload_name, by_window in results.items():
+        headers = ["window(h)"]
+        modes = list(next(iter(by_window.values())).keys())
+        for mode in modes:
+            headers += [f"{mode} page", f"{mode} check"]
+        rows = []
+        for window, per_mode in sorted(by_window.items()):
+            row = [str(window)]
+            for mode in modes:
+                m = per_mode[mode]
+                row += [str(m.page_requests), str(m.check_requests)]
+            rows.append(row)
+        sections.append(render_table(
+            headers, rows,
+            title=f"Fig. 10 [{workload_name}]: network requests "
+                  "(workload total)",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_fig11(results: Dict) -> str:
+    """VO-size table (average per query)."""
+    sections = []
+    for workload_name, by_window in results.items():
+        modes = list(next(iter(by_window.values())).keys())
+        headers = ["window(h)"] + [f"{m} VO" for m in modes]
+        rows = []
+        for window, per_mode in sorted(by_window.items()):
+            rows.append(
+                [str(window)]
+                + [fmt_bytes(per_mode[m].avg_vo_bytes) for m in modes]
+            )
+        sections.append(render_table(
+            headers, rows,
+            title=f"Fig. 11 [{workload_name}]: avg VO size per query",
+        ))
+    return "\n\n".join(sections)
+
+
+def render(results: Dict) -> str:
+    return "\n\n".join(
+        [render_fig9(results), render_fig10(results),
+         render_fig11(results)]
+    )

@@ -1,0 +1,173 @@
+"""Shared experiment machinery.
+
+``build_env`` constructs (and memoizes, per process) a fully ingested
+system covering a given number of simulated hours; ``run_workload``
+replays a workload through a client and aggregates the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.client.query_client import QueryClient
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.workloads.generator import Workload, WorkloadGenerator
+
+#: Labels used throughout the experiment tables.
+MODE_LABELS = {
+    QueryMode.BASELINE: "Baseline",
+    QueryMode.INTRA: "Intra",
+    QueryMode.INTER: "Inter",
+    QueryMode.INTER_VBF: "Inter+Vbf",
+}
+
+ALL_MODES = [
+    QueryMode.BASELINE,
+    QueryMode.INTRA,
+    QueryMode.INTER,
+    QueryMode.INTER_VBF,
+]
+
+
+@dataclass
+class ExperimentEnv:
+    """A built system plus its workload generator."""
+
+    system: V2FSSystem
+    generator: WorkloadGenerator
+    hours: int
+
+
+_ENV_CACHE: Dict[Tuple, ExperimentEnv] = {}
+
+
+def build_env(
+    hours: int = 56,
+    txs_per_block: int = 8,
+    seed: int = 7,
+    queries_per_workload: int = 20,
+    use_cache: bool = True,
+) -> ExperimentEnv:
+    """Build (or reuse) a system with ``hours`` of two-chain history.
+
+    One simulated hour is one block per chain, so the paper's 3-48 h
+    query windows are 3-48 blocks deep.
+    """
+    key = (hours, txs_per_block, seed, queries_per_workload)
+    if use_cache and key in _ENV_CACHE:
+        return _ENV_CACHE[key]
+    system = V2FSSystem(
+        SystemConfig(seed=seed, txs_per_block=txs_per_block)
+    )
+    system.advance_all(hours)
+    generator = WorkloadGenerator(
+        system.universe,
+        system.config.start_time,
+        system.latest_time,
+        seed=seed + 1,
+        queries_per_workload=queries_per_workload,
+    )
+    env = ExperimentEnv(system=system, generator=generator, hours=hours)
+    if use_cache:
+        _ENV_CACHE[key] = env
+    return env
+
+
+def clear_env_cache() -> None:
+    _ENV_CACHE.clear()
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated per-workload metrics (averages are per query)."""
+
+    workload: str
+    mode: str
+    queries: int = 0
+    exec_s: float = 0.0
+    net_s: float = 0.0
+    page_requests: int = 0
+    check_requests: int = 0
+    vo_bytes: int = 0
+    bytes_transferred: int = 0
+
+    @property
+    def latency_s(self) -> float:
+        return self.exec_s + self.net_s
+
+    @property
+    def avg_latency_s(self) -> float:
+        return self.latency_s / max(1, self.queries)
+
+    @property
+    def avg_exec_s(self) -> float:
+        return self.exec_s / max(1, self.queries)
+
+    @property
+    def avg_net_s(self) -> float:
+        return self.net_s / max(1, self.queries)
+
+    @property
+    def avg_vo_bytes(self) -> float:
+        return self.vo_bytes / max(1, self.queries)
+
+
+def run_workload(
+    client: QueryClient,
+    workload: Workload,
+    mode_label: Optional[str] = None,
+) -> WorkloadMetrics:
+    """Run every query of ``workload`` through ``client``; aggregate."""
+    metrics = WorkloadMetrics(
+        workload=workload.name,
+        mode=mode_label or MODE_LABELS.get(client.mode, str(client.mode)),
+    )
+    for sql in workload.queries:
+        result = client.query(sql)
+        metrics.queries += 1
+        metrics.exec_s += result.stats.exec_s
+        metrics.net_s += result.stats.net_s
+        metrics.page_requests += result.stats.page_requests
+        metrics.check_requests += result.stats.check_requests
+        metrics.vo_bytes += result.stats.vo_bytes
+        metrics.bytes_transferred += result.stats.bytes_transferred
+    return metrics
+
+
+def render_table(
+    headers: List[str], rows: List[List[str]], title: str = ""
+) -> str:
+    """Plain-text aligned table used by every experiment's ``render``."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def fmt_bytes(count: float) -> str:
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.2f}MB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.1f}KB"
+    return f"{count:.0f}B"

@@ -1,0 +1,11 @@
+"""Indexing Service Provider (ISP).
+
+The untrusted party that stores the indexed multi-chain database and
+serves pages, freshness checks, certificates, and consolidated VOs to
+query clients (Figure 4, steps 3 and 7-10 of the paper).
+"""
+
+from repro.isp.server import IspServer, IspSession
+from repro.isp.vo import VOBuilder
+
+__all__ = ["IspServer", "IspSession", "VOBuilder"]

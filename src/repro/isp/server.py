@@ -1,0 +1,166 @@
+"""The ISP server.
+
+Maintains a replica of the authenticated database (synchronized
+deterministically from the V2FS CI's write batches, per the paper's
+footnote on non-deterministic engines) and serves query clients:
+
+* ``get_certificate`` — the latest ``C_V2FS`` (step 7);
+* ``open_session`` — pins a query to the certificate's snapshot root, so
+  concurrent updates never break an in-flight query (the ADS keeps the
+  previous version readable — the paper's MVCC);
+* ``get_file_meta`` / ``get_page`` — metadata and page service (steps
+  8-9);
+* ``validate_path`` — the ISP side of Algorithm 5's freshness check;
+* ``finalize_session`` — the consolidated VO (step 10).
+
+The ISP is *untrusted*: nothing here is assumed correct by the client,
+which verifies every response against the certificate.  Subclasses in the
+test suite override methods to model malicious behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.hashing import Digest
+from repro.errors import NetworkError, StorageError
+from repro.isp.vo import VOBuilder
+from repro.merkle import page_tree
+from repro.merkle.ads import V2fsAds
+from repro.merkle.proof import AdsProof
+
+
+class IspSession:
+    """Server-side state of one query: pinned root + claim accumulator."""
+
+    def __init__(self, session_id: int, ads: V2fsAds, root: Digest,
+                 certificate: V2fsCertificate) -> None:
+        self.session_id = session_id
+        self.root = root
+        self.certificate = certificate
+        self.vo = VOBuilder(ads, root)
+
+
+#: validate_path responses: a confirmed-fresh node, or the updated page.
+FreshMatch = Tuple[str, int, int, Digest]   # ("fresh", level, index, digest)
+PageReply = Tuple[str, bytes]               # ("page", data)
+
+
+class IspServer:
+    """The indexing service provider."""
+
+    def __init__(self) -> None:
+        self.ads = V2fsAds()
+        self.root = self.ads.root
+        self.certificate: Optional[V2fsCertificate] = None
+        self._sessions: Dict[int, IspSession] = {}
+        self._session_ids = itertools.count(1)
+        self._previous_root: Optional[Digest] = None
+
+    # ------------------------------------------------------------------
+    # Synchronization from the CI (step 3 / footnote 1)
+    # ------------------------------------------------------------------
+
+    def sync_update(
+        self,
+        writes: Dict[str, Dict[int, bytes]],
+        new_sizes: Dict[str, int],
+        certificate: V2fsCertificate,
+    ) -> None:
+        """Apply the CI's write batch and adopt the new certificate."""
+        if writes:
+            new_root = self.ads.apply_writes(self.root, writes, new_sizes)
+        else:
+            new_root = self.root
+        if new_root != certificate.ads_root:
+            raise StorageError(
+                "synchronized update does not match the certified root"
+            )
+        self._previous_root = self.root
+        self.root = new_root
+        self.certificate = certificate
+        # Old pages stay readable for in-flight sessions on the previous
+        # root; everything older is pruned (the paper's snapshot cleanup).
+        live = [self.root]
+        if self._previous_root is not None:
+            live.append(self._previous_root)
+        live.extend(s.root for s in self._sessions.values())
+        self.ads.prune(live)
+
+    # ------------------------------------------------------------------
+    # Client-facing service
+    # ------------------------------------------------------------------
+
+    def get_certificate(self) -> V2fsCertificate:
+        if self.certificate is None:
+            raise NetworkError("ISP has no certificate yet")
+        return self.certificate
+
+    def open_session(self) -> int:
+        certificate = self.get_certificate()
+        session = IspSession(
+            next(self._session_ids), self.ads, self.root, certificate
+        )
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    def _session(self, session_id: int) -> IspSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise NetworkError(f"unknown session {session_id}") from None
+
+    def get_file_meta(
+        self, session_id: int, path: str
+    ) -> Tuple[bool, int, int]:
+        """Return (exists, size, page_count) under the session snapshot."""
+        session = self._session(session_id)
+        if not self.ads.file_exists(session.root, path):
+            return False, 0, 0
+        node = self.ads.file_node(session.root, path)
+        session.vo.add_file(path)
+        return True, node.size, node.page_count
+
+    def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
+        session = self._session(session_id)
+        page = self.ads.get_page(session.root, path, page_id)
+        session.vo.add_page(path, page_id)
+        return page
+
+    def validate_path(
+        self,
+        session_id: int,
+        path: str,
+        page_id: int,
+        digs_path: List[Tuple[int, int, Digest]],
+    ) -> Union[FreshMatch, PageReply]:
+        """Algorithm 5, ISP side.
+
+        ``digs_path`` lists (level, index, digest) top-down for the
+        requested page's cached ancestors.  The first digest matching the
+        current ADS confirms freshness of its whole subtree; otherwise the
+        current page is returned.
+        """
+        session = self._session(session_id)
+        node = self.ads.file_node(session.root, path)
+        height = page_tree.height_for(node.page_count)
+        for level, index, digest in digs_path:
+            if level > height:
+                continue
+            current = page_tree.node_digest(
+                self.ads.store, node.tree_root, node.page_count,
+                level, index,
+            )
+            if current == digest:
+                session.vo.add_node(path, level, index)
+                return ("fresh", level, index, digest)
+        page = self.ads.get_page(session.root, path, page_id)
+        session.vo.add_page(path, page_id)
+        return ("page", page)
+
+    def finalize_session(self, session_id: int) -> AdsProof:
+        """Build and return the consolidated VO; closes the session."""
+        session = self._sessions.pop(session_id)
+        return session.vo.build()

@@ -1,0 +1,44 @@
+"""Merkle-based Authenticated Data Structure (ADS) for V2FS.
+
+The ADS is the two-layer structure of Section IV-A of the paper:
+
+* a **lower-layer** complete binary Merkle tree over the 4 KiB pages of each
+  file (:mod:`repro.merkle.page_tree`), and
+* an **upper-layer** Merkle trie over ``/``-separated file-path segments
+  (:mod:`repro.merkle.path_trie`).
+
+All nodes live in a content-addressed :class:`~repro.merkle.node_store.NodeStore`,
+so every root digest identifies an immutable snapshot of the whole filesystem.
+This is how the paper's multiversion concurrency control is realized: updates
+produce a new root while old roots remain fully readable until pruned.
+
+:mod:`repro.merkle.ads` exposes the high-level facade used by the rest of the
+system, and :mod:`repro.merkle.proof` defines the (consolidated) proof objects
+that travel between ISP, client, and enclave.
+"""
+
+from repro.merkle.ads import AdsError, V2fsAds
+from repro.merkle.node_store import (
+    DirNode,
+    FileNode,
+    NodeStore,
+    PageData,
+    PairNode,
+)
+from repro.merkle.persistent_store import PersistentNodeStore
+from repro.merkle.proof import AdsProof, FileProof, TrieProofNode, WriteProof
+
+__all__ = [
+    "AdsError",
+    "AdsProof",
+    "DirNode",
+    "FileNode",
+    "FileProof",
+    "NodeStore",
+    "PageData",
+    "PairNode",
+    "PersistentNodeStore",
+    "TrieProofNode",
+    "V2fsAds",
+    "WriteProof",
+]

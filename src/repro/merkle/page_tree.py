@@ -1,0 +1,351 @@
+"""Lower-layer complete binary Merkle tree over a file's pages.
+
+Positions in the tree are addressed as ``(level, index)``: level 0 holds the
+leaves (page digests, one per page id), and level ``height`` holds the single
+root.  A tree over ``n`` pages has capacity ``2^ceil(log2 n)``; missing
+leaves are filled with the canonical :data:`EMPTY` digest for their level,
+so growing a file past a power of two simply pairs the old root with a known
+all-empty subtree digest.
+
+Three families of operations are provided:
+
+* **storage-side** construction and update (:func:`build_tree`,
+  :func:`write_pages`) for parties that hold the full
+  :class:`~repro.merkle.node_store.NodeStore` (the ISP and the CI's
+  outside-enclave storage layer);
+* **multiproof** generation and verification (:func:`gen_multiproof`,
+  :func:`reconstruct_root`) used for read proofs and consolidated VOs; and
+* **proof-driven update** (:func:`updated_root_from_proof`) used *inside*
+  the simulated enclave, which must recompute the new root from ``pi_w``
+  without access to the full tree (Algorithm 3, line 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.crypto.hashing import Digest, hash_bytes, hash_pair
+from repro.errors import ProofError, StorageError
+from repro.merkle.node_store import NodeStore, PairNode
+
+#: A tree position: (level, index).  Level 0 = leaves.
+Position = Tuple[int, int]
+
+_MAX_HEIGHT = 64
+
+#: EMPTY[h] is the digest of a complete all-empty subtree of height ``h``.
+EMPTY: List[Digest] = [hash_bytes(b"v2fs-empty-page")]
+for _h in range(_MAX_HEIGHT):
+    EMPTY.append(hash_pair(EMPTY[-1], EMPTY[-1]))
+
+
+def capacity_for(page_count: int) -> int:
+    """Return the leaf capacity (a power of two, minimum 1) for a file."""
+    if page_count <= 1:
+        return 1
+    return 1 << (page_count - 1).bit_length()
+
+
+def height_for(page_count: int) -> int:
+    """Return the tree height for a file with ``page_count`` pages."""
+    return capacity_for(page_count).bit_length() - 1
+
+
+def build_tree(
+    store: NodeStore, leaf_digests: List[Digest]
+) -> Digest:
+    """Build a page tree from scratch and return its root digest.
+
+    Leaf digests must already identify nodes in ``store`` (normally
+    :class:`~repro.merkle.node_store.PageData` entries).  Padding positions
+    use :data:`EMPTY` digests, which are *not* stored — navigation treats
+    them structurally.
+    """
+    if not leaf_digests:
+        return EMPTY[0]
+    cap = capacity_for(len(leaf_digests))
+    level = list(leaf_digests) + [EMPTY[0]] * (cap - len(leaf_digests))
+    height = 0
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level), 2):
+            left, right = level[i], level[i + 1]
+            if left == EMPTY[height] and right == EMPTY[height]:
+                next_level.append(EMPTY[height + 1])
+            else:
+                next_level.append(store.put(PairNode(left, right)))
+        level = next_level
+        height += 1
+    return level[0]
+
+
+def node_digest(
+    store: NodeStore,
+    root: Digest,
+    page_count: int,
+    level: int,
+    index: int,
+) -> Digest:
+    """Return the digest at ``(level, index)`` in the tree under ``root``."""
+    height = height_for(page_count)
+    if not 0 <= level <= height:
+        raise StorageError(f"level {level} out of range (height {height})")
+    if not 0 <= index < (1 << (height - level)):
+        raise StorageError(f"index {index} out of range at level {level}")
+    digest = root
+    current = height
+    while current > level:
+        bit = (index >> (current - level - 1)) & 1
+        if digest == EMPTY[current]:
+            digest = EMPTY[current - 1]
+        else:
+            node = store.get_pair(digest)
+            digest = node.right if bit else node.left
+        current -= 1
+    return digest
+
+
+def leaf_digest(
+    store: NodeStore, root: Digest, page_count: int, page_id: int
+) -> Digest:
+    """Return the digest of page ``page_id`` (a level-0 position)."""
+    return node_digest(store, root, page_count, 0, page_id)
+
+
+def write_pages(
+    store: NodeStore,
+    old_root: Digest,
+    old_page_count: int,
+    writes: Mapping[int, Digest],
+    new_page_count: int,
+) -> Digest:
+    """Apply page writes on the storage side and return the new root.
+
+    ``writes`` maps page ids to new leaf digests.  The tree grows to the
+    capacity required by ``new_page_count``; unchanged subtrees are shared
+    with the old version (no copying).
+    """
+    if new_page_count < old_page_count:
+        raise StorageError("page trees do not support truncation")
+    for pid in writes:
+        if pid >= new_page_count:
+            raise StorageError(f"write to page {pid} beyond new page count")
+    if new_page_count == 0:
+        return EMPTY[0]
+
+    new_height = height_for(new_page_count)
+    old_height = height_for(old_page_count)
+    old_cap = capacity_for(old_page_count)
+
+    def old_digest_at(level: int, index: int) -> Digest:
+        """Old-tree digest at a *new-tree* position, EMPTY where absent."""
+        first_leaf = index << level
+        if old_page_count == 0 or first_leaf >= old_cap:
+            return EMPTY[level]
+        if level > old_height:
+            # Covers more than the whole old tree: old root padded upward.
+            # The pad nodes are stored so later navigation can descend
+            # through them.
+            digest = old_root
+            for h in range(old_height, level):
+                digest = store.put(PairNode(digest, EMPTY[h]))
+            return digest
+        return node_digest(store, old_root, old_page_count, level, index)
+
+    def rebuild(level: int, index: int) -> Digest:
+        first = index << level
+        last = ((index + 1) << level) - 1
+        touched = any(first <= pid <= last for pid in writes)
+        if not touched:
+            return old_digest_at(level, index)
+        if level == 0:
+            return writes[index]
+        left = rebuild(level - 1, index * 2)
+        right = rebuild(level - 1, index * 2 + 1)
+        if left == EMPTY[level - 1] and right == EMPTY[level - 1]:
+            return EMPTY[level]
+        return store.put(PairNode(left, right))
+
+    return rebuild(new_height, 0)
+
+
+def gen_multiproof(
+    store: NodeStore,
+    root: Digest,
+    page_count: int,
+    targets: Iterable[Position],
+) -> Dict[Position, Digest]:
+    """Return sibling digests needed to climb from ``targets`` to the root.
+
+    ``targets`` may mix leaf positions and internal positions (the latter
+    arise from the inter-query cache, where a whole fresh subtree is
+    represented by its root digest).  The proof contains, for every level
+    on some target's path to the root, the sibling digests that the
+    verifier cannot derive from the targets themselves.
+    """
+    height = height_for(page_count)
+    levels: List[Set[int]] = [set() for _ in range(height + 1)]
+    for level, index in targets:
+        if not 0 <= level <= height:
+            raise StorageError(f"target level {level} out of range")
+        levels[level].add(index)
+    proof: Dict[Position, Digest] = {}
+    for level in range(height):
+        for index in list(levels[level]):
+            levels[level + 1].add(index // 2)
+        for index in list(levels[level]):
+            sibling = index ^ 1
+            if sibling not in levels[level]:
+                proof[(level, sibling)] = node_digest(
+                    store, root, page_count, level, sibling
+                )
+                levels[level].add(sibling)
+    return proof
+
+
+def reconstruct_root(
+    targets: Mapping[Position, Digest],
+    proof: Mapping[Position, Digest],
+    page_count: int,
+    assume_empty_from: Optional[int] = None,
+) -> Digest:
+    """Climb from ``targets`` to the root using ``proof`` siblings."""
+    root, _ = reconstruct_with_values(
+        targets, proof, page_count, assume_empty_from
+    )
+    return root
+
+
+def reconstruct_with_values(
+    targets: Mapping[Position, Digest],
+    proof: Mapping[Position, Digest],
+    page_count: int,
+    assume_empty_from: Optional[int] = None,
+) -> Tuple[Digest, Dict[Position, Digest]]:
+    """Climb from ``targets`` to the root using ``proof`` siblings.
+
+    Returns the derived root and the full map of node digests computed
+    along the way (targets, proof siblings, and derived internals) —
+    callers such as the inter-query cache harvest these as authenticated
+    ancestor digests.
+
+    Raises :class:`~repro.errors.ProofError` if a needed sibling is missing
+    or if a derived digest conflicts with a provided one (inconsistent
+    proof).  ``assume_empty_from`` — used during proof-driven updates —
+    declares that any node whose covered leaf range starts at or beyond
+    that leaf index was all-empty, so its digest is EMPTY for its level.
+    """
+    height = height_for(page_count)
+    values: Dict[Position, Digest] = {}
+
+    def set_value(pos: Position, digest: Digest) -> None:
+        existing = values.get(pos)
+        if existing is not None and existing != digest:
+            raise ProofError(f"conflicting digests at {pos}")
+        values[pos] = digest
+
+    for pos, digest in targets.items():
+        set_value(pos, digest)
+    for pos, digest in proof.items():
+        set_value(pos, digest)
+
+    def lookup(level: int, index: int) -> Digest:
+        digest = values.get((level, index))
+        if digest is not None:
+            return digest
+        if assume_empty_from is not None and (index << level) >= assume_empty_from:
+            return EMPTY[level]
+        raise ProofError(f"missing sibling at level {level}, index {index}")
+
+    pending: Set[int] = {i for (lv, i) in targets if lv == 0}
+    for level in range(height):
+        pending.update(i for (lv, i) in values if lv == level)
+        parents: Set[int] = set()
+        for index in pending:
+            parents.add(index // 2)
+        next_pending: Set[int] = set()
+        for parent in parents:
+            left = lookup(level, parent * 2)
+            right = lookup(level, parent * 2 + 1)
+            set_value((level + 1, parent), hash_pair(left, right))
+            next_pending.add(parent)
+        pending = next_pending
+    if height == 0:
+        # Single-leaf tree: the root *is* the leaf.
+        root = values.get((0, 0))
+    else:
+        root = values.get((height, 0))
+    if root is None:
+        raise ProofError("proof produced no root digest")
+    return root, values
+
+
+def verify_multiproof(
+    targets: Mapping[Position, Digest],
+    proof: Mapping[Position, Digest],
+    page_count: int,
+    expected_root: Digest,
+) -> None:
+    """Verify that ``targets`` are consistent with ``expected_root``."""
+    root = reconstruct_root(targets, proof, page_count)
+    if root != expected_root:
+        raise ProofError("page-tree root mismatch")
+
+
+def updated_root_from_proof(
+    old_root: Digest,
+    old_page_count: int,
+    old_leaves: Mapping[int, Digest],
+    proof: Mapping[Position, Digest],
+    new_leaves: Mapping[int, Digest],
+    new_page_count: int,
+) -> Digest:
+    """Recompute the new root from a write proof, inside the enclave.
+
+    ``old_leaves`` holds the pre-update digests of every written page that
+    existed before (pages at or beyond the old capacity are implicitly
+    EMPTY).  The function first authenticates ``proof`` against
+    ``old_root`` using the old digests, then substitutes ``new_leaves``
+    and re-climbs at the (possibly larger) new capacity — this is the
+    paper's Algorithm 3 line 6.
+    """
+    if new_page_count < old_page_count:
+        raise ProofError("page trees do not support truncation")
+    old_cap = capacity_for(old_page_count)
+
+    # Pass A: authenticate the proof against the old root.
+    if old_page_count == 0:
+        if old_root != EMPTY[0]:
+            raise ProofError("empty file must have the EMPTY root")
+    else:
+        auth_targets = {
+            (0, pid): digest
+            for pid, digest in old_leaves.items()
+            if pid < old_cap
+        }
+        for pid in new_leaves:
+            if pid < old_cap and pid not in old_leaves:
+                raise ProofError(f"missing old digest for written page {pid}")
+        if auth_targets:
+            old_proof = {
+                pos: digest for pos, digest in proof.items()
+                if (pos[1] << pos[0]) < old_cap
+            }
+            derived = reconstruct_root(
+                auth_targets, old_proof, old_page_count
+            )
+            if derived != old_root:
+                raise ProofError("write proof does not match old root")
+
+    # Pass B: substitute the new digests and climb at the new capacity.
+    new_targets = {(0, pid): digest for pid, digest in new_leaves.items()}
+    seed_proof: Dict[Position, Digest] = dict(proof)
+    if old_page_count > 0 and all(pid >= old_cap for pid in new_leaves):
+        # The entire old tree is untouched: it appears as one sibling.
+        seed_proof[(height_for(old_page_count), 0)] = old_root
+    return reconstruct_root(
+        new_targets,
+        seed_proof,
+        new_page_count,
+        assume_empty_from=old_cap if old_page_count > 0 else 0,
+    )

@@ -1,0 +1,229 @@
+"""Disk-backed node store — the reproduction's RocksDB.
+
+The paper persists ADS nodes in RocksDB; this module provides the
+equivalent durability with a dependency-free design: an append-only log
+file plus an in-memory digest → offset index rebuilt on open.  Because
+nodes are content-addressed and immutable, the log needs no update-in-
+place, and ``prune`` compacts it by rewriting only live records.
+
+Record format::
+
+    [digest:32][kind:1][payload_len:4][payload]
+
+Payload encodings per node kind mirror the in-memory dataclasses.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, Iterable, Set
+
+from repro.crypto.hashing import Digest
+from repro.errors import StorageError
+from repro.merkle.node_store import (
+    DirNode,
+    FileNode,
+    Node,
+    NodeStore,
+    PageData,
+    PairNode,
+)
+
+_KIND_PAIR = 1
+_KIND_PAGE = 2
+_KIND_DIR = 3
+_KIND_FILE = 4
+
+_HEADER = struct.Struct(">32sBI")
+
+
+def _encode_node(node: Node) -> "tuple[int, bytes]":
+    if isinstance(node, PairNode):
+        return _KIND_PAIR, node.left + node.right
+    if isinstance(node, PageData):
+        return _KIND_PAGE, node.data
+    if isinstance(node, DirNode):
+        parts = [struct.pack(">H", len(node.segment.encode("utf-8")))]
+        parts.append(node.segment.encode("utf-8"))
+        parts.append(struct.pack(">I", len(node.children)))
+        for name, digest in node.children:
+            raw = name.encode("utf-8")
+            parts.append(struct.pack(">H", len(raw)))
+            parts.append(raw)
+            parts.append(digest)
+        return _KIND_DIR, b"".join(parts)
+    if isinstance(node, FileNode):
+        raw = node.segment.encode("utf-8")
+        return _KIND_FILE, (
+            struct.pack(">H", len(raw)) + raw + node.tree_root
+            + struct.pack(">QQ", node.size, node.page_count)
+        )
+    raise StorageError(f"unknown node type {type(node).__name__}")
+
+
+def _decode_node(kind: int, payload: bytes) -> Node:
+    if kind == _KIND_PAIR:
+        return PairNode(payload[:32], payload[32:64])
+    if kind == _KIND_PAGE:
+        return PageData(payload)
+    if kind == _KIND_DIR:
+        (seg_len,) = struct.unpack_from(">H", payload, 0)
+        offset = 2
+        segment = payload[offset:offset + seg_len].decode("utf-8")
+        offset += seg_len
+        (count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        children = []
+        for _ in range(count):
+            (name_len,) = struct.unpack_from(">H", payload, offset)
+            offset += 2
+            name = payload[offset:offset + name_len].decode("utf-8")
+            offset += name_len
+            children.append((name, payload[offset:offset + 32]))
+            offset += 32
+        return DirNode(segment, tuple(children))
+    if kind == _KIND_FILE:
+        (seg_len,) = struct.unpack_from(">H", payload, 0)
+        offset = 2
+        segment = payload[offset:offset + seg_len].decode("utf-8")
+        offset += seg_len
+        tree_root = payload[offset:offset + 32]
+        offset += 32
+        size, page_count = struct.unpack_from(">QQ", payload, offset)
+        return FileNode(segment, tree_root, size, page_count)
+    raise StorageError(f"unknown node kind {kind}")
+
+
+class PersistentNodeStore(NodeStore):
+    """A :class:`NodeStore` whose nodes live in an append-only log file.
+
+    Safe to reopen: the constructor scans the log to rebuild the index,
+    truncating a torn tail record (crash during append) rather than
+    failing.  Reads go to disk (with a small decoded-node cache), so the
+    working set is not memory-bound.
+    """
+
+    def __init__(self, path: str, cache_nodes: int = 4096) -> None:
+        self._path = path
+        self._offsets: Dict[Digest, int] = {}
+        self._cache: Dict[Digest, Node] = {}
+        self._cache_limit = cache_nodes
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._log = open(path, mode)
+        self._scan()
+
+    # -- log management ---------------------------------------------------
+
+    def _scan(self) -> None:
+        self._log.seek(0, os.SEEK_END)
+        end = self._log.tell()
+        self._log.seek(0)
+        position = 0
+        while position + _HEADER.size <= end:
+            header = self._log.read(_HEADER.size)
+            digest, kind, length = _HEADER.unpack(header)
+            if position + _HEADER.size + length > end:
+                break  # torn tail record
+            self._offsets[digest] = position
+            self._log.seek(length, os.SEEK_CUR)
+            position += _HEADER.size + length
+        if position < end:
+            self._log.truncate(position)
+        self._log.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        self._log.close()
+
+    def __enter__(self) -> "PersistentNodeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- NodeStore interface ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, digest: Digest) -> bool:
+        return digest in self._offsets
+
+    def put(self, node: Node) -> Digest:
+        digest = node.digest()
+        if digest in self._offsets:
+            return digest
+        kind, payload = _encode_node(node)
+        self._log.seek(0, os.SEEK_END)
+        position = self._log.tell()
+        self._log.write(_HEADER.pack(digest, kind, len(payload)))
+        self._log.write(payload)
+        self._log.flush()
+        self._offsets[digest] = position
+        self._remember(digest, node)
+        return digest
+
+    def get(self, digest: Digest) -> Node:
+        node = self._cache.get(digest)
+        if node is not None:
+            return node
+        offset = self._offsets.get(digest)
+        if offset is None:
+            raise StorageError(
+                f"unknown node digest {digest.hex()[:16]}…"
+            )
+        self._log.seek(offset)
+        header = self._log.read(_HEADER.size)
+        _, kind, length = _HEADER.unpack(header)
+        node = _decode_node(kind, self._log.read(length))
+        self._remember(digest, node)
+        return node
+
+    def _remember(self, digest: Digest, node: Node) -> None:
+        if len(self._cache) >= self._cache_limit:
+            self._cache.clear()
+        self._cache[digest] = node
+
+    def reachable(self, roots: Iterable[Digest]) -> Set[Digest]:
+        seen: Set[Digest] = set()
+        stack = [r for r in roots if r in self._offsets]
+        while stack:
+            digest = stack.pop()
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if digest not in self._offsets:
+                continue
+            node = self.get(digest)
+            if isinstance(node, PairNode):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, DirNode):
+                stack.extend(d for _, d in node.children)
+            elif isinstance(node, FileNode):
+                stack.append(node.tree_root)
+        return seen
+
+    def prune(self, live_roots: Iterable[Digest]) -> int:
+        """Compact the log, keeping only nodes reachable from the roots."""
+        # reachable() may include structural EMPTY-padding digests that
+        # are never stored; compaction keeps only stored live nodes.
+        live = self.reachable(live_roots) & set(self._offsets)
+        dead = len(self._offsets) - len(live)
+        if dead == 0:
+            return 0
+        temp_path = self._path + ".compact"
+        with open(temp_path, "wb") as out:
+            offsets: Dict[Digest, int] = {}
+            for digest in live:
+                node = self.get(digest)
+                kind, payload = _encode_node(node)
+                offsets[digest] = out.tell()
+                out.write(_HEADER.pack(digest, kind, len(payload)))
+                out.write(payload)
+        self._log.close()
+        os.replace(temp_path, self._path)
+        self._log = open(self._path, "r+b")
+        self._offsets = offsets
+        self._cache.clear()
+        self._log.seek(0, os.SEEK_END)
+        return dead

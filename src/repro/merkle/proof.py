@@ -1,0 +1,365 @@
+"""Proof objects exchanged between the ISP, the client, and the enclave.
+
+Two proof families exist:
+
+* :class:`AdsProof` — a **consolidated** read proof (the paper's VO /
+  ``pi_q`` and the maintenance ``pi_r``): an expanded trie skeleton plus one
+  page-tree multiproof per touched file.  Verifying it (see
+  :meth:`repro.merkle.ads.V2fsAds.verify_read_proof`) authenticates a set of
+  claimed page digests and internal-node digests against a single ADS root.
+
+* :class:`WriteProof` — the maintenance ``pi_w``: an :class:`AdsProof`
+  extended with the *old* digests of every overwritten page, which lets the
+  enclave authenticate the old state and then recompute the new root from
+  the substituted page digests (Algorithm 3).
+
+All proofs have a compact binary encoding; ``len(proof.encode())`` is the VO
+size reported in the paper's Figures 11 and 16.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.crypto.hashing import DIGEST_SIZE, Digest, hash_concat
+from repro.errors import ProofError
+from repro.merkle.node_store import DirNode, FileNode, NodeStore
+from repro.merkle.page_tree import Position
+from repro.merkle.path_trie import ROOT_SEGMENT, join_path, split_path
+
+
+@dataclass
+class ProofFile:
+    """An expanded file leaf in a trie proof skeleton."""
+
+    segment: str
+    tree_root: Digest
+    size: int
+    page_count: int
+
+    def digest(self) -> Digest:
+        return FileNode(
+            self.segment, self.tree_root, self.size, self.page_count
+        ).digest()
+
+
+@dataclass
+class ProofDir:
+    """An expanded directory in a trie proof skeleton.
+
+    ``children`` pairs each child segment with either a nested expanded
+    node (on some proven path) or an opaque child digest.
+    """
+
+    segment: str
+    children: List[Tuple[str, Union["ProofDir", ProofFile, Digest]]]
+
+    def digest(self) -> Digest:
+        parts = [b"dir", self.segment.encode("utf-8")]
+        for name, child in self.children:
+            parts.append(name.encode("utf-8"))
+            if isinstance(child, (ProofDir, ProofFile)):
+                parts.append(child.digest())
+            else:
+                parts.append(child)
+        return hash_concat(parts)
+
+
+TrieProofNode = Union[ProofDir, ProofFile]
+
+
+def gen_trie_proof(
+    store: NodeStore,
+    root: Digest,
+    paths: List[str],
+    expand_dirs: List[str] = (),
+) -> ProofDir:
+    """Expand the trie skeleton covering ``paths`` under ``root``.
+
+    Every path in ``paths`` must exist in the snapshot and is expanded down
+    to its :class:`ProofFile`.  ``expand_dirs`` lists paths (typically of
+    files about to be *created*) whose existing directory prefix should be
+    expanded, so a verifier can authenticate non-membership and compute the
+    post-insertion root.  Children off all proven paths appear as opaque
+    digests; shared prefixes are expanded once.
+    """
+    target_sets = [split_path(p) for p in sorted(set(paths))]
+    prefix_sets = [split_path(p) for p in sorted(set(expand_dirs))]
+
+    def expand(
+        digest: Digest,
+        targets: List[Tuple[str, ...]],
+        prefixes: List[Tuple[str, ...]],
+    ) -> TrieProofNode:
+        node = store.get(digest)
+        if isinstance(node, FileNode):
+            return ProofFile(
+                node.segment, node.tree_root, node.size, node.page_count
+            )
+        if not isinstance(node, DirNode):
+            raise ProofError("unexpected node kind in trie")
+        children: List[Tuple[str, Union[ProofDir, ProofFile, Digest]]] = []
+        for name, child_digest in node.children:
+            sub_t = [s[1:] for s in targets if s and s[0] == name]
+            sub_p = [s[1:] for s in prefixes if s and s[0] == name]
+            if not sub_t and not sub_p:
+                children.append((name, child_digest))
+                continue
+            hit_here = any(len(s) == 0 for s in sub_t)
+            deeper = [s for s in sub_t if s]
+            if hit_here and deeper:
+                raise ProofError(f"path prefix conflict at {name!r}")
+            children.append(
+                (name, expand(child_digest, sub_t, [s for s in sub_p if s]))
+            )
+        return ProofDir(node.segment, children)
+
+    for segs in target_sets:
+        _assert_present(store, root, segs)
+    result = expand(root, target_sets, prefix_sets)
+    if not isinstance(result, ProofDir):
+        raise ProofError("trie root must be a directory")
+    return result
+
+
+def _assert_present(store, root, segments) -> None:
+    from repro.merkle import path_trie
+
+    path_trie.get_file(store, root, join_path(segments))
+
+
+def collect_proof_files(skeleton: ProofDir) -> Dict[str, ProofFile]:
+    """Return ``path -> ProofFile`` for every expanded file in a skeleton."""
+    found: Dict[str, ProofFile] = {}
+
+    def walk(node: TrieProofNode, prefix: Tuple[str, ...]) -> None:
+        if isinstance(node, ProofFile):
+            found[join_path(prefix)] = node
+            return
+        for name, child in node.children:
+            if isinstance(child, (ProofDir, ProofFile)):
+                walk(child, prefix + (name,))
+
+    walk(skeleton, ())
+    return found
+
+
+def skeleton_root_with_updates(
+    skeleton: ProofDir,
+    updates: Dict[str, Tuple[Digest, int, int]],
+) -> Digest:
+    """Recompute the trie root after substituting/inserting files.
+
+    ``updates`` maps paths to ``(tree_root, size, page_count)``.  Existing
+    files on the skeleton are replaced; new files are inserted into their
+    parent directory, which must be expanded in the skeleton (so the
+    enclave has an authenticated view of the parent's children and can
+    check the file did not exist).  Directories missing along a new path
+    are created, provided the longest existing prefix is expanded.
+    """
+    pending = {split_path(p): v for p, v in updates.items()}
+
+    def rebuild(node: TrieProofNode, prefix: Tuple[str, ...]) -> Digest:
+        if isinstance(node, ProofFile):
+            segs = prefix
+            if segs in pending:
+                tree_root, size, page_count = pending.pop(segs)
+                return ProofFile(
+                    node.segment, tree_root, size, page_count
+                ).digest()
+            return node.digest()
+        parts = [b"dir", node.segment.encode("utf-8")]
+        child_items: List[Tuple[str, Digest]] = []
+        names_here = {name for name, _ in node.children}
+        for name, child in node.children:
+            child_prefix = prefix + (name,)
+            if isinstance(child, (ProofDir, ProofFile)):
+                child_items.append((name, rebuild(child, child_prefix)))
+            else:
+                for segs in list(pending):
+                    if segs[: len(child_prefix)] == child_prefix:
+                        raise ProofError(
+                            "write proof does not expand "
+                            f"{join_path(child_prefix)}"
+                        )
+                child_items.append((name, child))
+        # Insert brand-new children rooted at this directory.  All pending
+        # paths sharing a first new segment become one fresh subtree.
+        groups: dict = {}
+        for segs in list(pending):
+            if segs[: len(prefix)] != prefix or len(segs) <= len(prefix):
+                continue
+            head = segs[len(prefix)]
+            if head in names_here:
+                continue  # handled by a deeper recursion, or unplaceable
+            groups.setdefault(head, {})[segs[len(prefix) + 1:]] = (
+                pending.pop(segs)
+            )
+        for head, entries in groups.items():
+            child_items.append((head, _build_fresh(head, entries)))
+            names_here.add(head)
+        child_items.sort(key=lambda item: item[0])
+        for name, digest in child_items:
+            parts.append(name.encode("utf-8"))
+            parts.append(digest)
+        return hash_concat(parts)
+
+    root = rebuild(skeleton, ())
+    if pending:
+        missing = join_path(next(iter(pending)))
+        raise ProofError(f"could not place update for {missing}")
+    return root
+
+
+def _build_fresh(
+    name: str, entries: Dict[Tuple[str, ...], Tuple[Digest, int, int]]
+) -> Digest:
+    """Digest of a brand-new trie subtree rooted at segment ``name``.
+
+    ``entries`` maps path suffixes (relative to this node) to their file
+    values; the empty suffix means this node itself is the file.
+    """
+    if () in entries:
+        if len(entries) > 1:
+            raise ProofError(f"path conflict under new segment {name!r}")
+        tree_root, size, page_count = entries[()]
+        return ProofFile(name, tree_root, size, page_count).digest()
+    groups: Dict[str, Dict[Tuple[str, ...], Tuple[Digest, int, int]]] = {}
+    for segs, value in entries.items():
+        groups.setdefault(segs[0], {})[segs[1:]] = value
+    parts = [b"dir", name.encode("utf-8")]
+    for child_name in sorted(groups):
+        parts.append(child_name.encode("utf-8"))
+        parts.append(_build_fresh(child_name, groups[child_name]))
+    return hash_concat(parts)
+
+
+@dataclass
+class FileProof:
+    """Page-tree multiproof for one file: sibling digests by position."""
+
+    siblings: Dict[Position, Digest] = field(default_factory=dict)
+
+
+@dataclass
+class AdsProof:
+    """Consolidated proof: trie skeleton + per-file page multiproofs."""
+
+    trie: ProofDir
+    files: Dict[str, FileProof] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        buf = io.BytesIO()
+        _encode_trie(buf, self.trie)
+        buf.write(struct.pack(">I", len(self.files)))
+        for path in sorted(self.files):
+            _write_str(buf, path)
+            proof = self.files[path]
+            buf.write(struct.pack(">I", len(proof.siblings)))
+            for (level, index) in sorted(proof.siblings):
+                buf.write(struct.pack(">HQ", level, index))
+                buf.write(proof.siblings[(level, index)])
+        return buf.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AdsProof":
+        buf = io.BytesIO(data)
+        trie = _decode_trie(buf)
+        if not isinstance(trie, ProofDir):
+            raise ProofError("malformed proof: root is not a directory")
+        (n_files,) = struct.unpack(">I", buf.read(4))
+        files: Dict[str, FileProof] = {}
+        for _ in range(n_files):
+            path = _read_str(buf)
+            (n_sib,) = struct.unpack(">I", buf.read(4))
+            siblings: Dict[Position, Digest] = {}
+            for _ in range(n_sib):
+                level, index = struct.unpack(">HQ", buf.read(10))
+                siblings[(level, index)] = _read_digest(buf)
+            files[path] = FileProof(siblings)
+        return cls(trie=trie, files=files)
+
+    def byte_size(self) -> int:
+        """Size of the encoded proof — the paper's VO-size metric."""
+        return len(self.encode())
+
+
+@dataclass
+class WriteProof:
+    """Maintenance proof ``pi_w``: read proof + old digests of written pages."""
+
+    ads: AdsProof
+    old_leaves: Dict[str, Dict[int, Digest]] = field(default_factory=dict)
+
+    def byte_size(self) -> int:
+        size = self.ads.byte_size()
+        for pages in self.old_leaves.values():
+            size += len(pages) * (8 + DIGEST_SIZE)
+        return size
+
+
+_TAG_DIR = 0
+_TAG_FILE = 1
+_TAG_OPAQUE = 2
+
+
+def _write_str(buf: io.BytesIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    buf.write(struct.pack(">H", len(raw)))
+    buf.write(raw)
+
+
+def _read_str(buf: io.BytesIO) -> str:
+    (length,) = struct.unpack(">H", buf.read(2))
+    return buf.read(length).decode("utf-8")
+
+
+def _read_digest(buf: io.BytesIO) -> Digest:
+    data = buf.read(DIGEST_SIZE)
+    if len(data) != DIGEST_SIZE:
+        raise ProofError("truncated proof encoding")
+    return data
+
+
+def _encode_trie(buf: io.BytesIO, node: TrieProofNode) -> None:
+    if isinstance(node, ProofFile):
+        buf.write(bytes([_TAG_FILE]))
+        _write_str(buf, node.segment)
+        buf.write(node.tree_root)
+        buf.write(struct.pack(">QQ", node.size, node.page_count))
+        return
+    buf.write(bytes([_TAG_DIR]))
+    _write_str(buf, node.segment)
+    buf.write(struct.pack(">I", len(node.children)))
+    for name, child in node.children:
+        _write_str(buf, name)
+        if isinstance(child, (ProofDir, ProofFile)):
+            _encode_trie(buf, child)
+        else:
+            buf.write(bytes([_TAG_OPAQUE]))
+            buf.write(child)
+
+
+def _decode_trie(buf: io.BytesIO) -> Union[TrieProofNode, Digest]:
+    tag = buf.read(1)
+    if not tag:
+        raise ProofError("truncated proof encoding")
+    if tag[0] == _TAG_OPAQUE:
+        return _read_digest(buf)
+    if tag[0] == _TAG_FILE:
+        segment = _read_str(buf)
+        tree_root = _read_digest(buf)
+        size, page_count = struct.unpack(">QQ", buf.read(16))
+        return ProofFile(segment, tree_root, size, page_count)
+    if tag[0] == _TAG_DIR:
+        segment = _read_str(buf)
+        (n_children,) = struct.unpack(">I", buf.read(4))
+        children: List[Tuple[str, Union[ProofDir, ProofFile, Digest]]] = []
+        for _ in range(n_children):
+            name = _read_str(buf)
+            children.append((name, _decode_trie(buf)))
+        return ProofDir(segment, children)
+    raise ProofError(f"unknown proof tag {tag[0]}")

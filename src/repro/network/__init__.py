@@ -1,0 +1,31 @@
+"""Simulated client-ISP network with request/byte accounting.
+
+The paper reports query latency split into execution and network time,
+plus the number of network requests by purpose (page retrieval vs
+freshness checks) and the VO size.  This package provides the deterministic
+cost model that produces those numbers: every client-ISP round trip is
+accounted by category, and simulated transfer time follows a
+latency + size/bandwidth model calibrated to the paper's 1 Gbps testbed.
+"""
+
+from repro.network.transport import (
+    CATEGORY_CERT,
+    CATEGORY_META,
+    CATEGORY_CHECK,
+    CATEGORY_PAGE,
+    CATEGORY_VO,
+    NetworkCostModel,
+    NetworkStats,
+    Transport,
+)
+
+__all__ = [
+    "CATEGORY_CERT",
+    "CATEGORY_META",
+    "CATEGORY_CHECK",
+    "CATEGORY_PAGE",
+    "CATEGORY_VO",
+    "NetworkCostModel",
+    "NetworkStats",
+    "Transport",
+]

@@ -1,0 +1,27 @@
+"""Simulated Intel SGX: enclaves, the OCall boundary, and attestation.
+
+The paper runs the V2FS CI's database and ADS engines inside an SGX
+enclave; crossing the enclave boundary (an *OCall*) is expensive, and the
+page collections P_r/P_w exist precisely to amortize that cost (Fig. 8).
+
+This package simulates the parts of SGX the system depends on:
+
+* :class:`~repro.sgx.enclave.Enclave` — an isolation container holding
+  sealed keys; outside code cannot read them, and enclave code reaches
+  external state only through registered OCall handlers, each call being
+  counted and charged through a calibrated cost model;
+* :class:`~repro.sgx.attestation.AttestationService` — a stand-in for
+  Intel's quoting infrastructure: it signs (measurement, enclave public
+  key) quotes that relying parties verify against the service's root key.
+"""
+
+from repro.sgx.attestation import AttestationReport, AttestationService
+from repro.sgx.enclave import Enclave, OCallCostModel, OCallStats
+
+__all__ = [
+    "AttestationReport",
+    "AttestationService",
+    "Enclave",
+    "OCallCostModel",
+    "OCallStats",
+]

@@ -1,0 +1,5 @@
+"""Versioned bloom filter (VBF) for cache-freshness checking."""
+
+from repro.vbf.versioned_bloom import VersionedBloomFilter
+
+__all__ = ["VersionedBloomFilter"]

@@ -1,0 +1,36 @@
+"""V2FS: the verifiable virtual filesystem.
+
+This package defines the POSIX-style I/O boundary between the database
+engine and storage (Section IV-A of the paper) and its three realizations:
+
+* :mod:`repro.vfs.local` — a direct, unverified filesystem (used by the
+  ISP's storage layer and by the ordinary-database baseline);
+* :mod:`repro.vfs.maintenance` — the V2FS CI side (Algorithms 1-3): the
+  enclave-resident interface with the P_r/P_w page collections, OCalls to
+  outside-enclave storage, and certificate construction;
+* :mod:`repro.vfs.client` — the query-client side (Algorithms 4-6):
+  fetches pages from the ISP on demand, records digests for deferred
+  verification, and keeps temporary files local.
+"""
+
+from repro.vfs.interface import (
+    PAGE_SIZE,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    VirtualFile,
+    VirtualFilesystem,
+)
+from repro.vfs.local import LocalFilesystem
+from repro.vfs.pagestore import PlainPageStore
+
+__all__ = [
+    "PAGE_SIZE",
+    "SEEK_CUR",
+    "SEEK_END",
+    "SEEK_SET",
+    "LocalFilesystem",
+    "PlainPageStore",
+    "VirtualFile",
+    "VirtualFilesystem",
+]

@@ -1,0 +1,56 @@
+"""Plain, unauthenticated page-oriented byte store.
+
+Backs :class:`~repro.vfs.local.LocalFilesystem`.  Files are growable byte
+arrays; there is no integrity machinery here — this models an ordinary
+local disk, which is exactly what the paper's unverified SQLite baseline
+and the client's temporary-file area need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import FileNotFoundInStoreError
+
+
+class PlainPageStore:
+    """A dictionary of growable byte buffers keyed by absolute path."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytearray] = {}
+
+    def create(self, path: str) -> None:
+        if path not in self._files:
+            self._files[path] = bytearray()
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def remove(self, path: str) -> None:
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(path) from None
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def size(self, path: str) -> int:
+        return len(self._buffer(path))
+
+    def read_at(self, path: str, offset: int, count: int) -> bytes:
+        buf = self._buffer(path)
+        return bytes(buf[offset:offset + count])
+
+    def write_at(self, path: str, offset: int, data: bytes) -> None:
+        buf = self._buffer(path)
+        end = offset + len(data)
+        if end > len(buf):
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def _buffer(self, path: str) -> bytearray:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(path) from None

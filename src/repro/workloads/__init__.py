@@ -1,0 +1,21 @@
+"""Workloads: the eight on-chain analysis query types plus Mixed.
+
+Models the paper's test queries (Awesome BigQuery Views analogs) with the
+exact relational-operation matrix of Table II, parameterized by a query
+time window drawn from a Zipfian recency distribution.
+"""
+
+from repro.workloads.queries import (
+    QUERY_TEMPLATES,
+    QueryTemplate,
+    operations_matrix,
+)
+from repro.workloads.generator import Workload, WorkloadGenerator
+
+__all__ = [
+    "QUERY_TEMPLATES",
+    "QueryTemplate",
+    "Workload",
+    "WorkloadGenerator",
+    "operations_matrix",
+]

@@ -1,0 +1,223 @@
+"""The eight test-query templates (paper Appendix B, Table II).
+
+Each template renders a SQL string given a time window and a seeded RNG
+for its non-temporal parameters (NFT ids, value thresholds, ...).  The
+relational operations used by each template reproduce Table II exactly:
+
+=====  =========  ====  =====  =====  ===========
+query  sel/proj   join  order  union  aggregation
+=====  =========  ====  =====  =====  ===========
+Q1     yes        no    yes    yes    no
+Q2     yes        yes   no     no     yes
+Q3     yes        yes   no     yes    yes
+Q4     yes        yes   yes    yes    yes
+Q5     yes        yes   no     yes    no
+Q6*    yes        yes   yes    yes    yes
+Q7     yes        yes   yes    yes    yes
+Q8     yes        yes   yes    yes    yes
+=====  =========  ====  =====  =====  ===========
+
+(*) Q6 additionally contains a nested (IN-subquery) predicate — the
+paper's "nested queries" workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.chain.datagen import Universe
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One parameterized query type."""
+
+    name: str
+    description: str
+    render: Callable[[int, int, random.Random, Universe], str]
+
+
+def _q1(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """NFT provenance across both chains (Example 1 of the paper)."""
+    nft = uni.pick_nft(rng)
+    token = nft["token_id"]
+    return (
+        "SELECT block_time, from_address, to_address, marketplace, price "
+        f"FROM eth_nft_transfers WHERE token_id = '{token}' "
+        f"AND block_time BETWEEN {t0} AND {t1} "
+        "UNION "
+        "SELECT block_time, from_address, to_address, marketplace, price "
+        f"FROM btc_nft_transfers WHERE token_id = '{token}' "
+        f"AND block_time BETWEEN {t0} AND {t1} "
+        "ORDER BY block_time DESC"
+    )
+
+
+def _q2(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Windowed transfer volume with a join (linear-scan heavy)."""
+    return (
+        "SELECT COUNT(*) AS transfers, SUM(x.value) AS volume, "
+        "AVG(t.gas_price) AS avg_gas "
+        "FROM eth_token_transfers x JOIN eth_transactions t "
+        "ON x.tx_hash = t.hash "
+        f"WHERE x.block_time BETWEEN {t0} AND {t1}"
+    )
+
+
+def _q3(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Per-address UTXO flow, input and output sides unioned."""
+    return (
+        "SELECT i.address AS address, COUNT(*) AS n, SUM(i.value) AS flow "
+        "FROM btc_inputs i JOIN btc_transactions t ON i.tx_id = t.tx_id "
+        f"WHERE i.block_time BETWEEN {t0} AND {t1} GROUP BY i.address "
+        "UNION "
+        "SELECT o.address, COUNT(*), SUM(o.value) "
+        "FROM btc_outputs o JOIN btc_transactions t ON o.tx_id = t.tx_id "
+        f"WHERE o.block_time BETWEEN {t0} AND {t1} GROUP BY o.address"
+    )
+
+
+def _q4(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """NFT marketplace league table across chains."""
+    return (
+        "SELECT n.marketplace AS marketplace, COUNT(*) AS trades, "
+        "SUM(n.price) AS volume "
+        "FROM eth_nft_transfers n JOIN eth_transactions t "
+        "ON n.tx_hash = t.hash "
+        f"WHERE n.block_time BETWEEN {t0} AND {t1} GROUP BY n.marketplace "
+        "UNION "
+        "SELECT n.marketplace, COUNT(*), SUM(n.price) "
+        "FROM btc_nft_transfers n JOIN btc_transactions t "
+        "ON n.tx_id = t.tx_id "
+        f"WHERE n.block_time BETWEEN {t0} AND {t1} GROUP BY n.marketplace "
+        "ORDER BY 3 DESC"
+    )
+
+
+def _q5(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Raw cross-side activity listing (no aggregation, no order)."""
+    return (
+        "SELECT i.address AS address, i.value AS value, t.fee AS fee "
+        "FROM btc_inputs i JOIN btc_transactions t ON i.tx_id = t.tx_id "
+        f"WHERE i.block_time BETWEEN {t0} AND {t1} "
+        "UNION "
+        "SELECT o.address, o.value, t.fee "
+        "FROM btc_outputs o JOIN btc_transactions t ON o.tx_id = t.tx_id "
+        f"WHERE o.block_time BETWEEN {t0} AND {t1}"
+    )
+
+
+def _q6(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Daily total value locked with a nested token filter (Example 2)."""
+    threshold = rng.randint(400_000, 800_000)
+    return (
+        "SELECT DATE(x.block_time) AS day, SUM(x.value) AS locked "
+        "FROM eth_token_transfers x JOIN eth_transactions t "
+        "ON x.tx_hash = t.hash "
+        f"WHERE x.block_time BETWEEN {t0} AND {t1} "
+        "AND x.symbol IN (SELECT symbol FROM eth_token_transfers "
+        f"WHERE value > {threshold} "
+        f"AND block_time BETWEEN {t0} AND {t1}) "
+        "GROUP BY DATE(x.block_time) "
+        "UNION "
+        "SELECT DATE(block_time), SUM(output_value) "
+        f"FROM btc_transactions WHERE block_time BETWEEN {t0} AND {t1} "
+        "GROUP BY DATE(block_time) "
+        "ORDER BY 1"
+    )
+
+
+def _q7(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Whale outflow ranking across both chains."""
+    return (
+        "SELECT t.from_address AS account, COUNT(*) AS n, "
+        "SUM(t.value) AS outflow "
+        "FROM eth_transactions t JOIN eth_logs l ON t.hash = l.tx_hash "
+        f"WHERE t.block_time BETWEEN {t0} AND {t1} "
+        "GROUP BY t.from_address "
+        "UNION "
+        "SELECT i.address, COUNT(*), SUM(i.value) "
+        "FROM btc_inputs i JOIN btc_transactions b ON i.tx_id = b.tx_id "
+        f"WHERE i.block_time BETWEEN {t0} AND {t1} GROUP BY i.address "
+        "ORDER BY 3 DESC LIMIT 20"
+    )
+
+
+def _q8(t0: int, t1: int, rng: random.Random, uni: Universe) -> str:
+    """Daily fee-market statistics on both chains."""
+    return (
+        "SELECT DATE(t.block_time) AS day, AVG(t.gas_price) AS avg_fee, "
+        "MAX(t.gas_price) AS max_fee "
+        "FROM eth_transactions t JOIN eth_blocks b "
+        "ON t.block_height = b.height "
+        f"WHERE t.block_time BETWEEN {t0} AND {t1} "
+        "GROUP BY DATE(t.block_time) "
+        "UNION "
+        "SELECT DATE(t.block_time), AVG(t.fee), MAX(t.fee) "
+        "FROM btc_transactions t JOIN btc_blocks b "
+        "ON t.block_height = b.height "
+        f"WHERE t.block_time BETWEEN {t0} AND {t1} "
+        "GROUP BY DATE(t.block_time) "
+        "ORDER BY 1 DESC"
+    )
+
+
+QUERY_TEMPLATES: Dict[str, QueryTemplate] = {
+    "Q1": QueryTemplate("Q1", "NFT provenance (union, order)", _q1),
+    "Q2": QueryTemplate("Q2", "windowed volume (join, agg)", _q2),
+    "Q3": QueryTemplate("Q3", "address flows (join, union, agg)", _q3),
+    "Q4": QueryTemplate("Q4", "marketplace league (all ops)", _q4),
+    "Q5": QueryTemplate("Q5", "activity listing (join, union)", _q5),
+    "Q6": QueryTemplate("Q6", "daily TVL, nested (all ops)", _q6),
+    "Q7": QueryTemplate("Q7", "whale ranking (all ops)", _q7),
+    "Q8": QueryTemplate("Q8", "fee market (all ops)", _q8),
+}
+
+
+def operations_matrix() -> Dict[str, Dict[str, bool]]:
+    """Derive Table II from the parsed query ASTs (ground truth)."""
+    import random as random_module
+
+    from repro.chain.datagen import Universe as UniverseClass
+    from repro.db.plan.planner import referenced_columns  # noqa: F401
+    from repro.db.sql import ast
+    from repro.db.sql.parser import parse_statement
+
+    uni = UniverseClass(seed=1)
+    rng = random_module.Random(1)
+    matrix: Dict[str, Dict[str, bool]] = {}
+
+    def has_join(item) -> bool:
+        return isinstance(item, ast.Join)
+
+    def walk_exprs(select):
+        for si in select.items:
+            yield si.expr
+        if select.where is not None:
+            yield select.where
+        for g in select.group_by:
+            yield g
+        if select.having is not None:
+            yield select.having
+
+    def has_aggregate(select) -> bool:
+        from repro.db.plan.expressions import find_aggregates
+
+        return bool(select.group_by) or any(
+            find_aggregates(e) for e in walk_exprs(select)
+        )
+
+    for name, template in QUERY_TEMPLATES.items():
+        sql = template.render(0, 10, rng, uni)
+        stmt = parse_statement(sql)
+        selects = [stmt] + [part for _, part in stmt.compounds]
+        matrix[name] = {
+            "selection/projection": True,
+            "join": any(has_join(s.from_item) for s in selects),
+            "order": bool(stmt.order_by),
+            "union": bool(stmt.compounds),
+            "aggregation": any(has_aggregate(s) for s in selects),
+        }
+    return matrix

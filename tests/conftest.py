@@ -1,0 +1,31 @@
+"""Shared fixtures.
+
+The expensive fixture is a fully ingested multi-chain system; it is
+session-scoped and treated as read-only by the tests that share it
+(tests that mutate state build their own small system).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def shared_system() -> V2FSSystem:
+    """A system with 8 hours of two-chain history (read-only)."""
+    system = V2FSSystem(SystemConfig(txs_per_block=5))
+    system.advance_all(8)
+    return system
+
+
+@pytest.fixture(scope="session")
+def shared_generator(shared_system) -> WorkloadGenerator:
+    return WorkloadGenerator(
+        shared_system.universe,
+        shared_system.config.start_time,
+        shared_system.latest_time,
+        queries_per_workload=2,
+    )

@@ -1,0 +1,104 @@
+"""Tests for the IntegriDB baseline and the plain runner."""
+
+import pytest
+
+from repro.baselines.integridb import (
+    Accumulator,
+    IntegriDbLike,
+    element_hash,
+)
+from repro.baselines.plain import PlainRunner
+from repro.errors import VerificationError
+from repro.workloads.generator import Workload
+
+
+class TestAccumulator:
+    def test_add_changes_value(self):
+        acc = Accumulator()
+        before = acc.value
+        acc.add(("x", 1))
+        assert acc.value != before
+
+    def test_witness_roundtrip(self):
+        acc = Accumulator()
+        elements = [("e", i) for i in range(8)]
+        for element in elements:
+            acc.add(element)
+        subset = elements[2:5]
+        witness = acc.witness_for(subset)
+        assert Accumulator.verify(acc.value, subset, witness)
+
+    def test_wrong_subset_fails(self):
+        acc = Accumulator()
+        for i in range(5):
+            acc.add(("e", i))
+        witness = acc.witness_for([("e", 1)])
+        assert not Accumulator.verify(acc.value, [("e", 2)], witness)
+
+    def test_foreign_element_rejected(self):
+        acc = Accumulator()
+        acc.add(("e", 1))
+        with pytest.raises(VerificationError):
+            acc.witness_for([("ghost", 9)])
+
+    def test_element_hash_odd(self):
+        for value in [0, "x", 3.5, ("a", 1)]:
+            assert element_hash(value) % 2 == 1
+
+
+class TestIntegriDbLike:
+    @pytest.fixture(scope="class")
+    def db(self):
+        db = IntegriDbLike(["id", "v"], capacity_bits=8,
+                           domain_max=1000)
+        for i in range(60):
+            db.insert([i, (i * 13) % 1000])
+        return db
+
+    def test_range_query_correctness(self, db):
+        rows, proof = db.range_query("v", 100, 300)
+        expected = {(i, (i * 13) % 1000) for i in range(60)
+                    if 100 <= (i * 13) % 1000 <= 300}
+        assert {tuple(r) for r in rows} == expected
+
+    def test_proof_verifies(self, db):
+        _, proof = db.range_query("v", 100, 300)
+        results = db.verify("v", proof)
+        assert all(100 <= value <= 300 for value, _ in results)
+
+    def test_dropped_result_detected(self, db):
+        _, proof = db.range_query("v", 100, 300)
+        for i, per_node in enumerate(proof.rows_per_node):
+            if per_node:
+                proof.rows_per_node[i] = per_node[:-1]
+                break
+        with pytest.raises(VerificationError):
+            db.verify("v", proof)
+
+    def test_injected_result_detected(self, db):
+        _, proof = db.range_query("v", 100, 300)
+        proof.rows_per_node[0] = list(proof.rows_per_node[0]) + [
+            (150, 9999)
+        ]
+        with pytest.raises(VerificationError):
+            db.verify("v", proof)
+
+    def test_row_width_enforced(self):
+        db = IntegriDbLike(["a"])
+        with pytest.raises(ValueError):
+            db.insert([1, 2])
+
+    def test_len(self, db):
+        assert len(db) == 60
+
+
+class TestPlainRunner:
+    def test_runs_workload(self, shared_system):
+        runner = PlainRunner(shared_system.plain_replica())
+        metrics = runner.run(Workload(
+            name="w",
+            queries=["SELECT COUNT(*) FROM eth_transactions"] * 3,
+        ))
+        assert metrics.queries == 3
+        assert metrics.total_s > 0
+        assert metrics.avg_s == pytest.approx(metrics.total_s / 3)

@@ -1,0 +1,207 @@
+"""Tests for blocks, consensus, chains, generators, and ETL."""
+
+import pytest
+
+from repro.chain.block import (
+    GENESIS_PREV,
+    Block,
+    BlockHeader,
+    payload_digest,
+    transactions_root,
+)
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import SimulatedPoW, check_header
+from repro.chain.datagen import (
+    BitcoinLikeGenerator,
+    EthereumLikeGenerator,
+    Universe,
+)
+from repro.chain.etl import extract_rows, full_schema, schema_for_chain
+from repro.errors import ChainError
+
+
+class TestBlockModel:
+    def test_payload_digest_key_order_independent(self):
+        assert payload_digest({"a": 1, "b": 2}) == \
+            payload_digest({"b": 2, "a": 1})
+
+    def test_tx_root_changes_with_content(self):
+        assert transactions_root([{"a": 1}]) != transactions_root([{"a": 2}])
+
+    def test_empty_tx_root_is_stable(self):
+        assert transactions_root([]) == transactions_root([])
+
+    def test_header_digest_covers_nonce(self):
+        header = BlockHeader("c", 0, GENESIS_PREV,
+                             transactions_root([]), 1000)
+        assert header.digest() != header.with_nonce(1).digest()
+
+    def test_verify_body(self):
+        txs = [{"k": 1}, {"k": 2}]
+        header = BlockHeader("c", 0, GENESIS_PREV,
+                             transactions_root(txs), 0)
+        assert Block(header, txs).verify_body()
+        assert not Block(header, txs[:1]).verify_body()
+
+
+class TestConsensus:
+    def test_mined_block_passes(self):
+        pow_params = SimulatedPoW(difficulty_bits=8)
+        header = BlockHeader("c", 0, GENESIS_PREV,
+                             transactions_root([]), 0)
+        mined = pow_params.mine(header)
+        assert pow_params.check(mined)
+        check_header(mined, pow_params, "c")
+
+    def test_unmined_block_fails_with_high_probability(self):
+        pow_params = SimulatedPoW(difficulty_bits=16)
+        header = BlockHeader("c", 0, GENESIS_PREV,
+                             transactions_root([]), 12345, nonce=0)
+        if pow_params.check(header):  # pragma: no cover - 2^-16 chance
+            pytest.skip("header accidentally satisfied the target")
+        with pytest.raises(ChainError):
+            check_header(header, pow_params, "c")
+
+    def test_wrong_chain_id_rejected(self):
+        pow_params = SimulatedPoW(difficulty_bits=4)
+        header = pow_params.mine(
+            BlockHeader("c", 0, GENESIS_PREV, transactions_root([]), 0)
+        )
+        with pytest.raises(ChainError):
+            check_header(header, pow_params, "other")
+
+
+class TestBlockchain:
+    def test_append_chain(self):
+        chain = Blockchain("test")
+        b0 = chain.mine_and_append([{"n": 0}], 100)
+        b1 = chain.mine_and_append([{"n": 1}], 200)
+        assert chain.height == 1
+        assert b1.header.prev_digest == b0.header.digest()
+        assert chain.header_at(0) == b0.header
+        assert chain.latest_header() == b1.header
+
+    def test_wrong_height_rejected(self):
+        chain = Blockchain("test")
+        chain.mine_and_append([], 100)
+        block = chain.make_block([], 200)
+        bad = Block(
+            header=block.header.with_nonce(block.header.nonce),
+            transactions=[],
+        )
+        chain.append(bad)  # correct one is fine
+        with pytest.raises(ChainError):
+            chain.append(bad)  # appending twice breaks the height rule
+
+    def test_tampered_body_rejected(self):
+        chain = Blockchain("test")
+        block = chain.make_block([{"v": 1}], 100)
+        tampered = Block(block.header, [{"v": 2}])
+        with pytest.raises(ChainError):
+            chain.append(tampered)
+
+    def test_foreign_block_rejected(self):
+        chain_a = Blockchain("a")
+        chain_b = Blockchain("b")
+        block = chain_b.make_block([], 100)
+        with pytest.raises(ChainError):
+            chain_a.append(block)
+
+    def test_empty_chain_has_no_latest(self):
+        with pytest.raises(ChainError):
+            Blockchain("x").latest_header()
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        uni1 = Universe(seed=3)
+        uni2 = Universe(seed=3)
+        g1 = BitcoinLikeGenerator(uni1, seed=5)
+        g2 = BitcoinLikeGenerator(uni2, seed=5)
+        g1.advance_blocks(3)
+        g2.advance_blocks(3)
+        assert g1.chain.latest_header().digest() == \
+            g2.chain.latest_header().digest()
+
+    def test_clock_advances(self):
+        uni = Universe(seed=3)
+        generator = EthereumLikeGenerator(uni, seed=5)
+        generator.advance_blocks(2)
+        h0 = generator.chain.header_at(0)
+        h1 = generator.chain.header_at(1)
+        assert h1.timestamp - h0.timestamp == generator.block_interval_s
+
+    def test_btc_value_conservation(self):
+        uni = Universe(seed=3)
+        generator = BitcoinLikeGenerator(uni, seed=5)
+        generator.advance_block()
+        for tx in generator.chain.block_at(0).transactions:
+            total_in = sum(i["value"] for i in tx["inputs"])
+            total_out = sum(o["value"] for o in tx["outputs"])
+            assert total_out + tx["fee"] <= total_in or total_out >= 1
+
+    def test_shared_universe_assets(self):
+        uni = Universe(seed=3)
+        btc = BitcoinLikeGenerator(uni, seed=5)
+        eth = EthereumLikeGenerator(uni, seed=6)
+        btc.advance_blocks(20)
+        eth.advance_blocks(20)
+        btc_tokens = {
+            tx["nft_transfer"]["token_id"]
+            for block in btc.chain.blocks()
+            for tx in block.transactions if "nft_transfer" in tx
+        }
+        eth_tokens = {
+            tx["nft_transfer"]["token_id"]
+            for block in eth.chain.blocks()
+            for tx in block.transactions if "nft_transfer" in tx
+        }
+        assert btc_tokens & eth_tokens  # cross-chain NFT overlap
+
+
+class TestEtl:
+    def test_schema_tables(self):
+        assert set(schema_for_chain("btc")) == {
+            "btc_blocks", "btc_transactions", "btc_inputs",
+            "btc_outputs", "btc_nft_transfers",
+        }
+        assert "eth_token_transfers" in schema_for_chain("eth")
+        assert set(full_schema()) == (
+            set(schema_for_chain("btc")) | set(schema_for_chain("eth"))
+        )
+
+    def test_unknown_chain(self):
+        with pytest.raises(ValueError):
+            schema_for_chain("doge")
+
+    def test_btc_extraction_counts(self):
+        uni = Universe(seed=3)
+        generator = BitcoinLikeGenerator(uni, seed=5, txs_per_block=7)
+        generator.advance_block()
+        rows = extract_rows(generator.chain.block_at(0))
+        assert len(rows["btc_blocks"]) == 1
+        assert len(rows["btc_transactions"]) == 7
+        assert len(rows["btc_inputs"]) == sum(
+            t["input_count"] for t in rows["btc_transactions"]
+        )
+
+    def test_rows_match_schema(self):
+        uni = Universe(seed=3)
+        generator = EthereumLikeGenerator(uni, seed=5)
+        generator.advance_block()
+        rows = extract_rows(generator.chain.block_at(0))
+        schema = schema_for_chain("eth")
+        for table, table_rows in rows.items():
+            columns = {c for c, _ in schema[table]}
+            for row in table_rows:
+                assert set(row) == columns
+
+    def test_block_time_present_everywhere(self):
+        uni = Universe(seed=3)
+        generator = EthereumLikeGenerator(uni, seed=5)
+        generator.advance_block()
+        rows = extract_rows(generator.chain.block_at(0))
+        for table, table_rows in rows.items():
+            for row in table_rows:
+                time_key = "block_time" if "block_time" in row else None
+                assert time_key or table.endswith("_blocks")

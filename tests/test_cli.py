@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.hours == 4
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT 1", "--hours", "2", "--mode", "baseline"]
+        )
+        assert args.sql == "SELECT 1"
+        assert args.mode == "baseline"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_registry_complete(self):
+        assert sorted(EXPERIMENTS) == [
+            "fig12", "fig13", "fig14to16", "fig17", "fig8",
+            "fig9to11", "table1", "table2",
+        ]
+
+
+class TestCommands:
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Ours (V2FS)" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "matches the paper's matrix" in capsys.readouterr().out
+
+    def test_query_command(self, capsys):
+        code = main([
+            "query", "SELECT COUNT(*) AS n FROM btc_blocks",
+            "--hours", "1", "--txs-per-block", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "n"
+        assert out.splitlines()[1] == "1"
+
+    def test_demo_command(self, capsys):
+        code = main(["demo", "--hours", "1", "--txs-per-block", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tampering ISP rejected" in out

@@ -1,0 +1,173 @@
+"""Tests for the V2FS certificate, the CI, and the assembled system."""
+
+import pytest
+
+from repro.client.vfs import QueryMode
+from repro.core.certificate import V2fsCertificate
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.crypto.signature import KeyPair, sign
+from repro.errors import CertificateError
+
+
+class TestCertificate:
+    def _make(self):
+        keys = KeyPair.generate(b"cert-test")
+        states = (("btc", b"\x01" * 32, 5), ("eth", b"\x02" * 32, 9))
+        message = V2fsCertificate.message_bytes(
+            b"\x03" * 32, states, 4, None
+        )
+        return keys, V2fsCertificate(
+            ads_root=b"\x03" * 32,
+            chain_states=states,
+            version=4,
+            signature=sign(keys, message),
+        )
+
+    def test_signature_roundtrip(self):
+        keys, certificate = self._make()
+        certificate.verify_signature(keys.public)
+
+    def test_wrong_key_rejected(self):
+        _, certificate = self._make()
+        with pytest.raises(CertificateError):
+            certificate.verify_signature(
+                KeyPair.generate(b"other").public
+            )
+
+    def test_chain_state_lookup(self):
+        _, certificate = self._make()
+        digest, height = certificate.chain_state("eth")
+        assert digest == b"\x02" * 32 and height == 9
+        with pytest.raises(CertificateError):
+            certificate.chain_state("doge")
+
+    def test_vbf_absent(self):
+        _, certificate = self._make()
+        assert certificate.vbf() is None
+
+    def test_message_covers_version(self):
+        _, certificate = self._make()
+        other = V2fsCertificate.message_bytes(
+            certificate.ads_root, certificate.chain_states, 5, None
+        )
+        assert other != certificate.message()
+
+    def test_byte_size_counts_vbf(self):
+        _, certificate = self._make()
+        base = certificate.byte_size()
+        with_vbf = V2fsCertificate(
+            ads_root=certificate.ads_root,
+            chain_states=certificate.chain_states,
+            version=certificate.version,
+            signature=certificate.signature,
+            vbf_encoded=b"\x00" * 100,
+        )
+        assert with_vbf.byte_size() == base + 100
+
+
+class TestCi:
+    def test_bootstrap_produces_certificate(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        certificate = system.ci.certificate
+        assert certificate is not None
+        assert certificate.version == 1
+        certificate.verify_signature(system.ci.public_key)
+
+    def test_versions_increase(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        v1 = system.ci.certificate.version
+        system.advance_block("btc")
+        v2 = system.ci.certificate.version
+        system.advance_block("eth")
+        v3 = system.ci.certificate.version
+        assert v1 < v2 < v3
+
+    def test_chain_states_track_both_chains(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        system.advance_block("btc")
+        system.advance_block("eth")
+        certificate = system.ci.certificate
+        ids = [c for c, _, _ in certificate.chain_states]
+        assert ids == ["btc", "eth"]
+        for chain_id in ids:
+            digest, height = certificate.chain_state(chain_id)
+            header = system.chains[chain_id].latest_header()
+            assert digest == header.digest()
+            assert height == header.height
+
+    def test_out_of_order_block_rejected(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        generator = system.generators["eth"]
+        issuer = system.dcert_issuers["eth"]
+        generator.advance_block()
+        generator.advance_block()
+        block1 = generator.chain.block_at(1)
+        # DCert for block 1 without certifying block 0 first is already
+        # impossible; simulate a CI receiving block 1 directly.
+        cert0 = issuer.certify(None, None, generator.chain.block_at(0))
+        cert1 = issuer.certify(generator.chain.block_at(0), cert0, block1)
+        with pytest.raises(CertificateError):
+            system.ci.process_block(block1, cert1, lambda engine: None)
+
+    def test_report_metrics(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        report = system.advance_block("eth")
+        assert report.pages_written > 0
+        assert report.proof_bytes > 0
+        assert report.wall_time_s > 0
+        assert report.total_time_s >= report.wall_time_s
+        assert report.sgx_overhead_s > 0  # SGX mode by default
+
+    def test_no_sgx_mode_charges_nothing(self):
+        system = V2FSSystem(
+            SystemConfig(txs_per_block=3, use_sgx=False)
+        )
+        report = system.advance_block("eth")
+        assert report.sgx_overhead_s == 0.0
+
+    def test_batching_reduces_per_block_ocalls(self):
+        one = V2FSSystem(SystemConfig(txs_per_block=3))
+        per_single = [one.advance_block("eth").ocalls for _ in range(4)]
+        batched = V2FSSystem(SystemConfig(txs_per_block=3))
+        report = batched.advance_blocks("eth", 4)
+        assert report.ocalls < sum(per_single)
+
+
+class TestSystem:
+    def test_isp_in_sync_with_ci(self, shared_system):
+        assert shared_system.isp.root == shared_system.ci.storage_root
+        assert shared_system.isp.certificate.ads_root == \
+            shared_system.isp.root
+
+    def test_latest_time_advances(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        system.advance_all(1)
+        t1 = system.latest_time
+        system.advance_all(1)
+        assert system.latest_time > t1
+
+    def test_plain_replica_equivalence(self, shared_system):
+        plain = shared_system.plain_replica()
+        client = shared_system.make_client(QueryMode.INTER_VBF)
+        for sql in [
+            "SELECT COUNT(*) FROM eth_transactions",
+            "SELECT COUNT(*), SUM(fee) FROM btc_transactions",
+            "SELECT marketplace, COUNT(*) FROM eth_nft_transfers "
+            "GROUP BY marketplace ORDER BY marketplace",
+        ]:
+            assert client.query(sql).rows == plain.execute(sql).rows
+
+    def test_queries_across_chains(self, shared_system):
+        client = shared_system.make_client(QueryMode.INTER)
+        result = client.query(
+            "SELECT COUNT(*) FROM btc_nft_transfers "
+            "UNION ALL SELECT COUNT(*) FROM eth_nft_transfers"
+        )
+        assert len(result.rows) == 2
+
+    def test_unknown_chain_rejected(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=3))
+        from repro.errors import ChainError
+
+        with pytest.raises(ChainError):
+            system.advance_block("doge")

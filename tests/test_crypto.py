@@ -1,0 +1,116 @@
+"""Unit and property tests for repro.crypto."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    hash_bytes,
+    hash_concat,
+    hash_pair,
+    hash_str,
+    keyed_hash,
+)
+from repro.crypto.signature import (
+    KeyPair,
+    PublicKey,
+    Signature,
+    sign,
+    verify,
+)
+
+
+class TestHashing:
+    def test_digest_size(self):
+        assert len(hash_bytes(b"abc")) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert hash_bytes(b"abc") == hash_bytes(b"abc")
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+    def test_hash_str_matches_bytes(self):
+        assert hash_str("héllo") == hash_bytes("héllo".encode("utf-8"))
+
+    def test_hash_pair_is_ordered(self):
+        a, b = hash_bytes(b"a"), hash_bytes(b"b")
+        assert hash_pair(a, b) != hash_pair(b, a)
+
+    def test_hash_concat_boundary_safety(self):
+        # length prefixes prevent ["ab","c"] == ["a","bc"] collisions
+        assert hash_concat([b"ab", b"c"]) != hash_concat([b"a", b"bc"])
+
+    def test_keyed_hash_depends_on_key(self):
+        assert keyed_hash(b"k1", b"data") != keyed_hash(b"k2", b"data")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_concat_vs_parts(self, a, b):
+        assert hash_concat([a, b]) == hash_concat([a, b])
+        if a != b:
+            assert hash_concat([a, b]) != hash_concat([b, a]) or a == b
+
+
+class TestSignature:
+    def test_sign_verify_roundtrip(self):
+        keypair = KeyPair.generate(b"seed-1")
+        signature = sign(keypair, b"message")
+        assert verify(keypair.public, b"message", signature)
+
+    def test_wrong_message_rejected(self):
+        keypair = KeyPair.generate(b"seed-1")
+        signature = sign(keypair, b"message")
+        assert not verify(keypair.public, b"other", signature)
+
+    def test_wrong_key_rejected(self):
+        keypair = KeyPair.generate(b"seed-1")
+        other = KeyPair.generate(b"seed-2")
+        signature = sign(keypair, b"message")
+        assert not verify(other.public, b"message", signature)
+
+    def test_deterministic_keygen(self):
+        assert (
+            KeyPair.generate(b"same").public
+            == KeyPair.generate(b"same").public
+        )
+        assert (
+            KeyPair.generate(b"one").public
+            != KeyPair.generate(b"two").public
+        )
+
+    def test_signature_encoding_roundtrip(self):
+        keypair = KeyPair.generate(b"seed-e")
+        signature = sign(keypair, b"msg")
+        decoded = Signature.from_bytes(signature.to_bytes())
+        assert decoded == signature
+        assert verify(keypair.public, b"msg", decoded)
+
+    def test_malformed_signature_encoding(self):
+        with pytest.raises(ValueError):
+            Signature.from_bytes(b"\x00" * 10)
+
+    def test_public_key_encoding_roundtrip(self):
+        keypair = KeyPair.generate(b"seed-pk")
+        assert (
+            PublicKey.from_bytes(keypair.public.to_bytes())
+            == keypair.public
+        )
+
+    def test_tampered_signature_rejected(self):
+        keypair = KeyPair.generate(b"seed-t")
+        signature = sign(keypair, b"msg")
+        tampered = Signature(s=signature.s + 1, e=signature.e)
+        assert not verify(keypair.public, b"msg", tampered)
+
+    def test_out_of_range_s_rejected(self):
+        keypair = KeyPair.generate(b"seed-r")
+        signature = sign(keypair, b"msg")
+        tampered = Signature(s=-1, e=signature.e)
+        assert not verify(keypair.public, b"msg", tampered)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=128))
+    def test_roundtrip_property(self, message):
+        keypair = KeyPair.generate(b"prop-seed")
+        assert verify(keypair.public, message, sign(keypair, message))

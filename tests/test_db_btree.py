@@ -1,0 +1,172 @@
+"""Unit and model-based property tests for the B+Tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BTree, compare_to_bound
+from repro.db.pager import Pager
+from repro.errors import SQLExecutionError, StorageError
+from repro.vfs.local import LocalFilesystem
+
+
+def fresh_tree(path="/t"):
+    vfs = LocalFilesystem()
+    pager = Pager(vfs, path, create=True)
+    return vfs, pager, BTree(pager)
+
+
+class TestBounds:
+    def test_exact_comparison(self):
+        assert compare_to_bound([5], [5], pad=-1) == 0
+        assert compare_to_bound([4], [5], pad=-1) < 0
+        assert compare_to_bound([6], [5], pad=-1) > 0
+
+    def test_prefix_low_bound(self):
+        # [5, rowid] vs low bound [5]: key counts as greater.
+        assert compare_to_bound([5, 10], [5], pad=-1) > 0
+
+    def test_prefix_high_bound(self):
+        # [5, rowid] vs high bound [5]: key counts as smaller.
+        assert compare_to_bound([5, 10], [5], pad=1) < 0
+
+
+class TestBasicOps:
+    def test_insert_get(self):
+        _, pager, tree = fresh_tree()
+        tree.insert([1], b"one")
+        tree.insert([2], b"two")
+        assert tree.get([1]) == b"one"
+        assert tree.get([3]) is None
+        assert len(tree) == 2
+
+    def test_duplicate_rejected_by_default(self):
+        _, _, tree = fresh_tree()
+        tree.insert([1], b"one")
+        with pytest.raises(SQLExecutionError):
+            tree.insert([1], b"again")
+
+    def test_duplicates_allowed_when_requested(self):
+        _, _, tree = fresh_tree()
+        for rowid in range(10):
+            tree.insert(["k", rowid], b"", allow_duplicate=True)
+        hits = list(tree.scan(low=["k"], high=["k"]))
+        assert len(hits) == 10
+
+    def test_delete(self):
+        _, _, tree = fresh_tree()
+        for i in range(20):
+            tree.insert([i], str(i).encode())
+        assert tree.delete([7])
+        assert tree.get([7]) is None
+        assert not tree.delete([7])
+        assert len(tree) == 19
+
+    def test_scan_bounds(self):
+        _, _, tree = fresh_tree()
+        for i in range(0, 100, 2):
+            tree.insert([i], b"")
+        keys = [k[0] for k, _ in tree.scan(low=[10], high=[20])]
+        assert keys == [10, 12, 14, 16, 18, 20]
+        keys = [k[0] for k, _ in tree.scan(
+            low=[10], high=[20], low_inclusive=False, high_inclusive=False
+        )]
+        assert keys == [12, 14, 16, 18]
+
+    def test_scan_open_ended(self):
+        _, _, tree = fresh_tree()
+        for i in range(10):
+            tree.insert([i], b"")
+        assert [k[0] for k, _ in tree.scan(low=[7])] == [7, 8, 9]
+        assert [k[0] for k, _ in tree.scan(high=[2])] == [0, 1, 2]
+
+    def test_empty_tree_scan(self):
+        _, _, tree = fresh_tree()
+        assert list(tree.items()) == []
+        assert tree.get([1]) is None
+        assert not tree.delete([1])
+
+    def test_persistence_across_reopen(self):
+        vfs, pager, tree = fresh_tree("/persist")
+        for i in range(500):
+            tree.insert([i], b"v%d" % i)
+        pager.close()
+        reopened = BTree(Pager(vfs, "/persist"))
+        assert reopened.get([250]) == b"v250"
+        assert len(reopened) == 500
+
+    def test_mixed_type_keys(self):
+        _, _, tree = fresh_tree()
+        tree.insert([None, 0], b"null", allow_duplicate=True)
+        tree.insert([5, 0], b"int", allow_duplicate=True)
+        tree.insert(["txt", 0], b"str", allow_duplicate=True)
+        tree.insert([2.5, 0], b"real", allow_duplicate=True)
+        order = [k[0] for k, _ in tree.items()]
+        assert order == [None, 2.5, 5, "txt"]
+
+    def test_large_sequential_inserts_split(self):
+        _, pager, tree = fresh_tree()
+        for i in range(2000):
+            tree.insert([i], b"x" * 50)
+        assert pager.page_count > 10  # splits happened
+        assert [k[0] for k, _ in tree.items()] == list(range(2000))
+
+    def test_corrupt_page_detected(self):
+        vfs, pager, tree = fresh_tree("/c")
+        tree.insert([1], b"one")
+        pager.flush()
+        with vfs.open("/c") as handle:
+            handle.write_page(pager.root_pid, b"\xff" * 4096)
+        with pytest.raises(StorageError):
+            tree.get([1])
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_operations(self, data):
+        _, _, tree = fresh_tree()
+        model = {}
+        operations = data.draw(st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "get"]),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=60,
+        ))
+        for op, key in operations:
+            if op == "insert":
+                if key in model:
+                    with pytest.raises(SQLExecutionError):
+                        tree.insert([key], b"v%d" % key)
+                else:
+                    tree.insert([key], b"v%d" % key)
+                    model[key] = b"v%d" % key
+            elif op == "delete":
+                assert tree.delete([key]) == (key in model)
+                model.pop(key, None)
+            else:
+                expected = model.get(key)
+                assert tree.get([key]) == expected
+        assert [k[0] for k, _ in tree.items()] == sorted(model)
+        assert len(tree) == len(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 300), min_size=1, max_size=150,
+                 unique=True),
+        st.integers(0, 300), st.integers(0, 300),
+    )
+    def test_range_scans_match_model(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        _, _, tree = fresh_tree()
+        rng = random.Random(17)
+        shuffled = list(keys)
+        rng.shuffle(shuffled)
+        for key in shuffled:
+            tree.insert([key], b"")
+        expected = sorted(k for k in keys if low <= k <= high)
+        got = [k[0] for k, _ in tree.scan(low=[low], high=[high])]
+        assert got == expected

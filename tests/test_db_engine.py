@@ -1,0 +1,352 @@
+"""Behavioral tests for the SQL engine."""
+
+import pytest
+
+from repro.db import Engine
+from repro.errors import (
+    SQLCatalogError,
+    SQLExecutionError,
+    SQLParseError,
+)
+from repro.vfs.local import LocalFilesystem
+
+
+@pytest.fixture()
+def engine():
+    eng = Engine(LocalFilesystem())
+    eng.execute("CREATE TABLE t (a INTEGER, b TEXT, c REAL)")
+    eng.execute("CREATE INDEX idx_a ON t (a)")
+    eng.execute(
+        "INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5), "
+        "(3, 'three', 3.5), (2, 'deux', -1.0), (NULL, 'nil', 0.0)"
+    )
+    return eng
+
+
+class TestDdlAndInsert:
+    def test_duplicate_table_rejected(self, engine):
+        with pytest.raises(SQLCatalogError):
+            engine.execute("CREATE TABLE t (x INTEGER)")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SQLCatalogError):
+            engine.execute("SELECT * FROM nope")
+
+    def test_index_backfill(self, engine):
+        engine.execute("CREATE INDEX idx_b ON t (b)")
+        rows = engine.execute("SELECT a FROM t WHERE b = 'two'").rows
+        assert rows == [(2,)]
+
+    def test_duplicate_index_rejected(self, engine):
+        with pytest.raises(SQLCatalogError):
+            engine.execute("CREATE INDEX idx_a ON t (b)")
+
+    def test_insert_width_mismatch(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_with_column_subset(self, engine):
+        engine.execute("INSERT INTO t (b, a) VALUES ('only', 9)")
+        rows = engine.execute("SELECT a, b, c FROM t WHERE a = 9").rows
+        assert rows == [(9, "only", None)]
+
+    def test_catalog_persists_across_engines(self, engine):
+        second = Engine(engine.vfs)
+        assert second.execute("SELECT COUNT(*) FROM t").scalar() == 5
+
+
+class TestSelectBasics:
+    def test_projection_order(self, engine):
+        result = engine.execute("SELECT c, a FROM t WHERE b = 'one'")
+        assert result.columns == ["c", "a"]
+        assert result.rows == [(1.5, 1)]
+
+    def test_star_expansion(self, engine):
+        result = engine.execute("SELECT * FROM t WHERE a = 1")
+        assert result.columns == ["a", "b", "c"]
+
+    def test_where_uses_index_and_filters(self, engine):
+        rows = engine.execute(
+            "SELECT b FROM t WHERE a = 2 AND c > 0"
+        ).rows
+        assert rows == [("two",)]
+
+    def test_null_comparison_excluded(self, engine):
+        # NULL never satisfies a comparison.
+        assert engine.execute(
+            "SELECT COUNT(*) FROM t WHERE a > 0"
+        ).scalar() == 4
+
+    def test_is_null(self, engine):
+        assert engine.execute(
+            "SELECT b FROM t WHERE a IS NULL"
+        ).rows == [("nil",)]
+        assert engine.execute(
+            "SELECT COUNT(*) FROM t WHERE a IS NOT NULL"
+        ).scalar() == 4
+
+    def test_between_and_in(self, engine):
+        assert engine.execute(
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 2 AND 3"
+        ).scalar() == 3
+        assert engine.execute(
+            "SELECT COUNT(*) FROM t WHERE a IN (1, 3, 99)"
+        ).scalar() == 2
+
+    def test_like(self, engine):
+        rows = engine.execute(
+            "SELECT b FROM t WHERE b LIKE 't%' ORDER BY b"
+        ).rows
+        assert rows == [("three",), ("two",)]
+
+    def test_not(self, engine):
+        assert engine.execute(
+            "SELECT COUNT(*) FROM t WHERE NOT a = 2"
+        ).scalar() == 2  # NULL row drops out of NOT too
+
+    def test_arithmetic_and_division(self, engine):
+        assert engine.execute("SELECT 7 / 2").scalar() == 3
+        assert engine.execute("SELECT 7.0 / 2").scalar() == 3.5
+        assert engine.execute("SELECT 7 % 3").scalar() == 1
+        assert engine.execute("SELECT 1 / 0").scalar() is None
+
+    def test_string_concat(self, engine):
+        assert engine.execute("SELECT 'a' || 'b'").scalar() == "ab"
+
+    def test_scalar_functions(self, engine):
+        assert engine.execute("SELECT ABS(-4)").scalar() == 4
+        assert engine.execute("SELECT LENGTH('abc')").scalar() == 3
+        assert engine.execute("SELECT UPPER('ab')").scalar() == "AB"
+        assert engine.execute(
+            "SELECT COALESCE(NULL, NULL, 7)"
+        ).scalar() == 7
+        assert engine.execute("SELECT SUBSTR('hello', 2, 3)").scalar() \
+            == "ell"
+        assert engine.execute("SELECT ROUND(2.567, 1)").scalar() == 2.6
+
+    def test_unknown_function(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT FROBNICATE(1)")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT zz FROM t")
+
+    def test_case_expression(self, engine):
+        rows = engine.execute(
+            "SELECT b, CASE WHEN a >= 2 THEN 'hi' WHEN a = 1 THEN 'lo' "
+            "ELSE 'null' END FROM t ORDER BY b"
+        ).rows
+        assert ("nil", "null") in rows and ("one", "lo") in rows
+
+
+class TestOrderingAndLimits:
+    def test_order_by_column_desc(self, engine):
+        rows = engine.execute(
+            "SELECT b FROM t WHERE a IS NOT NULL ORDER BY a DESC, b"
+        ).rows
+        assert rows == [("three",), ("deux",), ("two",), ("one",)]
+
+    def test_order_by_alias(self, engine):
+        rows = engine.execute(
+            "SELECT a * 10 AS score FROM t WHERE a IS NOT NULL "
+            "ORDER BY score DESC LIMIT 2"
+        ).rows
+        assert rows == [(30,), (20,)]
+
+    def test_order_by_ordinal(self, engine):
+        rows = engine.execute(
+            "SELECT b FROM t ORDER BY 1 LIMIT 2"
+        ).rows
+        assert rows == [("deux",), ("nil",)]
+
+    def test_limit_offset(self, engine):
+        rows = engine.execute(
+            "SELECT b FROM t ORDER BY b LIMIT 2 OFFSET 1"
+        ).rows
+        assert rows == [("nil",), ("one",)]
+
+    def test_nulls_sort_first(self, engine):
+        rows = engine.execute("SELECT a FROM t ORDER BY a LIMIT 1").rows
+        assert rows == [(None,)]
+
+    def test_order_ordinal_out_of_range(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT a FROM t ORDER BY 9")
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(a), AVG(a) "
+            "FROM t"
+        )
+        assert result.rows == [(5, 4, 8, 1, 3, 2.0)]
+
+    def test_aggregate_over_empty_input(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(*), SUM(a), MIN(b) FROM t WHERE a > 100"
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_group_by(self, engine):
+        rows = engine.execute(
+            "SELECT a, COUNT(*) FROM t WHERE a IS NOT NULL GROUP BY a "
+            "ORDER BY a"
+        ).rows
+        assert rows == [(1, 1), (2, 2), (3, 1)]
+
+    def test_group_by_expression(self, engine):
+        rows = engine.execute(
+            "SELECT a % 2, COUNT(*) FROM t WHERE a IS NOT NULL "
+            "GROUP BY a % 2 ORDER BY 1"
+        ).rows
+        assert rows == [(0, 2), (1, 2)]
+
+    def test_having(self, engine):
+        rows = engine.execute(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_having_without_group_rejected(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT a FROM t HAVING a > 1")
+
+    def test_ungrouped_column_rejected(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT b, COUNT(*) FROM t GROUP BY a")
+
+    def test_count_distinct(self, engine):
+        assert engine.execute(
+            "SELECT COUNT(DISTINCT a) FROM t"
+        ).scalar() == 3
+
+    def test_order_by_aggregate(self, engine):
+        rows = engine.execute(
+            "SELECT a, COUNT(*) AS n FROM t WHERE a IS NOT NULL "
+            "GROUP BY a ORDER BY n DESC, a LIMIT 1"
+        ).rows
+        assert rows == [(2, 2)]
+
+    def test_aggregate_outside_group_context(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT b FROM t WHERE SUM(a) > 1")
+
+
+class TestJoinsUnionsSubqueries:
+    @pytest.fixture()
+    def joined(self, engine):
+        engine.execute("CREATE TABLE u (a INTEGER, label TEXT)")
+        engine.execute("CREATE INDEX idx_ua ON u (a)")
+        engine.execute("INSERT INTO u VALUES (1, 'uno'), (2, 'dos')")
+        return engine
+
+    def test_index_join(self, joined):
+        rows = joined.execute(
+            "SELECT t.b, u.label FROM t JOIN u ON t.a = u.a ORDER BY t.b"
+        ).rows
+        assert rows == [("deux", "dos"), ("one", "uno"), ("two", "dos")]
+
+    def test_join_without_index(self, joined):
+        joined.execute("CREATE TABLE v (k INTEGER)")
+        joined.execute("INSERT INTO v VALUES (2), (3)")
+        rows = joined.execute(
+            "SELECT t.b FROM t JOIN v ON t.a = v.k ORDER BY t.b"
+        ).rows
+        assert rows == [("deux",), ("three",), ("two",)]
+
+    def test_join_extra_condition(self, joined):
+        rows = joined.execute(
+            "SELECT t.b FROM t JOIN u ON t.a = u.a AND t.c > 0 "
+            "ORDER BY t.b"
+        ).rows
+        assert rows == [("one",), ("two",)]
+
+    def test_union_dedup_and_all(self, joined):
+        assert len(joined.execute(
+            "SELECT a FROM u UNION SELECT a FROM u"
+        ).rows) == 2
+        assert len(joined.execute(
+            "SELECT a FROM u UNION ALL SELECT a FROM u"
+        ).rows) == 4
+
+    def test_union_width_mismatch(self, joined):
+        with pytest.raises(SQLExecutionError):
+            joined.execute("SELECT a FROM u UNION SELECT a, label FROM u")
+
+    def test_union_order_limit(self, joined):
+        rows = joined.execute(
+            "SELECT a FROM u UNION SELECT a + 10 FROM u "
+            "ORDER BY 1 DESC LIMIT 2"
+        ).rows
+        assert rows == [(12,), (11,)]
+
+    def test_subquery_in_from(self, joined):
+        rows = joined.execute(
+            "SELECT s.total FROM (SELECT SUM(a) AS total FROM u) AS s"
+        ).rows
+        assert rows == [(3,)]
+
+    def test_in_subquery(self, joined):
+        rows = joined.execute(
+            "SELECT b FROM t WHERE a IN (SELECT a FROM u) ORDER BY b"
+        ).rows
+        assert rows == [("deux",), ("one",), ("two",)]
+
+    def test_scalar_subquery(self, joined):
+        rows = joined.execute(
+            "SELECT b FROM t WHERE a = (SELECT MAX(a) FROM u) ORDER BY b"
+        ).rows
+        assert rows == [("deux",), ("two",)]
+
+    def test_join_subquery_in_from(self, joined):
+        rows = joined.execute(
+            "SELECT t.b FROM t JOIN (SELECT a FROM u WHERE a > 1) AS w "
+            "ON t.a = w.a ORDER BY t.b"
+        ).rows
+        assert rows == [("deux",), ("two",)]
+
+    def test_distinct(self, joined):
+        rows = joined.execute(
+            "SELECT DISTINCT a FROM t WHERE a IS NOT NULL ORDER BY a"
+        ).rows
+        assert rows == [(1,), (2,), (3,)]
+
+
+class TestExternalSort:
+    def test_spilling_sort_is_correct(self):
+        eng = Engine(LocalFilesystem(), sort_memory_rows=50)
+        eng.execute("CREATE TABLE big (v INTEGER)")
+        import random
+        values = list(range(1000))
+        random.Random(3).shuffle(values)
+        eng.insert_rows("big", [[v] for v in values])
+        rows = eng.execute("SELECT v FROM big ORDER BY v").rows
+        assert [r[0] for r in rows] == list(range(1000))
+        # Temp spill files are cleaned up after the merge.
+        assert eng.temp_vfs.list_files() == []
+
+    def test_desc_spilling(self):
+        eng = Engine(LocalFilesystem(), sort_memory_rows=20)
+        eng.execute("CREATE TABLE big (v INTEGER, w INTEGER)")
+        eng.insert_rows("big", [[i, i % 7] for i in range(200)])
+        rows = eng.execute(
+            "SELECT v FROM big ORDER BY w DESC, v ASC LIMIT 3"
+        ).rows
+        assert rows == [(6,), (13,), (20,)]
+
+
+class TestResultSet:
+    def test_scalar_shape_enforced(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.execute("SELECT a, b FROM t").scalar()
+
+    def test_iteration_and_len(self, engine):
+        result = engine.execute("SELECT a FROM t")
+        assert len(result) == 5
+        assert len(list(result)) == 5
+
+    def test_parse_error_propagates(self, engine):
+        with pytest.raises(SQLParseError):
+            engine.execute("SELEC a")

@@ -1,0 +1,125 @@
+"""Tests for LEFT OUTER JOIN semantics and the EXPLAIN facility."""
+
+import sqlite3
+
+import pytest
+
+from repro.db import Engine
+from repro.errors import SQLExecutionError
+from repro.vfs.local import LocalFilesystem
+
+
+@pytest.fixture()
+def engines():
+    ours = Engine(LocalFilesystem())
+    ours.execute("CREATE TABLE a (k INTEGER, x TEXT)")
+    ours.execute("CREATE TABLE b (k INTEGER, y TEXT)")
+    ours.execute("CREATE INDEX ibk ON b (k)")
+    a_rows = [(1, "a1"), (2, "a2"), (3, "a3"), (None, "anull")]
+    b_rows = [(1, "b1"), (1, "b1bis"), (3, "b3"), (None, "bnull")]
+    ours.insert_rows("a", [list(r) for r in a_rows])
+    ours.insert_rows("b", [list(r) for r in b_rows])
+    ref = sqlite3.connect(":memory:")
+    ref.execute("CREATE TABLE a (k INTEGER, x TEXT)")
+    ref.execute("CREATE TABLE b (k INTEGER, y TEXT)")
+    ref.executemany("INSERT INTO a VALUES (?,?)", a_rows)
+    ref.executemany("INSERT INTO b VALUES (?,?)", b_rows)
+    return ours, ref
+
+
+LEFT_JOIN_QUERIES = [
+    "SELECT a.x, b.y FROM a LEFT JOIN b ON a.k = b.k ORDER BY a.x, b.y",
+    "SELECT a.x, b.y FROM a LEFT OUTER JOIN b ON a.k = b.k "
+    "AND b.y = 'b1' ORDER BY a.x, b.y",
+    # Anti-join idiom: rows of a with no partner in b.
+    "SELECT a.x FROM a LEFT JOIN b ON a.k = b.k WHERE b.y IS NULL "
+    "ORDER BY a.x",
+    "SELECT COUNT(*) FROM a LEFT JOIN b ON a.k = b.k",
+    "SELECT a.k, COUNT(b.y) FROM a LEFT JOIN b ON a.k = b.k "
+    "GROUP BY a.k ORDER BY 1",
+    # LEFT JOIN onto a subquery (materialized inner).
+    "SELECT a.x, s.n FROM a LEFT JOIN "
+    "(SELECT k, COUNT(*) AS n FROM b GROUP BY k) AS s ON a.k = s.k "
+    "ORDER BY a.x",
+]
+
+
+class TestLeftJoin:
+    @pytest.mark.parametrize("sql", LEFT_JOIN_QUERIES)
+    def test_matches_sqlite(self, engines, sql):
+        ours, ref = engines
+        assert ours.execute(sql).rows == [
+            tuple(r) for r in ref.execute(sql).fetchall()
+        ]
+
+    def test_null_keys_never_match(self, engines):
+        ours, _ = engines
+        rows = ours.execute(
+            "SELECT a.x, b.y FROM a LEFT JOIN b ON a.k = b.k "
+            "WHERE a.x = 'anull'"
+        ).rows
+        assert rows == [("anull", None)]
+
+    def test_where_not_pushed_into_left_join_inner(self, engines):
+        ours, ref = engines
+        # b.k = 1 applies AFTER padding; rows of a without k=1 partners
+        # must be dropped by the filter, not silently inner-joined.
+        sql = ("SELECT a.x FROM a LEFT JOIN b ON a.k = b.k "
+               "WHERE b.k = 1 ORDER BY a.x")
+        assert ours.execute(sql).rows == [
+            tuple(r) for r in ref.execute(sql).fetchall()
+        ]
+
+    def test_chained_left_joins(self, engines):
+        ours, ref = engines
+        ours.execute("CREATE TABLE c (k INTEGER, z TEXT)")
+        ours.execute("INSERT INTO c VALUES (3, 'c3')")
+        ref.execute("CREATE TABLE c (k INTEGER, z TEXT)")
+        ref.execute("INSERT INTO c VALUES (3, 'c3')")
+        sql = ("SELECT a.x, b.y, c.z FROM a "
+               "LEFT JOIN b ON a.k = b.k "
+               "LEFT JOIN c ON a.k = c.k ORDER BY a.x, b.y")
+        assert ours.execute(sql).rows == [
+            tuple(r) for r in ref.execute(sql).fetchall()
+        ]
+
+
+class TestExplain:
+    def test_seq_scan_shown(self, engines):
+        ours, _ = engines
+        plan = ours.explain("SELECT * FROM a")
+        assert "Scan(seq a)" in plan
+
+    def test_index_range_shown(self, engines):
+        ours, _ = engines
+        plan = ours.explain("SELECT * FROM b WHERE k BETWEEN 1 AND 2")
+        assert "index b.k" in plan
+
+    def test_index_join_shown(self, engines):
+        ours, _ = engines
+        plan = ours.explain(
+            "SELECT a.x FROM a JOIN b ON a.k = b.k"
+        )
+        assert "IndexJoin(probe b.k)" in plan
+
+    def test_aggregate_pipeline(self, engines):
+        ours, _ = engines
+        plan = ours.explain(
+            "SELECT k, COUNT(*) FROM b GROUP BY k ORDER BY 2 DESC"
+        )
+        lines = plan.splitlines()
+        assert lines[0] == "Project"
+        assert any("Aggregate" in line for line in lines)
+        assert any("Sort" in line for line in lines)
+
+    def test_tree_indentation(self, engines):
+        ours, _ = engines
+        plan = ours.explain("SELECT x FROM a WHERE x = 'a1'")
+        lines = plan.splitlines()
+        depths = [len(line) - len(line.lstrip()) for line in lines]
+        assert depths == sorted(depths)  # strictly deepening chain
+
+    def test_non_select_rejected(self, engines):
+        ours, _ = engines
+        with pytest.raises(SQLExecutionError):
+            ours.explain("DELETE FROM a")

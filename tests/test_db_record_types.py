@@ -1,0 +1,118 @@
+"""Tests for the value model and the record codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import record
+from repro.db.types import (
+    INTEGER,
+    REAL,
+    TEXT,
+    coerce,
+    compare,
+    normalize_type,
+    sort_key,
+)
+from repro.errors import SQLTypeError
+
+
+class TestTypes:
+    @pytest.mark.parametrize("declared,expected", [
+        ("INTEGER", INTEGER), ("int", INTEGER), ("BIGINT", INTEGER),
+        ("REAL", REAL), ("FLOAT", REAL), ("DOUBLE", REAL),
+        ("TEXT", TEXT), ("VARCHAR", TEXT), ("char", TEXT),
+    ])
+    def test_normalize(self, declared, expected):
+        assert normalize_type(declared) == expected
+
+    def test_normalize_unknown(self):
+        with pytest.raises(SQLTypeError):
+            normalize_type("BLOB")
+
+    def test_coerce_integer(self):
+        assert coerce(5, INTEGER) == 5
+        assert coerce(5.0, INTEGER) == 5
+        assert coerce(True, INTEGER) == 1
+        assert coerce(None, INTEGER) is None
+        with pytest.raises(SQLTypeError):
+            coerce(5.5, INTEGER)
+        with pytest.raises(SQLTypeError):
+            coerce("5", INTEGER)
+
+    def test_coerce_real_and_text(self):
+        assert coerce(5, REAL) == 5.0
+        assert isinstance(coerce(5, REAL), float)
+        assert coerce("x", TEXT) == "x"
+        with pytest.raises(SQLTypeError):
+            coerce(5, TEXT)
+
+    def test_cross_type_ordering(self):
+        # NULL < numbers < text (SQLite storage-class order).
+        assert compare(None, -10) < 0
+        assert compare(5, "a") < 0
+        assert compare(5, 5.0) == 0
+        assert compare(5, 5.5) < 0
+        assert compare("a", "b") < 0
+
+    def test_sort_key_total_order(self):
+        values = [None, -3, 2.5, 7, "abc", "abd", None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[-2:] == ["abc", "abd"]
+
+
+SQL_VALUES = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+)
+
+
+class TestRecordCodec:
+    def test_simple_roundtrip(self):
+        values = [1, None, 2.5, "text", -7]
+        encoded = record.encode_record(values)
+        decoded, offset = record.decode_record(encoded)
+        assert decoded == values
+        assert offset == len(encoded)
+
+    def test_back_to_back_records(self):
+        a = record.encode_record([1, "a"])
+        b = record.encode_record([None, 2.0])
+        blob = a + b
+        first, offset = record.decode_record(blob, 0)
+        second, end = record.decode_record(blob, offset)
+        assert first == [1, "a"]
+        assert second == [None, 2.0]
+        assert end == len(blob)
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(SQLTypeError):
+            record.encode_record(["x" * 10_000])
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(SQLTypeError):
+            record.encode_value(object())
+
+    def test_bool_encodes_as_integer(self):
+        decoded, _ = record.decode_record(record.encode_record([True]))
+        assert decoded == [1]
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(SQL_VALUES, max_size=12))
+    def test_roundtrip_property(self, values):
+        encoded = record.encode_record(values)
+        decoded, offset = record.decode_record(encoded)
+        assert offset == len(encoded)
+        assert len(decoded) == len(values)
+        for original, restored in zip(values, decoded):
+            if isinstance(original, float):
+                assert isinstance(restored, float)
+                assert math.isclose(original, restored, rel_tol=0,
+                                    abs_tol=0) or original == restored
+            else:
+                assert restored == original

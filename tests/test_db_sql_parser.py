@@ -1,0 +1,212 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_statement
+from repro.db.sql.tokenizer import IDENT, KW, NUMBER, OP, STRING, tokenize
+from repro.errors import SQLParseError
+
+
+class TestTokenizer:
+    def test_basic_kinds(self):
+        tokens = tokenize("SELECT a, 'str''x', 42, 3.5 FROM t")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [KW, IDENT, OP, STRING, OP, NUMBER, OP, NUMBER,
+                         KW, IDENT]
+        assert tokens[3].value == "str'x"
+        assert tokens[5].value == 42
+        assert tokens[7].value == 3.5
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].value == "SELECT"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.kind == IDENT and token.value == "Weird Name"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n, 2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["SELECT", 1, ",", 2]
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("a <= b >= c <> d != e || f")
+                  if t.kind == OP]
+        assert values == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @x")
+
+    def test_scientific_notation(self):
+        assert tokenize("1.5e3")[0].value == 1500.0
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr == ast.Literal(1)
+        assert stmt.from_item is None
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert stmt.items[0].expr == ast.Star()
+        assert stmt.items[1].expr == ast.Star("t")
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_item == ast.TableRef("t", "u")
+
+    def test_where_precedence(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2 "
+                               "AND c = 3")
+        where = stmt.where
+        assert isinstance(where, ast.Binary) and where.op == "OR"
+        assert isinstance(where.right, ast.Binary)
+        assert where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr == ast.Binary(
+            "+", ast.Literal(1),
+            ast.Binary("*", ast.Literal(2), ast.Literal(3)),
+        )
+
+    def test_join_chain(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x "
+            "INNER JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_item
+        assert isinstance(outer, ast.Join)
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right == ast.TableRef("c")
+
+    def test_left_join_parses(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x"
+        )
+        assert isinstance(stmt.from_item, ast.Join)
+        assert stmt.from_item.left_outer
+
+    def test_inner_join_not_outer(self):
+        stmt = parse_statement("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        assert not stmt.from_item.left_outer
+
+    def test_update_delete_parse(self):
+        stmt = parse_statement(
+            "UPDATE t SET a = a + 1, b = 'x' WHERE a < 3"
+        )
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        stmt = parse_statement("DELETE FROM t")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is None
+
+    def test_group_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 "
+            "ORDER BY 2 DESC, a ASC LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_union_chain(self):
+        stmt = parse_statement(
+            "SELECT 1 UNION SELECT 2 UNION ALL SELECT 3 ORDER BY 1"
+        )
+        assert [op for op, _ in stmt.compounds] == ["UNION", "UNION ALL"]
+        assert stmt.order_by  # belongs to the compound
+
+    def test_in_between_like_is(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM t WHERE a IN (1, 2) AND b BETWEEN 1 AND 9 "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)"
+        )
+        text = repr(stmt.where)
+        assert "InList" in text and "Between" in text
+        assert "Like" in text and "IsNull" in text
+
+    def test_subqueries(self):
+        stmt = parse_statement(
+            "SELECT x.n FROM (SELECT a AS n FROM t) AS x "
+            "WHERE x.n IN (SELECT a FROM u) AND x.n = (SELECT MAX(a) "
+            "FROM u)"
+        )
+        assert isinstance(stmt.from_item, ast.SubqueryRef)
+        text = repr(stmt.where)
+        assert "InSubquery" in text and "ScalarSubquery" in text
+
+    def test_case_expression(self):
+        stmt = parse_statement(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.Case)
+        assert expr.default == ast.Literal("small")
+
+    def test_cast(self):
+        stmt = parse_statement("SELECT CAST(a AS INTEGER) FROM t")
+        expr = stmt.items[0].expr
+        assert expr == ast.FuncCall(
+            "CAST_INTEGER", (ast.Column(None, "a"),)
+        )
+
+    def test_count_star_and_distinct(self):
+        stmt = parse_statement("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+        assert stmt.items[0].expr == ast.FuncCall("COUNT", (ast.Star(),))
+        assert stmt.items[1].expr.distinct
+
+    def test_negative_literals(self):
+        stmt = parse_statement("SELECT -5, -a FROM t")
+        assert stmt.items[0].expr == ast.Unary("-", ast.Literal(5))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("SELECT 1 FROM t garbage extra tokens ,")
+
+    def test_comma_join_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("SELECT 1 FROM a, b")
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, b TEXT, c REAL)"
+        )
+        assert stmt == ast.CreateTable(
+            "t", (("a", "INTEGER"), ("b", "TEXT"), ("c", "REAL"))
+        )
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX idx ON t (col)")
+        assert stmt == ast.CreateIndex("idx", "t", "col")
+
+    def test_insert_multi_row(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, NULL)")
+        assert stmt.columns == ()
+        assert stmt.rows[0][1] == ast.Literal(None)
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("DROP TABLE t")

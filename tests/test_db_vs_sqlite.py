@@ -1,0 +1,149 @@
+"""Cross-engine oracle: our engine vs stdlib sqlite3 on identical data.
+
+Every supported query shape is executed on both engines over the same
+randomly generated rows; results must agree (as multisets for unordered
+queries, exactly for ordered ones).
+"""
+
+import math
+import random
+import sqlite3
+
+import pytest
+
+from repro.db import Engine
+from repro.vfs.local import LocalFilesystem
+
+ROWS = 400
+
+
+@pytest.fixture(scope="module")
+def engines():
+    rng = random.Random(11)
+    rows = [
+        (
+            i,
+            rng.randint(0, 50),
+            rng.choice(["alpha", "beta", "gamma", "delta", None]),
+            round(rng.uniform(-100, 100), 3),
+        )
+        for i in range(ROWS)
+    ]
+    lookup = [(k, "name-%d" % k) for k in range(0, 50, 3)]
+
+    ours = Engine(LocalFilesystem())
+    ours.execute("CREATE TABLE data (id INTEGER, grp INTEGER, "
+                 "tag TEXT, val REAL)")
+    ours.execute("CREATE INDEX idx_grp ON data (grp)")
+    ours.execute("CREATE TABLE lookup (grp INTEGER, name TEXT)")
+    ours.execute("CREATE INDEX idx_lgrp ON lookup (grp)")
+    ours.insert_rows("data", [list(r) for r in rows])
+    ours.insert_rows("lookup", [list(r) for r in lookup])
+
+    ref = sqlite3.connect(":memory:")
+    ref.execute("CREATE TABLE data (id INTEGER, grp INTEGER, "
+                "tag TEXT, val REAL)")
+    ref.execute("CREATE TABLE lookup (grp INTEGER, name TEXT)")
+    ref.executemany("INSERT INTO data VALUES (?,?,?,?)", rows)
+    ref.executemany("INSERT INTO lookup VALUES (?,?)", lookup)
+    return ours, ref
+
+
+def _normalize(rows):
+    out = []
+    for row in rows:
+        normalized = []
+        for value in row:
+            if isinstance(value, float):
+                normalized.append(round(value, 6))
+            else:
+                normalized.append(value)
+        out.append(tuple(normalized))
+    return out
+
+
+def check(engines, sql, ordered):
+    ours, ref = engines
+    mine = _normalize(ours.execute(sql).rows)
+    theirs = _normalize(ref.execute(sql).fetchall())
+    if ordered:
+        assert mine == theirs, sql
+    else:
+        assert sorted(mine, key=repr) == sorted(theirs, key=repr), sql
+
+
+ORDERED_QUERIES = [
+    "SELECT id, grp FROM data WHERE grp = 7 ORDER BY id",
+    "SELECT id FROM data WHERE grp BETWEEN 10 AND 20 ORDER BY id DESC "
+    "LIMIT 25",
+    "SELECT tag, COUNT(*) AS n FROM data WHERE tag IS NOT NULL "
+    "GROUP BY tag ORDER BY n DESC, tag",
+    "SELECT grp, COUNT(*), SUM(id) FROM data GROUP BY grp "
+    "ORDER BY grp",
+    "SELECT grp, MIN(val), MAX(val) FROM data GROUP BY grp "
+    "HAVING COUNT(*) > 5 ORDER BY grp",
+    "SELECT d.id, l.name FROM data d JOIN lookup l ON d.grp = l.grp "
+    "WHERE d.id < 40 ORDER BY d.id, l.name",
+    "SELECT id FROM data WHERE grp IN (1, 2, 3) ORDER BY id",
+    "SELECT id FROM data WHERE tag LIKE 'a%' ORDER BY id LIMIT 10",
+    "SELECT grp FROM data WHERE id < 10 UNION SELECT grp FROM data "
+    "WHERE id > 390 ORDER BY 1",
+    "SELECT id, grp * 2 + 1 FROM data WHERE grp = 0 ORDER BY id",
+    "SELECT x.grp, x.n FROM (SELECT grp, COUNT(*) AS n FROM data "
+    "GROUP BY grp) AS x WHERE x.n > 8 ORDER BY x.grp",
+    "SELECT id FROM data WHERE grp = (SELECT MAX(grp) FROM lookup) "
+    "ORDER BY id",
+    "SELECT id FROM data WHERE grp IN (SELECT grp FROM lookup) "
+    "AND id < 30 ORDER BY id",
+    "SELECT DISTINCT grp FROM data WHERE grp < 10 ORDER BY grp",
+    "SELECT COUNT(*) FROM data WHERE val > 0 AND grp < 25",
+    "SELECT tag, AVG(val) FROM data WHERE tag IS NOT NULL GROUP BY tag "
+    "ORDER BY tag",
+    "SELECT id FROM data WHERE NOT grp = 5 AND id < 20 ORDER BY id",
+    "SELECT CASE WHEN grp < 25 THEN 'low' ELSE 'high' END AS bucket, "
+    "COUNT(*) FROM data GROUP BY CASE WHEN grp < 25 THEN 'low' "
+    "ELSE 'high' END ORDER BY bucket",
+    "SELECT id FROM data WHERE id BETWEEN 5 AND 8 UNION ALL "
+    "SELECT id FROM data WHERE id BETWEEN 5 AND 8 ORDER BY 1",
+    "SELECT grp || '-' || tag FROM data WHERE tag = 'alpha' AND "
+    "grp = 4 ORDER BY 1",
+]
+
+UNORDERED_QUERIES = [
+    "SELECT * FROM data WHERE grp > 45",
+    "SELECT d.grp, l.name FROM data d JOIN lookup l ON d.grp = l.grp "
+    "WHERE d.val > 50",
+    "SELECT tag FROM data WHERE tag IS NULL",
+    "SELECT id, val FROM data WHERE val BETWEEN -5.0 AND 5.0",
+    "SELECT COUNT(DISTINCT tag) FROM data",
+    "SELECT SUM(val) FROM data WHERE grp = 13",
+    "SELECT MIN(id), MAX(id), COUNT(*) FROM data WHERE tag = 'beta'",
+]
+
+
+@pytest.mark.parametrize("sql", ORDERED_QUERIES)
+def test_ordered_queries_match_sqlite(engines, sql):
+    check(engines, sql, ordered=True)
+
+
+@pytest.mark.parametrize("sql", UNORDERED_QUERIES)
+def test_unordered_queries_match_sqlite(engines, sql):
+    check(engines, sql, ordered=False)
+
+
+def test_random_range_scans_match_sqlite(engines):
+    rng = random.Random(5)
+    for _ in range(25):
+        low = rng.randint(0, 50)
+        high = rng.randint(low, 50)
+        sql = (f"SELECT id FROM data WHERE grp >= {low} "
+               f"AND grp <= {high} ORDER BY id")
+        check(engines, sql, ordered=True)
+
+
+def test_aggregate_avg_precision(engines):
+    ours, ref = engines
+    sql = "SELECT AVG(val) FROM data"
+    mine = ours.execute(sql).scalar()
+    theirs = ref.execute(sql).fetchone()[0]
+    assert math.isclose(mine, theirs, rel_tol=1e-9)

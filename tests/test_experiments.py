@@ -1,0 +1,125 @@
+"""Smoke tests: every experiment module runs at tiny scale and renders."""
+
+import pytest
+
+from repro.client.vfs import QueryMode
+from repro.experiments import (
+    fig8,
+    fig9to11,
+    fig12,
+    fig13,
+    fig14to16,
+    fig17,
+    harness,
+    table1,
+    table2,
+)
+
+TINY = dict(hours=4, txs_per_block=3, queries_per_workload=2)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    harness.clear_env_cache()
+    yield
+    harness.clear_env_cache()
+
+
+class TestHarness:
+    def test_env_cache_reuse(self):
+        env1 = harness.build_env(**TINY)
+        env2 = harness.build_env(**TINY)
+        assert env1 is env2
+
+    def test_run_workload_aggregates(self):
+        env = harness.build_env(**TINY)
+        workload = env.generator.workload("Q1", 2)
+        client = env.system.make_client(QueryMode.BASELINE)
+        metrics = harness.run_workload(client, workload)
+        assert metrics.queries == len(workload)
+        assert metrics.latency_s > 0
+        assert metrics.avg_latency_s <= metrics.latency_s
+
+    def test_render_table_alignment(self):
+        text = harness.render_table(
+            ["a", "long-header"], [["1", "2"], ["333", "4"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_formatters(self):
+        assert harness.fmt_seconds(2.0) == "2.00s"
+        assert harness.fmt_seconds(0.002) == "2.0ms"
+        assert harness.fmt_bytes(2048) == "2.0KB"
+        assert harness.fmt_bytes(3 << 20) == "3.00MB"
+        assert harness.fmt_bytes(12) == "12B"
+
+
+class TestTables:
+    def test_table1(self):
+        results = table1.run()
+        text = table1.render(results)
+        assert "Ours (V2FS)" in text
+
+    def test_table2_matches_paper(self):
+        results = table2.run()
+        assert results["matches_paper"]
+        assert "matches the paper's matrix" in table2.render(results)
+
+
+class TestFigures:
+    def test_fig8(self):
+        results = fig8.run(batches=[1, 2], txs_per_block=3)
+        text = fig8.render(results)
+        assert "slowdown" in text
+        assert all(s >= 1.0 for s in results["slowdown"])
+
+    def test_fig9to11(self):
+        results = fig9to11.run(
+            workloads=["Q1"], windows=[2],
+            modes=[QueryMode.BASELINE, QueryMode.INTER_VBF], **TINY
+        )
+        assert "Q1" in results
+        for renderer in (fig9to11.render_fig9, fig9to11.render_fig10,
+                         fig9to11.render_fig11):
+            assert "Q1" in renderer(results)
+
+    def test_fig12(self):
+        results = fig12.run(
+            windows=[2], modes=[QueryMode.INTER_VBF], **TINY
+        )
+        text = fig12.render(results)
+        assert "Plain" in text
+
+    def test_fig13_cache(self):
+        results = fig13.run_cache_size(
+            cache_sizes=[64 << 10, 256 << 10], window_hours=2,
+            modes=[QueryMode.INTER], **TINY
+        )
+        assert len(results["cache"]) == 2
+        assert "Fig. 13(a)" in fig13.render(results)
+
+    def test_fig13_updates(self):
+        results = fig13.run_update_impact(
+            update_blocks=[0, 1], window_hours=2, hours=4,
+            txs_per_block=3, queries_per_workload=4,
+            modes=[QueryMode.BASELINE, QueryMode.INTER_VBF],
+        )
+        assert len(results["updates"]) == 2
+        assert "Fig. 13(b)" in fig13.render(results)
+
+    def test_fig14to16(self):
+        results = fig14to16.run(
+            workloads=["Q3"], windows=[2],
+            modes=[QueryMode.BASELINE], **TINY
+        )
+        text = fig14to16.render(results)
+        assert "Fig. 14" in text and "Fig. 16" in text
+
+    def test_fig17(self):
+        results = fig17.run(sizes=[50])
+        row = results["sizes"][50]
+        assert row["update_speedup"] > 1.0
+        assert row["query_speedup"] > 1.0
+        assert "IntegriDB" in fig17.render(results)

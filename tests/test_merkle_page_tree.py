@@ -1,0 +1,258 @@
+"""Unit and property tests for the lower-layer page Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import ProofError, StorageError
+from repro.merkle import page_tree
+from repro.merkle.node_store import NodeStore, PageData
+
+
+def make_tree(pages):
+    store = NodeStore()
+    digests = [store.put(PageData(p)) for p in pages]
+    root = page_tree.build_tree(store, digests)
+    return store, root, digests
+
+
+class TestShape:
+    @pytest.mark.parametrize("count,capacity,height", [
+        (0, 1, 0), (1, 1, 0), (2, 2, 1), (3, 4, 2), (4, 4, 2),
+        (5, 8, 3), (8, 8, 3), (9, 16, 4), (1000, 1024, 10),
+    ])
+    def test_capacity_and_height(self, count, capacity, height):
+        assert page_tree.capacity_for(count) == capacity
+        assert page_tree.height_for(count) == height
+
+    def test_empty_tree_root(self):
+        store = NodeStore()
+        assert page_tree.build_tree(store, []) == page_tree.EMPTY[0]
+
+    def test_single_leaf_root_is_leaf(self):
+        store, root, digests = make_tree([b"only"])
+        assert root == digests[0]
+
+
+class TestNavigation:
+    def test_leaf_digest(self):
+        pages = [b"p%d" % i for i in range(5)]
+        store, root, digests = make_tree(pages)
+        for i, digest in enumerate(digests):
+            assert page_tree.leaf_digest(store, root, 5, i) == digest
+
+    def test_padding_leaves_are_empty(self):
+        store, root, _ = make_tree([b"a", b"b", b"c"])
+        assert page_tree.node_digest(store, root, 3, 0, 3) == \
+            page_tree.EMPTY[0]
+
+    def test_out_of_range_level(self):
+        store, root, _ = make_tree([b"a", b"b"])
+        with pytest.raises(StorageError):
+            page_tree.node_digest(store, root, 2, 5, 0)
+
+    def test_out_of_range_index(self):
+        store, root, _ = make_tree([b"a", b"b"])
+        with pytest.raises(StorageError):
+            page_tree.node_digest(store, root, 2, 0, 2)
+
+
+class TestMultiproof:
+    def test_single_target_roundtrip(self):
+        pages = [b"p%d" % i for i in range(7)]
+        store, root, digests = make_tree(pages)
+        targets = {(0, 3): digests[3]}
+        proof = page_tree.gen_multiproof(store, root, 7, targets)
+        page_tree.verify_multiproof(targets, proof, 7, root)
+
+    def test_multi_target_roundtrip(self):
+        pages = [b"p%d" % i for i in range(9)]
+        store, root, digests = make_tree(pages)
+        targets = {(0, i): digests[i] for i in (0, 4, 8)}
+        proof = page_tree.gen_multiproof(store, root, 9, targets)
+        page_tree.verify_multiproof(targets, proof, 9, root)
+
+    def test_internal_node_target(self):
+        pages = [b"p%d" % i for i in range(8)]
+        store, root, _ = make_tree(pages)
+        internal = page_tree.node_digest(store, root, 8, 2, 1)
+        targets = {(2, 1): internal}
+        proof = page_tree.gen_multiproof(store, root, 8, targets)
+        page_tree.verify_multiproof(targets, proof, 8, root)
+
+    def test_tampered_target_rejected(self):
+        pages = [b"p%d" % i for i in range(4)]
+        store, root, digests = make_tree(pages)
+        targets = {(0, 1): digests[1]}
+        proof = page_tree.gen_multiproof(store, root, 4, targets)
+        bad = {(0, 1): hash_bytes(b"evil")}
+        with pytest.raises(ProofError):
+            page_tree.verify_multiproof(bad, proof, 4, root)
+
+    def test_missing_sibling_rejected(self):
+        pages = [b"p%d" % i for i in range(4)]
+        store, root, digests = make_tree(pages)
+        targets = {(0, 1): digests[1]}
+        with pytest.raises(ProofError):
+            page_tree.verify_multiproof(targets, {}, 4, root)
+
+    def test_conflicting_claims_rejected(self):
+        pages = [b"p%d" % i for i in range(4)]
+        store, root, digests = make_tree(pages)
+        parent = page_tree.node_digest(store, root, 4, 1, 0)
+        targets = {(0, 0): digests[0], (0, 1): digests[1],
+                   (1, 0): hash_bytes(b"wrong-parent")}
+        proof = page_tree.gen_multiproof(store, root, 4, set(targets))
+        with pytest.raises(ProofError):
+            page_tree.reconstruct_root(targets, proof, 4)
+        good = dict(targets)
+        good[(1, 0)] = parent
+        page_tree.verify_multiproof(good, proof, 4, root)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.data(),
+    )
+    def test_random_multiproofs(self, count, data):
+        pages = [b"page-%d" % i for i in range(count)]
+        store, root, digests = make_tree(pages)
+        indices = data.draw(
+            st.sets(st.integers(0, count - 1), min_size=1, max_size=count)
+        )
+        targets = {(0, i): digests[i] for i in indices}
+        proof = page_tree.gen_multiproof(store, root, count, set(targets))
+        page_tree.verify_multiproof(targets, proof, count, root)
+
+
+class TestStorageUpdates:
+    def test_overwrite(self):
+        pages = [b"p%d" % i for i in range(4)]
+        store, root, _ = make_tree(pages)
+        new_digest = store.put(PageData(b"NEW"))
+        root2 = page_tree.write_pages(store, root, 4, {2: new_digest}, 4)
+        assert page_tree.leaf_digest(store, root2, 4, 2) == new_digest
+        # Other leaves unchanged; old root still navigable (MVCC).
+        assert page_tree.leaf_digest(store, root2, 4, 0) == \
+            page_tree.leaf_digest(store, root, 4, 0)
+        assert page_tree.leaf_digest(store, root, 4, 2) == \
+            hash_bytes(b"p2")
+
+    def test_growth_past_capacity(self):
+        pages = [b"p%d" % i for i in range(3)]
+        store, root, _ = make_tree(pages)
+        new = store.put(PageData(b"p5"))
+        root2 = page_tree.write_pages(store, root, 3, {5: new}, 6)
+        assert page_tree.leaf_digest(store, root2, 6, 5) == new
+        assert page_tree.leaf_digest(store, root2, 6, 0) == \
+            hash_bytes(b"p0")
+        # The hole at page 3-4 is EMPTY.
+        assert page_tree.node_digest(store, root2, 6, 0, 3) == \
+            page_tree.EMPTY[0]
+
+    def test_growth_only_appends_match_rebuild(self):
+        pages = [b"p%d" % i for i in range(5)]
+        store, root, digests = make_tree(pages)
+        extra = [store.put(PageData(b"x%d" % i)) for i in range(5, 11)]
+        root2 = page_tree.write_pages(
+            store, root, 5, dict(zip(range(5, 11), extra)), 11
+        )
+        fresh_store = NodeStore()
+        all_digests = [fresh_store.put(PageData(b"p%d" % i))
+                       for i in range(5)]
+        all_digests += [fresh_store.put(PageData(b"x%d" % i))
+                        for i in range(5, 11)]
+        assert root2 == page_tree.build_tree(fresh_store, all_digests)
+
+    def test_truncation_rejected(self):
+        store, root, _ = make_tree([b"a", b"b"])
+        with pytest.raises(StorageError):
+            page_tree.write_pages(store, root, 2, {}, 1)
+
+    def test_write_beyond_count_rejected(self):
+        store, root, _ = make_tree([b"a"])
+        with pytest.raises(StorageError):
+            page_tree.write_pages(
+                store, root, 1, {5: hash_bytes(b"x")}, 2
+            )
+
+
+class TestProofDrivenUpdate:
+    def _roundtrip(self, initial, writes, new_count):
+        """Assert enclave-computed root == storage-computed root."""
+        store, root, digests = make_tree(initial)
+        count = len(initial)
+        in_range = {
+            pid for pid in writes
+            if pid < page_tree.capacity_for(count)
+        }
+        proof = page_tree.gen_multiproof(
+            store, root, count, {(0, pid) for pid in in_range}
+        ) if in_range and count else {}
+        old_leaves = {
+            pid: page_tree.node_digest(store, root, count, 0, pid)
+            for pid in in_range
+        } if count else {}
+        new_leaves = {pid: hash_bytes(data)
+                      for pid, data in writes.items()}
+        derived = page_tree.updated_root_from_proof(
+            root, count, old_leaves, proof, new_leaves, new_count
+        )
+        leaf_writes = {
+            pid: store.put(PageData(data))
+            for pid, data in writes.items()
+        }
+        stored = page_tree.write_pages(
+            store, root, count, leaf_writes, new_count
+        )
+        assert derived == stored
+
+    def test_overwrite_within_capacity(self):
+        self._roundtrip([b"a", b"b", b"c"], {1: b"B"}, 3)
+
+    def test_append_within_capacity(self):
+        self._roundtrip([b"a", b"b", b"c"], {3: b"d"}, 4)
+
+    def test_append_beyond_capacity(self):
+        self._roundtrip([b"a", b"b"], {2: b"c", 5: b"f"}, 6)
+
+    def test_pure_growth(self):
+        self._roundtrip([b"a", b"b", b"c", b"d"], {6: b"g"}, 7)
+
+    def test_from_empty_file(self):
+        self._roundtrip([], {0: b"first", 1: b"second"}, 2)
+
+    def test_mixed_overwrite_and_growth(self):
+        self._roundtrip(
+            [b"p%d" % i for i in range(6)],
+            {0: b"Z", 5: b"Y", 9: b"new"},
+            10,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_updates_match_storage(self, data):
+        count = data.draw(st.integers(0, 20))
+        initial = [b"i%d" % i for i in range(count)]
+        new_count = data.draw(st.integers(count, count + 20))
+        if new_count == 0:
+            return
+        write_pids = data.draw(
+            st.sets(st.integers(0, new_count - 1), min_size=1,
+                    max_size=new_count)
+        )
+        # Appends must actually reach new_count for consistency.
+        if new_count > count:
+            write_pids.add(new_count - 1)
+        writes = {pid: b"w%d" % pid for pid in write_pids}
+        self._roundtrip(initial, writes, new_count)
+
+    def test_forged_old_leaf_rejected(self):
+        store, root, digests = make_tree([b"a", b"b", b"c", b"d"])
+        proof = page_tree.gen_multiproof(store, root, 4, {(0, 1)})
+        with pytest.raises(ProofError):
+            page_tree.updated_root_from_proof(
+                root, 4, {1: hash_bytes(b"forged-old")},
+                proof, {1: hash_bytes(b"new")}, 4,
+            )

@@ -1,0 +1,160 @@
+"""Unit and property tests for the upper-layer path trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import FileNotFoundInStoreError, StorageError
+from repro.merkle import path_trie
+from repro.merkle.node_store import NodeStore
+
+
+def fresh():
+    store = NodeStore()
+    return store, path_trie.empty_root(store)
+
+
+def d(tag):
+    return hash_bytes(tag.encode())
+
+
+class TestPathSplitting:
+    def test_split(self):
+        assert path_trie.split_path("/var/main.db") == ("var", "main.db")
+
+    def test_split_collapses_empty_segments(self):
+        assert path_trie.split_path("//a//b/") == ("a", "b")
+
+    def test_relative_rejected(self):
+        with pytest.raises(StorageError):
+            path_trie.split_path("a/b")
+
+    def test_root_alone_rejected(self):
+        with pytest.raises(StorageError):
+            path_trie.split_path("/")
+
+    def test_join_inverts_split(self):
+        assert path_trie.join_path(("a", "b")) == "/a/b"
+
+
+class TestSetGet:
+    def test_set_then_get(self):
+        store, root = fresh()
+        root = path_trie.set_file(store, root, "/a/b", d("t"), 100, 1)
+        node = path_trie.get_file(store, root, "/a/b")
+        assert node.tree_root == d("t")
+        assert node.size == 100
+        assert node.page_count == 1
+
+    def test_missing_file(self):
+        store, root = fresh()
+        with pytest.raises(FileNotFoundInStoreError):
+            path_trie.get_file(store, root, "/nope")
+
+    def test_replace_changes_root(self):
+        store, root = fresh()
+        r1 = path_trie.set_file(store, root, "/f", d("v1"), 10, 1)
+        r2 = path_trie.set_file(store, r1, "/f", d("v2"), 20, 1)
+        assert r1 != r2
+        # MVCC: old version still readable.
+        assert path_trie.get_file(store, r1, "/f").tree_root == d("v1")
+        assert path_trie.get_file(store, r2, "/f").tree_root == d("v2")
+
+    def test_same_content_same_root(self):
+        store, root = fresh()
+        r1 = path_trie.set_file(store, root, "/x/y", d("t"), 5, 1)
+        store2 = NodeStore()
+        r2 = path_trie.set_file(
+            store2, path_trie.empty_root(store2), "/x/y", d("t"), 5, 1
+        )
+        assert r1 == r2
+
+    def test_insertion_order_irrelevant(self):
+        store1, root1 = fresh()
+        root1 = path_trie.set_file(store1, root1, "/a/1", d("1"), 1, 1)
+        root1 = path_trie.set_file(store1, root1, "/a/2", d("2"), 2, 1)
+        store2, root2 = fresh()
+        root2 = path_trie.set_file(store2, root2, "/a/2", d("2"), 2, 1)
+        root2 = path_trie.set_file(store2, root2, "/a/1", d("1"), 1, 1)
+        assert root1 == root2
+
+    def test_file_dir_conflict(self):
+        store, root = fresh()
+        root = path_trie.set_file(store, root, "/a", d("f"), 1, 1)
+        with pytest.raises(StorageError):
+            path_trie.set_file(store, root, "/a/b", d("g"), 1, 1)
+
+    def test_exists(self):
+        store, root = fresh()
+        root = path_trie.set_file(store, root, "/p/q", d("t"), 1, 1)
+        assert path_trie.file_exists(store, root, "/p/q")
+        assert not path_trie.file_exists(store, root, "/p/r")
+        assert not path_trie.file_exists(store, root, "/p/q/deeper")
+
+
+class TestDelete:
+    def test_delete_file(self):
+        store, root = fresh()
+        root = path_trie.set_file(store, root, "/a/b", d("t"), 1, 1)
+        root = path_trie.set_file(store, root, "/a/c", d("u"), 1, 1)
+        root = path_trie.delete_file(store, root, "/a/b")
+        assert not path_trie.file_exists(store, root, "/a/b")
+        assert path_trie.file_exists(store, root, "/a/c")
+
+    def test_delete_prunes_empty_dirs(self):
+        store, root = fresh()
+        r0 = root
+        root = path_trie.set_file(store, root, "/deep/nested/f", d("t"),
+                                  1, 1)
+        root = path_trie.delete_file(store, root, "/deep/nested/f")
+        assert root == r0  # back to the empty trie
+
+    def test_delete_missing_raises(self):
+        store, root = fresh()
+        with pytest.raises(FileNotFoundInStoreError):
+            path_trie.delete_file(store, root, "/ghost")
+
+
+class TestListing:
+    def test_list_files_sorted(self):
+        store, root = fresh()
+        for path in ["/z", "/a/b", "/a/a", "/m/n/o"]:
+            root = path_trie.set_file(store, root, path, d(path), 1, 1)
+        assert path_trie.list_files(store, root) == [
+            "/a/a", "/a/b", "/m/n/o", "/z",
+        ]
+
+
+_SEGMENTS = st.text(
+    alphabet=st.sampled_from("abcdef"), min_size=1, max_size=3
+)
+_PATHS = st.lists(_SEGMENTS, min_size=1, max_size=3).map(
+    lambda segs: "/" + "/".join(segs)
+)
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(_PATHS, st.integers(0, 1000)), max_size=15))
+    def test_matches_dict(self, operations):
+        store, root = fresh()
+        model = {}
+        for path, size in operations:
+            # Skip paths that would conflict with an existing file/dir.
+            conflict = any(
+                existing != path and (
+                    existing.startswith(path + "/")
+                    or path.startswith(existing + "/")
+                )
+                for existing in model
+            )
+            if conflict:
+                continue
+            root = path_trie.set_file(
+                store, root, path, d(f"{path}:{size}"), size, 1
+            )
+            model[path] = size
+        assert path_trie.list_files(store, root) == sorted(model)
+        for path, size in model.items():
+            assert path_trie.get_file(store, root, path).size == size

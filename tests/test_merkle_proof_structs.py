@@ -1,0 +1,173 @@
+"""Tests for proof structures: skeleton generation, updates, encoding."""
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import ProofError
+from repro.merkle.ads import V2fsAds
+from repro.merkle.proof import (
+    AdsProof,
+    ProofDir,
+    ProofFile,
+    collect_proof_files,
+    gen_trie_proof,
+    skeleton_root_with_updates,
+)
+
+
+def build():
+    ads = V2fsAds()
+    root = ads.apply_writes(
+        ads.root,
+        {
+            "/db/a.tbl": {0: b"a0"},
+            "/db/b.tbl": {0: b"b0"},
+            "/etc/conf": {0: b"c0"},
+        },
+        {"/db/a.tbl": 4096, "/db/b.tbl": 4096, "/etc/conf": 10},
+    )
+    return ads, root
+
+
+class TestSkeleton:
+    def test_digest_matches_root(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(ads.store, root, ["/db/a.tbl"])
+        assert skeleton.digest() == root
+
+    def test_off_path_children_opaque(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(ads.store, root, ["/db/a.tbl"])
+        files = collect_proof_files(skeleton)
+        assert list(files) == ["/db/a.tbl"]  # b.tbl and conf are opaque
+
+    def test_multiple_paths_share_prefix(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(
+            ads.store, root, ["/db/a.tbl", "/db/b.tbl"]
+        )
+        assert sorted(collect_proof_files(skeleton)) == [
+            "/db/a.tbl", "/db/b.tbl",
+        ]
+        # Only one expanded /db directory node.
+        db_nodes = [
+            child for name, child in skeleton.children
+            if name == "db" and isinstance(child, ProofDir)
+        ]
+        assert len(db_nodes) == 1
+
+    def test_missing_path_rejected(self):
+        ads, root = build()
+        with pytest.raises(Exception):
+            gen_trie_proof(ads.store, root, ["/ghost"])
+
+    def test_expand_dirs_for_new_files(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(
+            ads.store, root, [], expand_dirs=["/db/new.tbl"]
+        )
+        assert skeleton.digest() == root
+        # /db is expanded (so non-membership of new.tbl is checkable).
+        assert any(
+            name == "db" and isinstance(child, ProofDir)
+            for name, child in skeleton.children
+        )
+
+
+class TestSkeletonUpdates:
+    def test_replace_existing_file(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(ads.store, root, ["/db/a.tbl"])
+        new_tree = hash_bytes(b"new-tree-root")
+        derived = skeleton_root_with_updates(
+            skeleton, {"/db/a.tbl": (new_tree, 8192, 2)}
+        )
+        # Independent storage-side computation agrees.
+        from repro.merkle import path_trie
+
+        expected = path_trie.set_file(
+            ads.store, root, "/db/a.tbl", new_tree, 8192, 2
+        )
+        assert derived == expected
+
+    def test_insert_into_expanded_dir(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(
+            ads.store, root, [], expand_dirs=["/db/new.tbl"]
+        )
+        new_tree = hash_bytes(b"fresh")
+        derived = skeleton_root_with_updates(
+            skeleton, {"/db/new.tbl": (new_tree, 4096, 1)}
+        )
+        from repro.merkle import path_trie
+
+        expected = path_trie.set_file(
+            ads.store, root, "/db/new.tbl", new_tree, 4096, 1
+        )
+        assert derived == expected
+
+    def test_insert_whole_new_directory(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(
+            ads.store, root, [], expand_dirs=["/brand/new/file"]
+        )
+        new_tree = hash_bytes(b"fresh")
+        derived = skeleton_root_with_updates(
+            skeleton, {"/brand/new/file": (new_tree, 4096, 1)}
+        )
+        from repro.merkle import path_trie
+
+        expected = path_trie.set_file(
+            ads.store, root, "/brand/new/file", new_tree, 4096, 1
+        )
+        assert derived == expected
+
+    def test_insert_under_opaque_dir_rejected(self):
+        ads, root = build()
+        # /etc is opaque in this skeleton (only /db expanded).
+        skeleton = gen_trie_proof(ads.store, root, ["/db/a.tbl"])
+        with pytest.raises(ProofError):
+            skeleton_root_with_updates(
+                skeleton, {"/etc/other": (hash_bytes(b"x"), 4096, 1)}
+            )
+
+    def test_unplaceable_update_rejected(self):
+        ads, root = build()
+        skeleton = gen_trie_proof(ads.store, root, ["/db/a.tbl"])
+        with pytest.raises(ProofError):
+            # /db/a.tbl/under treats a file as a directory.
+            skeleton_root_with_updates(
+                skeleton,
+                {"/db/a.tbl/under": (hash_bytes(b"x"), 4096, 1)},
+            )
+
+
+class TestEncoding:
+    def test_empty_proof_roundtrip(self):
+        ads, root = build()
+        proof = ads.gen_read_proof(root, [])
+        decoded = AdsProof.decode(proof.encode())
+        assert decoded.trie.digest() == root
+
+    def test_nested_roundtrip_preserves_digest(self):
+        ads, root = build()
+        proof = ads.gen_read_proof(
+            root, [("/db/a.tbl", 0), ("/etc/conf", 0)]
+        )
+        decoded = AdsProof.decode(proof.encode())
+        assert decoded.trie.digest() == proof.trie.digest()
+        assert decoded.files.keys() == proof.files.keys()
+
+    def test_truncated_rejected(self):
+        ads, root = build()
+        encoded = ads.gen_read_proof(root, [("/db/a.tbl", 0)]).encode()
+        for cut in (1, len(encoded) // 3, len(encoded) - 5):
+            with pytest.raises(Exception):
+                AdsProof.decode(encoded[:cut])
+
+    def test_proof_file_digest_matches_node(self):
+        from repro.merkle.node_store import FileNode
+
+        proof_file = ProofFile("seg", hash_bytes(b"t"), 100, 1)
+        node = FileNode("seg", hash_bytes(b"t"), 100, 1)
+        assert proof_file.digest() == node.digest()

@@ -1,0 +1,147 @@
+"""Tests for the network accounting layer and the ISP server."""
+
+import pytest
+
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.errors import NetworkError, StorageError
+from repro.merkle import page_tree
+from repro.merkle.ads import V2fsAds
+from repro.network.transport import (
+    CATEGORY_CHECK,
+    CATEGORY_PAGE,
+    NetworkCostModel,
+    NetworkStats,
+    Transport,
+)
+
+
+class TestNetworkAccounting:
+    def test_round_trip_cost(self):
+        model = NetworkCostModel(latency_s=0.001,
+                                 bandwidth_bytes_per_s=1000.0)
+        assert model.round_trip_cost(500, 500) == pytest.approx(1.001)
+
+    def test_transport_accumulates(self):
+        transport = Transport(NetworkCostModel(0.001, 1e9))
+        transport.account(CATEGORY_PAGE, 10, 4096)
+        transport.account(CATEGORY_PAGE, 10, 4096)
+        transport.account(CATEGORY_CHECK, 100, 40)
+        stats = transport.stats
+        assert stats.requests == {CATEGORY_PAGE: 2, CATEGORY_CHECK: 1}
+        assert stats.bytes_received[CATEGORY_PAGE] == 8192
+        assert stats.total_requests() == 3
+        assert stats.total_bytes() == 10 + 10 + 100 + 8192 + 40
+
+    def test_snapshot_and_delta(self):
+        transport = Transport(NetworkCostModel(0.001, 1e9))
+        transport.account(CATEGORY_PAGE, 1, 1)
+        before = transport.stats.snapshot()
+        transport.account(CATEGORY_PAGE, 1, 1)
+        transport.account(CATEGORY_CHECK, 1, 1)
+        delta = transport.stats.delta_since(before)
+        assert delta.requests[CATEGORY_PAGE] == 1
+        assert delta.requests[CATEGORY_CHECK] == 1
+        assert delta.simulated_time_s == pytest.approx(0.002, rel=0.01)
+
+    def test_empty_stats(self):
+        stats = NetworkStats()
+        assert stats.total_requests() == 0
+        assert stats.total_bytes() == 0
+
+
+@pytest.fixture(scope="module")
+def isp_system():
+    system = V2FSSystem(SystemConfig(txs_per_block=4))
+    system.advance_all(3)
+    return system
+
+
+class TestIspServer:
+    def test_certificate_matches_root(self, isp_system):
+        isp = isp_system.isp
+        assert isp.get_certificate().ads_root == isp.root
+
+    def test_session_snapshot_isolation(self, isp_system):
+        # Open a session, then update; the session still reads old data.
+        system = V2FSSystem(SystemConfig(txs_per_block=4))
+        system.advance_all(2)
+        isp = system.isp
+        session = isp.open_session()
+        old_root = isp._sessions[session].root
+        system.advance_block("eth")
+        assert isp.root != old_root
+        # Pages under the pinned root remain readable.
+        path = "/db/tables/eth_transactions.tbl"
+        page = isp.get_page(session, path, 0)
+        assert isinstance(page, bytes) and len(page) == 4096
+
+    def test_meta_for_missing_file(self, isp_system):
+        session = isp_system.isp.open_session()
+        exists, size, pages = isp_system.isp.get_file_meta(
+            session, "/no/such/file"
+        )
+        assert (exists, size, pages) == (False, 0, 0)
+
+    def test_unknown_session_rejected(self, isp_system):
+        with pytest.raises(NetworkError):
+            isp_system.isp.get_page(999999, "/db/catalog", 0)
+
+    def test_page_claims_accumulate_into_vo(self, isp_system):
+        isp = isp_system.isp
+        session = isp.open_session()
+        page = isp.get_page(session, "/db/catalog", 0)
+        vo = isp.finalize_session(session)
+        claims = {("/db/catalog", 0): V2fsAds.page_digest(page)}
+        V2fsAds.verify_read_proof(vo, isp.root, claims)
+
+    def test_validate_path_fresh_match(self, isp_system):
+        isp = isp_system.isp
+        session = isp.open_session()
+        path = "/db/catalog"
+        digest = V2fsAds.page_digest(isp.get_page(session, path, 0))
+        response = isp.validate_path(
+            session, path, 0, [(0, 0, digest)]
+        )
+        assert response[0] == "fresh"
+        assert response[1:3] == (0, 0)
+
+    def test_validate_path_stale_returns_page(self, isp_system):
+        isp = isp_system.isp
+        session = isp.open_session()
+        path = "/db/catalog"
+        response = isp.validate_path(
+            session, path, 0, [(0, 0, b"\x00" * 32)]
+        )
+        assert response[0] == "page"
+        assert V2fsAds.page_digest(response[1]) != b"\x00" * 32
+
+    def test_validate_path_prefers_topmost_match(self, isp_system):
+        isp = isp_system.isp
+        session = isp.open_session()
+        path = "/db/tables/eth_transactions.tbl"
+        node = isp.ads.file_node(isp._sessions[session].root, path)
+        height = page_tree.height_for(node.page_count)
+        top = isp.ads.node_digest(
+            isp._sessions[session].root, path, height, 0
+        )
+        leaf = isp.ads.node_digest(
+            isp._sessions[session].root, path, 0, 0
+        )
+        response = isp.validate_path(
+            session, path, 0, [(height, 0, top), (0, 0, leaf)]
+        )
+        assert response[0] == "fresh"
+        assert response[1] == height  # matched the topmost entry
+
+    def test_sync_rejects_mismatched_certificate(self):
+        system = V2FSSystem(SystemConfig(txs_per_block=4))
+        system.advance_block("btc")
+        report = system.ci.process_block.__self__  # issuer alive
+        del report
+        certificate = system.isp.get_certificate()
+        with pytest.raises(StorageError):
+            system.isp.sync_update(
+                {"/db/catalog": {0: b"junk".ljust(4096, b"\x00")}},
+                {"/db/catalog": 4096},
+                certificate,
+            )

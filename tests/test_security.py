@@ -1,0 +1,257 @@
+"""Adversarial tests: every attack the threat model covers must be caught.
+
+The ISP and the V2FS CI are untrusted; these tests subclass the honest
+implementations with malicious behaviours and assert the client (or the
+enclave) rejects them.
+"""
+
+import pytest
+
+from repro.client.vfs import QueryMode
+from repro.core.certificate import V2fsCertificate
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.crypto.signature import KeyPair, sign
+from repro.errors import (
+    CertificateError,
+    ProofError,
+    ReproError,
+    VerificationError,
+)
+from repro.isp.server import IspServer
+from repro.merkle.ads import V2fsAds
+
+SQL = "SELECT COUNT(*) FROM eth_transactions"
+
+
+def build_system(hours=3):
+    system = V2FSSystem(SystemConfig(txs_per_block=4))
+    system.advance_all(hours)
+    return system
+
+
+class TamperingIsp(IspServer):
+    """Serves pages with a flipped byte in the payload area.
+
+    The flip lands late in the page so the B+Tree node header still
+    parses — the engine computes a (wrong) answer and only the VO check
+    can catch it.
+    """
+
+    def get_page(self, session_id, path, page_id):
+        page = super().get_page(session_id, path, page_id)
+        if path.endswith("eth_transactions.tbl") and page_id >= 1:
+            return page[:-1] + bytes([page[-1] ^ 0xFF])
+        return page
+
+
+class WithholdingIsp(IspServer):
+    """Returns an empty VO, hiding the proof."""
+
+    def finalize_session(self, session_id):
+        from repro.merkle.proof import AdsProof, gen_trie_proof
+
+        session = self._sessions.pop(session_id)
+        return AdsProof(
+            trie=gen_trie_proof(self.ads.store, session.root, [])
+        )
+
+
+class StaleMetaIsp(IspServer):
+    """Reports a subtly wrong file size (off by a few bytes)."""
+
+    def get_file_meta(self, session_id, path):
+        exists, size, page_count = super().get_file_meta(
+            session_id, path
+        )
+        if path.endswith("eth_transactions.tbl"):
+            return exists, size - 16, page_count
+        return exists, size, page_count
+
+
+class TruncatingMetaIsp(IspServer):
+    """Understates a file's page count (hiding recent appends)."""
+
+    def get_file_meta(self, session_id, path):
+        exists, size, page_count = super().get_file_meta(
+            session_id, path
+        )
+        if path.endswith("eth_transactions.tbl") and page_count > 1:
+            return exists, max(4096, size - 4096), page_count - 1
+        return exists, size, page_count
+
+
+class LyingFreshnessIsp(IspServer):
+    """Confirms freshness of digests that do not match its ADS."""
+
+    def validate_path(self, session_id, path, page_id, digs_path):
+        if digs_path:
+            level, index, digest = digs_path[-1]
+            session = self._sessions[session_id]
+            session.vo.add_node(path, level, index)
+            return ("fresh", level, index, digest)
+        return super().validate_path(session_id, path, page_id,
+                                     digs_path)
+
+
+def swap_isp(system, isp_class):
+    """Clone the honest ISP's state into a malicious subclass."""
+    malicious = isp_class()
+    malicious.ads = system.isp.ads
+    malicious.root = system.isp.root
+    malicious.certificate = system.isp.certificate
+    system.isp = malicious
+    return system
+
+
+class TestMaliciousIsp:
+    def test_tampered_page_rejected(self):
+        system = swap_isp(build_system(), TamperingIsp)
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(ReproError):
+            client.query(SQL)
+
+    def test_withheld_vo_rejected(self):
+        system = swap_isp(build_system(), WithholdingIsp)
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(ReproError):
+            client.query(SQL)
+
+    def test_wrong_size_metadata_rejected(self):
+        system = swap_isp(build_system(), StaleMetaIsp)
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(VerificationError):
+            client.query(SQL)
+
+    def test_truncating_metadata_rejected(self):
+        # Hiding recent appends either breaks the engine's parse or
+        # fails the metadata check; either way no wrong answer escapes.
+        system = swap_isp(build_system(), TruncatingMetaIsp)
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(ReproError):
+            client.query(SQL)
+
+    def test_lying_freshness_rejected(self):
+        system = swap_isp(build_system(2), LyingFreshnessIsp)
+        client = system.make_client(QueryMode.INTER)
+        client.query(SQL)  # warm the cache (no checks yet)
+        system.advance_block("eth")  # make cached pages stale
+        # The malicious ISP will claim the stale path is fresh, but its
+        # node claim cannot be proven against the new certified root.
+        with pytest.raises(ReproError):
+            client.query(SQL)
+
+    def test_failed_query_rolls_back_cache_inserts(self):
+        system = swap_isp(build_system(), TamperingIsp)
+        client = system.make_client(QueryMode.INTER)
+        with pytest.raises(ReproError):
+            client.query(SQL)
+        assert len(client.inter_cache) == 0
+
+
+class TestForgedCertificates:
+    def test_certificate_from_wrong_key_rejected(self):
+        system = build_system(2)
+        real = system.isp.certificate
+        rogue = KeyPair.generate(b"rogue-ci")
+        forged = V2fsCertificate(
+            ads_root=real.ads_root,
+            chain_states=real.chain_states,
+            version=real.version,
+            signature=sign(rogue, real.message()),
+            vbf_encoded=real.vbf_encoded,
+        )
+        system.isp.certificate = forged
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(CertificateError):
+            client.query(SQL)
+
+    def test_stale_certificate_rejected(self):
+        system = build_system(2)
+        old_certificate = system.isp.certificate
+        old_root = system.isp.root
+        old_store_state = None  # the ADS keeps the old root readable
+        system.advance_block("eth")
+        # A malicious ISP replays the old (validly signed) certificate:
+        # the client's observed chain heads are newer, so it is stale.
+        system.isp.certificate = old_certificate
+        system.isp.root = old_root
+        del old_store_state
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(CertificateError):
+            client.query(SQL)
+
+    def test_tampered_certificate_body_rejected(self):
+        system = build_system(2)
+        real = system.isp.certificate
+        system.isp.certificate = V2fsCertificate(
+            ads_root=b"\x00" * 32,
+            chain_states=real.chain_states,
+            version=real.version,
+            signature=real.signature,
+            vbf_encoded=real.vbf_encoded,
+        )
+        client = system.make_client(QueryMode.BASELINE)
+        with pytest.raises(CertificateError):
+            client.query(SQL)
+
+
+class TestMaliciousCiStorage:
+    def test_lying_storage_metadata_detected(self):
+        """The CI's outside-enclave storage lies about a file's size."""
+        system = build_system(1)
+        ci = system.ci
+        original_handler = ci.enclave._handlers["open"]
+
+        def lying_open(path):
+            exists, size, page_count = original_handler(path)
+            if exists and path.endswith(".tbl"):
+                return exists, size + 4096, page_count + 1
+            return exists, size, page_count
+
+        ci.enclave.register_ocall("open", lying_open)
+        with pytest.raises(ProofError):
+            system.advance_block("eth")
+
+    def test_tampered_storage_page_detected(self):
+        """The CI's storage returns a modified page to the enclave."""
+        system = build_system(1)
+        ci = system.ci
+        original_handler = ci.enclave._handlers["get_page"]
+        state = {"fired": False}
+
+        def tampering_get_page(root, path, page_id):
+            page = original_handler(root, path, page_id)
+            if path.endswith(".tbl") and not state["fired"]:
+                state["fired"] = True
+                return b"\xff" + page[1:]
+            return page
+
+        ci.enclave.register_ocall("get_page", tampering_get_page)
+        with pytest.raises(ReproError):
+            system.advance_block("eth")
+
+
+class TestProofTampering:
+    def test_truncated_vo_rejected(self):
+        ads = V2fsAds()
+        root = ads.apply_writes(
+            ads.root, {"/f": {i: b"p%d" % i for i in range(4)}},
+            {"/f": 4 * 4096},
+        )
+        claims = {("/f", i): V2fsAds.page_digest(b"p%d" % i)
+                  for i in range(4)}
+        proof = ads.gen_read_proof(root, list(claims))
+        encoded = proof.encode()
+        from repro.merkle.proof import AdsProof
+
+        with pytest.raises(ReproError):
+            AdsProof.decode(encoded[:len(encoded) // 2])
+
+    def test_proof_for_different_snapshot_rejected(self):
+        ads = V2fsAds()
+        r1 = ads.apply_writes(ads.root, {"/f": {0: b"v1"}}, {"/f": 4096})
+        r2 = ads.apply_writes(r1, {"/f": {0: b"v2"}}, {"/f": 4096})
+        claims_old = {("/f", 0): V2fsAds.page_digest(b"v1")}
+        proof_old = ads.gen_read_proof(r1, list(claims_old))
+        with pytest.raises(ProofError):
+            V2fsAds.verify_read_proof(proof_old, r2, claims_old)

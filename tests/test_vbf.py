@@ -1,0 +1,88 @@
+"""Tests for the versioned bloom filter, including the paper's Theorem 2
+(no false negatives) as a property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vbf.versioned_bloom import VersionedBloomFilter
+
+
+class TestBasics:
+    def test_fresh_when_never_written(self):
+        vbf = VersionedBloomFilter(slots=128, hashes=3)
+        positions = vbf.positions("/f", 0)
+        assert vbf.fresh_since(positions, 0)
+
+    def test_stale_after_later_write(self):
+        vbf = VersionedBloomFilter(slots=128, hashes=3)
+        vbf.mark_written("/f", 0, version=5)
+        positions = vbf.positions("/f", 0)
+        assert not vbf.fresh_since(positions, 4)
+        assert vbf.fresh_since(positions, 5)
+
+    def test_versions_monotonic(self):
+        vbf = VersionedBloomFilter(slots=128, hashes=3)
+        vbf.mark_written("/f", 0, version=5)
+        vbf.mark_written("/f", 0, version=3)  # lower never downgrades
+        positions = vbf.positions("/f", 0)
+        assert not vbf.fresh_since(positions, 4)
+
+    def test_positions_deterministic(self):
+        vbf = VersionedBloomFilter(slots=1024, hashes=5)
+        assert vbf.positions("/f", 7) == vbf.positions("/f", 7)
+        assert vbf.positions("/f", 7) != vbf.positions("/f", 8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VersionedBloomFilter(slots=0)
+        with pytest.raises(ValueError):
+            VersionedBloomFilter(hashes=0)
+
+    def test_encode_decode_roundtrip(self):
+        vbf = VersionedBloomFilter(slots=64, hashes=2)
+        vbf.mark_written("/a", 1, 3)
+        vbf.mark_written("/b", 2, 9)
+        decoded = VersionedBloomFilter.decode(vbf.encode())
+        assert decoded.slots == 64 and decoded.hashes == 2
+        for key in [("/a", 1), ("/b", 2), ("/c", 3)]:
+            positions = vbf.positions(*key)
+            for version in (0, 3, 9, 10):
+                assert decoded.fresh_since(positions, version) == \
+                    vbf.fresh_since(positions, version)
+
+    def test_copy_is_independent(self):
+        vbf = VersionedBloomFilter(slots=64, hashes=2)
+        clone = vbf.copy()
+        vbf.mark_written("/a", 1, 7)
+        positions = clone.positions("/a", 1)
+        assert clone.fresh_since(positions, 0)
+
+
+class TestTheorem2NoFalseNegatives:
+    """If the VBF says fresh, the page truly was not written since V_n."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_no_false_negatives(self, data):
+        vbf = VersionedBloomFilter(slots=64, hashes=3)  # tiny: many FPs
+        keys = [("/f%d" % i, i % 4) for i in range(8)]
+        writes = data.draw(st.lists(
+            st.tuples(st.sampled_from(keys),
+                      st.integers(min_value=1, max_value=20)),
+            max_size=30,
+        ))
+        last_written = {}
+        version = 0
+        for key, _ in writes:
+            version += 1
+            vbf.mark_written(key[0], key[1], version)
+            last_written[key] = version
+        for key in keys:
+            positions = vbf.positions(key[0], key[1])
+            checkpoint = data.draw(
+                st.integers(min_value=0, max_value=version + 1)
+            )
+            if vbf.fresh_since(positions, checkpoint):
+                # Theorem 2: "fresh" is never wrong.
+                assert last_written.get(key, 0) <= checkpoint

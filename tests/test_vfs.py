@@ -1,0 +1,172 @@
+"""Tests for the VFS interface, local filesystem, and maintenance VFS."""
+
+import pytest
+
+from repro.errors import FileNotFoundInStoreError, StorageError
+from repro.merkle.ads import V2fsAds
+from repro.sgx.enclave import Enclave, OCallCostModel
+from repro.vfs.interface import PAGE_SIZE, SEEK_CUR, SEEK_END
+from repro.vfs.local import LocalFilesystem
+from repro.vfs.maintenance import MaintenanceSession, register_storage_ocalls
+
+
+class TestLocalFilesystem:
+    def test_create_write_read(self):
+        vfs = LocalFilesystem()
+        with vfs.open("/a/b", create=True) as handle:
+            handle.write(b"hello world")
+        assert vfs.read_all("/a/b") == b"hello world"
+
+    def test_open_missing_raises(self):
+        vfs = LocalFilesystem()
+        with pytest.raises(FileNotFoundInStoreError):
+            vfs.open("/missing")
+
+    def test_seek_semantics(self):
+        vfs = LocalFilesystem()
+        with vfs.open("/f", create=True) as handle:
+            handle.write(b"0123456789")
+            handle.seek(2)
+            assert handle.read(3) == b"234"
+            handle.seek(-2, SEEK_END)
+            assert handle.read(10) == b"89"
+            handle.seek(0)
+            handle.seek(4, SEEK_CUR)
+            assert handle.tell() == 4
+
+    def test_negative_seek_rejected(self):
+        vfs = LocalFilesystem()
+        with vfs.open("/f", create=True) as handle:
+            with pytest.raises(StorageError):
+                handle.seek(-1)
+
+    def test_sparse_write_zero_fills(self):
+        vfs = LocalFilesystem()
+        with vfs.open("/f", create=True) as handle:
+            handle.seek(10)
+            handle.write(b"x")
+        assert vfs.read_all("/f") == b"\x00" * 10 + b"x"
+
+    def test_page_helpers(self):
+        vfs = LocalFilesystem()
+        with vfs.open("/f", create=True) as handle:
+            handle.write_page(1, b"a" * PAGE_SIZE)
+            page0 = handle.read_page(0)
+            assert page0 == b"\x00" * PAGE_SIZE
+            assert handle.read_page(1) == b"a" * PAGE_SIZE
+            with pytest.raises(StorageError):
+                handle.write_page(0, b"short")
+
+    def test_closed_handle_rejects_io(self):
+        vfs = LocalFilesystem()
+        handle = vfs.open("/f", create=True)
+        handle.close()
+        with pytest.raises(StorageError):
+            handle.read(1)
+
+    def test_remove_and_list(self):
+        vfs = LocalFilesystem()
+        vfs.write_all("/a", b"1")
+        vfs.write_all("/b", b"2")
+        assert vfs.list_files() == ["/a", "/b"]
+        vfs.remove("/a")
+        assert vfs.list_files() == ["/b"]
+        with pytest.raises(FileNotFoundInStoreError):
+            vfs.remove("/a")
+
+
+def make_maintenance(pages=3):
+    """A maintenance session over a storage layer with one seeded file."""
+    ads = V2fsAds()
+    root = ads.apply_writes(
+        ads.root,
+        {"/seed": {i: bytes([i]) * PAGE_SIZE for i in range(pages)}},
+        {"/seed": pages * PAGE_SIZE},
+    )
+    enclave = Enclave(b"test-ci", cost_model=OCallCostModel(0.0, 0.0))
+    register_storage_ocalls(enclave, ads, lambda: root)
+    session = MaintenanceSession(enclave, root)
+    return ads, root, enclave, session
+
+
+class TestMaintenanceSession:
+    def test_read_existing_page_via_ocall(self):
+        _, _, enclave, session = make_maintenance()
+        with session.open("/seed") as handle:
+            data = handle.read(PAGE_SIZE)
+        assert data == b"\x00" * PAGE_SIZE
+        assert enclave.stats.by_name["get_page"] == 1
+
+    def test_repeated_reads_hit_p_r(self):
+        _, _, enclave, session = make_maintenance()
+        with session.open("/seed") as handle:
+            handle.read(10)
+            handle.seek(0)
+            handle.read(10)
+        assert enclave.stats.by_name["get_page"] == 1  # P_r absorbed it
+
+    def test_full_page_write_needs_no_fetch(self):
+        _, _, enclave, session = make_maintenance()
+        with session.open("/seed") as handle:
+            handle.write_page(1, b"Z" * PAGE_SIZE)
+        assert "get_page" not in enclave.stats.by_name
+
+    def test_partial_write_fetches_base_page(self):
+        _, _, enclave, session = make_maintenance()
+        with session.open("/seed") as handle:
+            handle.seek(PAGE_SIZE + 100)
+            handle.write(b"patch")
+        assert enclave.stats.by_name["get_page"] == 1
+        page = session.pages_written[("/seed", 1)]
+        assert page[100:105] == b"patch"
+        assert page[0] == 1  # untouched prefix preserved
+
+    def test_read_after_write_served_from_p_w(self):
+        _, _, enclave, session = make_maintenance()
+        with session.open("/seed") as handle:
+            handle.write_page(0, b"W" * PAGE_SIZE)
+            handle.seek(0)
+            assert handle.read(4) == b"WWWW"
+        assert "get_page" not in enclave.stats.by_name
+
+    def test_new_file_lifecycle(self):
+        _, _, enclave, session = make_maintenance()
+        assert not session.exists("/new")
+        with session.open("/new", create=True) as handle:
+            handle.write(b"abc")
+        assert session.exists("/new")
+        assert session.metas["/new"].size == 3
+        meta = session.new_meta()["/new"]
+        assert meta == (3, 1)
+
+    def test_open_missing_without_create(self):
+        _, _, _, session = make_maintenance()
+        with pytest.raises(StorageError):
+            session.open("/ghost")
+
+    def test_remove_rejected(self):
+        _, _, _, session = make_maintenance()
+        with pytest.raises(StorageError):
+            session.remove("/seed")
+
+    def test_read_eof_clamped(self):
+        _, _, _, session = make_maintenance(pages=1)
+        with session.open("/seed") as handle:
+            handle.seek(PAGE_SIZE - 4)
+            assert len(handle.read(100)) == 4
+
+    def test_hole_reads_are_zero_without_ocall(self):
+        _, _, enclave, session = make_maintenance(pages=1)
+        with session.open("/new", create=True) as handle:
+            handle.write_page(3, b"x" * PAGE_SIZE)
+            handle.seek(0)
+            assert handle.read(8) == b"\x00" * 8
+        assert "get_page" not in enclave.stats.by_name
+
+    def test_written_by_file_grouping(self):
+        _, _, _, session = make_maintenance()
+        with session.open("/seed") as handle:
+            handle.write_page(0, b"A" * PAGE_SIZE)
+            handle.write_page(2, b"B" * PAGE_SIZE)
+        grouped = session.written_by_file()
+        assert set(grouped["/seed"]) == {0, 2}

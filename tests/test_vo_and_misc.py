@@ -1,0 +1,129 @@
+"""Coverage for the VO builder, client certificate checks, and datagen."""
+
+import pytest
+
+from repro.chain.datagen import Universe
+from repro.crypto.hashing import hash_bytes
+from repro.isp.vo import VOBuilder
+from repro.merkle.ads import V2fsAds
+from repro.merkle.proof import collect_proof_files
+
+
+def build_ads():
+    ads = V2fsAds()
+    root = ads.apply_writes(
+        ads.root,
+        {"/db/a": {0: b"a0", 1: b"a1"}, "/db/b": {0: b"b0"}},
+        {"/db/a": 2 * 4096, "/db/b": 4096},
+    )
+    return ads, root
+
+
+class TestVOBuilder:
+    def test_page_claims_covered(self):
+        ads, root = build_ads()
+        builder = VOBuilder(ads, root)
+        builder.add_page("/db/a", 0)
+        builder.add_page("/db/a", 1)
+        vo = builder.build()
+        claims = {
+            ("/db/a", 0): hash_bytes(b"a0"),
+            ("/db/a", 1): hash_bytes(b"a1"),
+        }
+        V2fsAds.verify_read_proof(vo, root, claims)
+
+    def test_meta_only_file_in_skeleton(self):
+        ads, root = build_ads()
+        builder = VOBuilder(ads, root)
+        builder.add_page("/db/a", 0)
+        builder.add_file("/db/b")  # touched via metadata only
+        vo = builder.build()
+        files = collect_proof_files(vo.trie)
+        assert "/db/b" in files
+        assert files["/db/b"].page_count == 1
+
+    def test_node_claims_covered(self):
+        ads, root = build_ads()
+        builder = VOBuilder(ads, root)
+        builder.add_node("/db/a", 1, 0)
+        vo = builder.build()
+        tree_root = ads.file_node(root, "/db/a").tree_root
+        V2fsAds.verify_read_proof(
+            vo, root, {}, {("/db/a", 1, 0): tree_root}
+        )
+
+    def test_empty_builder_still_authenticates_root(self):
+        ads, root = build_ads()
+        vo = VOBuilder(ads, root).build()
+        assert vo.trie.digest() == root
+
+    def test_dedup_of_repeated_claims(self):
+        ads, root = build_ads()
+        builder = VOBuilder(ads, root)
+        for _ in range(5):
+            builder.add_page("/db/a", 0)
+        assert len(builder.page_keys) == 1
+
+
+class TestClientCertificateChecks:
+    def test_client_rejects_wrong_attestation_root(self, shared_system):
+        from repro.client.query_client import QueryClient
+        from repro.errors import CertificateError
+        from repro.sgx.attestation import AttestationService
+
+        rogue = AttestationService(seed=b"rogue-root")
+        with pytest.raises(CertificateError):
+            QueryClient(
+                isp=shared_system.isp,
+                chains=shared_system.chains,
+                attestation_report=shared_system.attestation_report,
+                attestation_root=rogue.root_public_key,
+                expected_measurement=(
+                    shared_system.ci.enclave.measurement
+                ),
+            )
+
+    def test_client_rejects_wrong_measurement(self, shared_system):
+        from repro.client.query_client import QueryClient
+        from repro.errors import CertificateError
+
+        with pytest.raises(CertificateError):
+            QueryClient(
+                isp=shared_system.isp,
+                chains=shared_system.chains,
+                attestation_report=shared_system.attestation_report,
+                attestation_root=(
+                    shared_system.attestation.root_public_key
+                ),
+                expected_measurement=b"\x00" * 32,
+            )
+
+
+class TestUniverse:
+    def test_deterministic_by_seed(self):
+        assert Universe(seed=4).addresses == Universe(seed=4).addresses
+        assert Universe(seed=4).addresses != Universe(seed=5).addresses
+
+    def test_population_sizes(self):
+        uni = Universe(seed=4, n_addresses=50, n_tokens=6,
+                       n_nft_collections=3, nfts_per_collection=4)
+        assert len(uni.addresses) == 50
+        assert len(uni.tokens) == 6
+        assert len(uni.nfts) == 12
+
+    def test_zipfian_skew(self):
+        import random
+
+        uni = Universe(seed=4)
+        rng = random.Random(9)
+        picks = [uni.pick_address(rng) for _ in range(3000)]
+        from collections import Counter
+
+        counts = Counter(picks)
+        top_share = sum(c for _, c in counts.most_common(10)) / len(picks)
+        assert top_share > 0.3  # hot accounts dominate
+
+    def test_nft_ids_unique(self):
+        uni = Universe(seed=4)
+        ids = [(n["collection"], n["token_id"]) for n in uni.nfts]
+        assert len(ids) == len(set(ids))
