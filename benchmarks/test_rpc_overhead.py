@@ -1,0 +1,89 @@
+"""Serving-path overhead: end-to-end Mixed-workload query latency with
+the in-process ISP vs the same ISP behind loopback sockets
+(:mod:`repro.rpc`).
+
+Emits ``benchmarks/results/BENCH_rpc.json`` so the perf trajectory of
+the real serving path (framing, socket round trips, per-request locking)
+is tracked alongside the paper figures.  Both clients run the identical
+query sequence against the identical system state, so the delta is pure
+RPC overhead.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.client.query_client import QueryClient
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.rpc import RemoteIsp, serve_system
+from repro.workloads.generator import WorkloadGenerator
+
+HOURS = 12
+TXS_PER_BLOCK = 5
+PER_TYPE = 1  # one instance of each of the 8 query types
+WINDOW_HOURS = 6
+
+
+def _setup():
+    system = V2FSSystem(SystemConfig(txs_per_block=TXS_PER_BLOCK))
+    system.advance_all(HOURS)
+    generator = WorkloadGenerator(
+        system.universe,
+        system.config.start_time,
+        system.latest_time,
+        queries_per_workload=PER_TYPE,
+    )
+    return system, generator.mixed(WINDOW_HOURS, per_type=PER_TYPE)
+
+
+def _run_workload(client, workload):
+    started = time.perf_counter()
+    rows = 0
+    for sql in workload.queries:
+        rows += len(client.query(sql))
+    return time.perf_counter() - started, rows
+
+
+def test_rpc_overhead(benchmark, save_result):
+    system, workload = _setup()
+
+    local_client = system.make_client(QueryMode.INTER_VBF)
+    inprocess_s, local_rows = _run_workload(local_client, workload)
+
+    server = serve_system(system)
+    with server:
+        host, port = server.address
+        remote_client = QueryClient(
+            isp=RemoteIsp(host, port),
+            chains=system.chains,
+            attestation_report=system.attestation_report,
+            attestation_root=system.attestation.root_public_key,
+            expected_measurement=system.ci.enclave.measurement,
+            mode=QueryMode.INTER_VBF,
+        )
+        loopback_s, remote_rows = run_once(
+            benchmark, lambda: _run_workload(remote_client, workload)
+        )
+        remote_client.isp.close()
+
+    assert remote_rows == local_rows  # same verified answers either way
+
+    queries = len(workload.queries)
+    result = {
+        "workload": "Mixed",
+        "mode": "inter+vbf",
+        "hours": HOURS,
+        "queries": queries,
+        "rows": local_rows,
+        "inprocess_total_s": round(inprocess_s, 6),
+        "loopback_total_s": round(loopback_s, 6),
+        "inprocess_per_query_ms": round(inprocess_s / queries * 1e3, 3),
+        "loopback_per_query_ms": round(loopback_s / queries * 1e3, 3),
+        "rpc_overhead_x": round(loopback_s / inprocess_s, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_rpc.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\n{json.dumps(result, indent=2)}\n[saved to {path}]")

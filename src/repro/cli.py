@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the zero-to-aha path:
+Four commands cover the zero-to-aha path:
 
 * ``demo`` — assemble the full five-party system, run a verified
   multi-chain query, and show a tampering ISP being rejected;
-* ``query`` — build a system with N hours of history and run ad-hoc SQL
-  under a chosen cache mode, printing the verification cost profile;
+* ``query`` — run ad-hoc SQL under a chosen cache mode, printing the
+  verification cost profile; against a freshly built local system by
+  default, or against a remote ISP with ``--connect host:port``;
+* ``serve`` — build a system and serve its ISP over TCP to remote
+  verifying clients (the paper's separate-machine testbed topology);
 * ``experiment`` — regenerate one of the paper's tables/figures by name.
 """
 
@@ -14,7 +17,11 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+import threading
 from typing import List, Optional
+
+#: Set by tests (or signal handlers) to make a running ``serve`` return.
+_serve_shutdown = threading.Event()
 
 EXPERIMENTS = {
     "table1": "repro.experiments.table1",
@@ -74,11 +81,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(text: str) -> "tuple[str, int]":
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects host:port, got {text!r}")
+    return host, int(port)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.client.vfs import QueryMode
 
-    system = _build_system(args.hours, args.txs_per_block)
-    client = system.make_client(QueryMode(args.mode))
+    if args.connect:
+        from repro.errors import RpcError
+        from repro.rpc import connect_client
+
+        host, port = _parse_address(args.connect)
+        print(f"connecting to ISP at {host}:{port} ...", file=sys.stderr)
+        try:
+            client = connect_client(host, port, mode=QueryMode(args.mode))
+        except RpcError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        system = _build_system(args.hours, args.txs_per_block)
+        client = system.make_client(QueryMode(args.mode))
     sql = args.sql if args.sql else sys.stdin.read()
     result = client.query(sql)
     if result.columns:
@@ -92,6 +118,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"latency {stats.latency_s * 1000:.1f}ms",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.rpc import serve_system
+
+    system = _build_system(args.hours, args.txs_per_block)
+    server = serve_system(system, host=args.host, port=args.port)
+    _serve_shutdown.clear()
+    with server:
+        host, port = server.address
+        print(f"serving ISP at {host}:{port} "
+              f"(query with: python -m repro query --connect {host}:{port})",
+              flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host}:{port}\n")
+        try:
+            _serve_shutdown.wait(timeout=args.serve_for)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -125,7 +172,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", default="inter+vbf",
         choices=["baseline", "intra", "inter", "inter+vbf"],
     )
+    query.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="query a remote ISP served by 'repro serve' instead of "
+             "building a local system",
+    )
     query.set_defaults(handler=cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="serve a freshly built system's ISP over TCP"
+    )
+    serve.add_argument("--hours", type=int, default=6,
+                       help="hours of chain history to ingest")
+    serve.add_argument("--txs-per-block", type=int, default=8)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound host:port to this file")
+    serve.add_argument("--serve-for", type=float, default=None,
+                       help="stop after this many seconds (default: "
+                            "serve until interrupted)")
+    serve.set_defaults(handler=cmd_serve)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"

@@ -68,7 +68,11 @@ class ClientSession:
         self.transport = transport
         self.certificate = certificate
         self.mode = mode
-        self.session_id = isp.open_session()
+        # Pin the session to the certificate version validated in the
+        # initialize phase; an ISP that advanced in between must say so
+        # now, not fail the VO check later (matters under real RPC
+        # concurrency, where updates race with session setup).
+        self.session_id = isp.open_session(certificate.version)
         self.intra_cache = IntraQueryCache(cache_bytes)
         self.inter_cache = inter_cache
         if mode.uses_inter_cache:

@@ -65,3 +65,21 @@ class EnclaveError(ReproError):
 
 class NetworkError(ReproError):
     """A simulated network transport failure."""
+
+
+class RpcError(NetworkError):
+    """A failure on the real (socket-backed) client-ISP RPC path."""
+
+
+class WireFormatError(RpcError):
+    """A frame or message violated the wire protocol (malformed, corrupt,
+    truncated, or oversized input).  Raised instead of ever crashing on —
+    or silently accepting — bytes from an untrusted peer."""
+
+
+class RpcConnectionError(RpcError):
+    """Could not establish or keep a connection to the RPC peer."""
+
+
+class RpcTimeoutError(RpcError):
+    """An RPC did not complete within its per-request timeout."""

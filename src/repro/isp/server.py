@@ -98,8 +98,26 @@ class IspServer:
             raise NetworkError("ISP has no certificate yet")
         return self.certificate
 
-    def open_session(self) -> int:
+    def open_session(self, expected_version: Optional[int] = None) -> int:
+        """Open a query session pinned to the current snapshot root.
+
+        ``expected_version`` lets a client demand the certificate version
+        it just validated: if an update landed in between (a real race
+        once the ISP serves concurrent clients over RPC), the mismatch is
+        reported *before* the session pins a root the client cannot
+        verify against, and the client refetches the certificate instead
+        of failing the final VO check.
+        """
         certificate = self.get_certificate()
+        if (
+            expected_version is not None
+            and certificate.version != expected_version
+        ):
+            raise NetworkError(
+                f"certificate superseded (now version "
+                f"{certificate.version}, client validated "
+                f"{expected_version}); refetch and retry"
+            )
         session = IspSession(
             next(self._session_ids), self.ads, self.root, certificate
         )

@@ -266,20 +266,35 @@ class AdsProof:
 
     @classmethod
     def decode(cls, data: bytes) -> "AdsProof":
+        """Decode an untrusted proof encoding.
+
+        Every read is bounds-checked: truncation, hostile counts, absurd
+        nesting, and trailing garbage all raise :class:`ProofError`
+        rather than crashing — this is the payload an RPC client decodes
+        straight off the wire from an untrusted ISP.
+        """
         buf = io.BytesIO(data)
         trie = _decode_trie(buf)
         if not isinstance(trie, ProofDir):
             raise ProofError("malformed proof: root is not a directory")
-        (n_files,) = struct.unpack(">I", buf.read(4))
+        (n_files,) = struct.unpack(">I", _read_exact(buf, 4))
+        if n_files > _MAX_PROOF_ITEMS:
+            raise ProofError(f"proof claims {n_files} files (bound exceeded)")
         files: Dict[str, FileProof] = {}
         for _ in range(n_files):
             path = _read_str(buf)
-            (n_sib,) = struct.unpack(">I", buf.read(4))
+            (n_sib,) = struct.unpack(">I", _read_exact(buf, 4))
+            if n_sib > _MAX_PROOF_ITEMS:
+                raise ProofError(
+                    f"proof claims {n_sib} siblings (bound exceeded)"
+                )
             siblings: Dict[Position, Digest] = {}
             for _ in range(n_sib):
-                level, index = struct.unpack(">HQ", buf.read(10))
+                level, index = struct.unpack(">HQ", _read_exact(buf, 10))
                 siblings[(level, index)] = _read_digest(buf)
             files[path] = FileProof(siblings)
+        if buf.read(1):
+            raise ProofError("trailing bytes after proof encoding")
         return cls(trie=trie, files=files)
 
     def byte_size(self) -> int:
@@ -305,6 +320,19 @@ _TAG_DIR = 0
 _TAG_FILE = 1
 _TAG_OPAQUE = 2
 
+#: Decoding bounds for untrusted proof encodings: far above anything a
+#: legitimate proof at our scale produces, low enough that a hostile
+#: count or nesting depth cannot exhaust memory or the Python stack.
+_MAX_PROOF_ITEMS = 1_000_000
+_MAX_TRIE_DEPTH = 256
+
+
+def _read_exact(buf: io.BytesIO, count: int) -> bytes:
+    data = buf.read(count)
+    if len(data) != count:
+        raise ProofError("truncated proof encoding")
+    return data
+
 
 def _write_str(buf: io.BytesIO, text: str) -> None:
     raw = text.encode("utf-8")
@@ -313,8 +341,11 @@ def _write_str(buf: io.BytesIO, text: str) -> None:
 
 
 def _read_str(buf: io.BytesIO) -> str:
-    (length,) = struct.unpack(">H", buf.read(2))
-    return buf.read(length).decode("utf-8")
+    (length,) = struct.unpack(">H", _read_exact(buf, 2))
+    try:
+        return _read_exact(buf, length).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProofError(f"invalid UTF-8 in proof encoding: {error}")
 
 
 def _read_digest(buf: io.BytesIO) -> Digest:
@@ -343,7 +374,11 @@ def _encode_trie(buf: io.BytesIO, node: TrieProofNode) -> None:
             buf.write(child)
 
 
-def _decode_trie(buf: io.BytesIO) -> Union[TrieProofNode, Digest]:
+def _decode_trie(
+    buf: io.BytesIO, depth: int = 0
+) -> Union[TrieProofNode, Digest]:
+    if depth > _MAX_TRIE_DEPTH:
+        raise ProofError("proof trie nesting exceeds the depth bound")
     tag = buf.read(1)
     if not tag:
         raise ProofError("truncated proof encoding")
@@ -352,14 +387,19 @@ def _decode_trie(buf: io.BytesIO) -> Union[TrieProofNode, Digest]:
     if tag[0] == _TAG_FILE:
         segment = _read_str(buf)
         tree_root = _read_digest(buf)
-        size, page_count = struct.unpack(">QQ", buf.read(16))
+        size, page_count = struct.unpack(">QQ", _read_exact(buf, 16))
         return ProofFile(segment, tree_root, size, page_count)
     if tag[0] == _TAG_DIR:
         segment = _read_str(buf)
-        (n_children,) = struct.unpack(">I", buf.read(4))
+        (n_children,) = struct.unpack(">I", _read_exact(buf, 4))
+        if n_children > _MAX_PROOF_ITEMS:
+            raise ProofError(
+                f"proof directory claims {n_children} children "
+                "(bound exceeded)"
+            )
         children: List[Tuple[str, Union[ProofDir, ProofFile, Digest]]] = []
         for _ in range(n_children):
             name = _read_str(buf)
-            children.append((name, _decode_trie(buf)))
+            children.append((name, _decode_trie(buf, depth + 1)))
         return ProofDir(segment, children)
     raise ProofError(f"unknown proof tag {tag[0]}")

@@ -8,7 +8,13 @@ request/response byte counts, and the simulated wall-clock cost under a
 * ``page`` — page retrieval requests (Fig. 10/15 ``page`` bars);
 * ``check`` — freshness-check requests (Fig. 10/15 ``check`` bars);
 * ``cert`` — certificate fetch at query start;
-* ``vo`` — the consolidated verification object at query end.
+* ``vo`` — the consolidated verification object at query end;
+* ``meta`` — file-metadata lookups (exists/size/page count).
+
+This deterministic accounting is the default *simulated* transport
+backend; :mod:`repro.rpc` carries the same protocol over real sockets,
+and both share these categories so the paper's breakdown stays
+comparable either way.
 """
 
 from __future__ import annotations
@@ -21,6 +27,13 @@ CATEGORY_CHECK = "check"
 CATEGORY_CERT = "cert"
 CATEGORY_VO = "vo"
 CATEGORY_META = "meta"
+
+#: Every category :meth:`Transport.account` accepts; a typo'd category
+#: would silently split the stats, so unknown ones are rejected.
+KNOWN_CATEGORIES = frozenset(
+    {CATEGORY_PAGE, CATEGORY_CHECK, CATEGORY_CERT, CATEGORY_VO,
+     CATEGORY_META}
+)
 
 
 @dataclass
@@ -118,5 +131,10 @@ class Transport:
         self, category: str, request_bytes: int, response_bytes: int
     ) -> None:
         """Record one round trip of the given category and sizes."""
+        if category not in KNOWN_CATEGORIES:
+            raise ValueError(
+                f"unknown transport category {category!r}; expected one "
+                f"of {sorted(KNOWN_CATEGORIES)}"
+            )
         cost = self.cost_model.round_trip_cost(request_bytes, response_bytes)
         self.stats.record(category, request_bytes, response_bytes, cost)

@@ -1,0 +1,34 @@
+"""repro.rpc — the client-ISP boundary on a real wire.
+
+The paper's testbed separates the ISP and its clients by an actual
+network link; this package provides that serving surface:
+
+* :mod:`repro.rpc.codec` — length-prefixed binary framing with
+  deterministic serialization for every ISP request/response payload and
+  strict bounds-checked decoding (typed errors on malformed input);
+* :mod:`repro.rpc.server` — :class:`RpcIspServer`, a threaded TCP
+  server hosting an :class:`~repro.isp.server.IspServer` for many
+  concurrent connections, with query sessions pinned to snapshot roots
+  (MVCC under real concurrency);
+* :mod:`repro.rpc.client` — :class:`RemoteIsp`, a drop-in socket-backed
+  proxy for the in-process ISP with connection pooling, per-request
+  timeouts, and bounded exponential-backoff retries.
+
+The in-process ISP plus :class:`~repro.network.transport.Transport`
+accounting remains the default *simulated* backend — experiment output
+stays byte-for-byte deterministic — while ``python -m repro serve`` and
+``python -m repro query --connect host:port`` put the same protocol on
+real sockets.
+"""
+
+from repro.rpc.client import RemoteChainView, RemoteIsp, connect_client
+from repro.rpc.server import IspBootstrap, RpcIspServer, serve_system
+
+__all__ = [
+    "IspBootstrap",
+    "RemoteChainView",
+    "RemoteIsp",
+    "RpcIspServer",
+    "connect_client",
+    "serve_system",
+]

@@ -1,0 +1,325 @@
+"""Client-side proxy: a socket-backed drop-in for the in-process ISP.
+
+:class:`RemoteIsp` speaks the :mod:`repro.rpc.codec` protocol and
+exposes the exact client-facing surface of
+:class:`~repro.isp.server.IspServer` (``get_certificate`` /
+``open_session`` / ``get_file_meta`` / ``get_page`` / ``validate_path``
+/ ``finalize_session``), so :class:`~repro.client.query_client.QueryClient`
+and :class:`~repro.client.vfs.ClientSession` work over real sockets
+without modification — the transport seam is the ``isp`` constructor
+argument itself.
+
+Reliability model:
+
+* a bounded **connection pool** reuses sockets across requests and
+  across concurrently querying threads;
+* every request carries a **per-request timeout**;
+* **connection-level** failures (refused, reset, timed out) are retried
+  with bounded exponential backoff — safe because every ISP operation
+  is idempotent at the VO level (the server's claim accumulator is a
+  set, and ``open_session`` at worst strands an unused session);
+* **data-level** failures (malformed, corrupt, or truncated frames)
+  are *never* retried: they raise a typed
+  :class:`~repro.errors.WireFormatError` immediately, because a peer
+  that sends garbage is either broken or hostile, and the caller must
+  see that.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chain.block import BlockHeader
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.hashing import Digest
+from repro.crypto.signature import PublicKey
+from repro.errors import (
+    ReproError,
+    RpcConnectionError,
+    RpcTimeoutError,
+    WireFormatError,
+)
+from repro.isp.server import FreshMatch, PageReply
+from repro.merkle.proof import AdsProof
+from repro.rpc import codec
+from repro.sgx.attestation import AttestationReport
+
+
+class _ConnectionPool:
+    """A bounded stack of connected sockets to one (host, port)."""
+
+    def __init__(
+        self, host: str, port: int, size: int, timeout_s: float
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._size = size
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._idle: List[socket.socket] = []
+        self._closed = False
+
+    def acquire(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise RpcConnectionError("connection pool is closed")
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s
+            )
+        except socket.timeout as error:
+            raise RpcTimeoutError(
+                f"connect to {self._host}:{self._port} timed out"
+            ) from error
+        except OSError as error:
+            raise RpcConnectionError(
+                f"cannot connect to {self._host}:{self._port}: {error}"
+            ) from error
+
+    def release(self, conn: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self._size:
+                self._idle.append(conn)
+                return
+        _close_quietly(conn)
+
+    def discard(self, conn: socket.socket) -> None:
+        _close_quietly(conn)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for conn in idle:
+            _close_quietly(conn)
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class RemoteIsp:
+    """A connected ISP proxy; drop-in for the in-process ISP."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+        pool_size: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._pool = _ConnectionPool(host, port, pool_size, timeout_s)
+
+    # ------------------------------------------------------------------
+    # Request machinery
+    # ------------------------------------------------------------------
+
+    def _call(self, request: bytes, expected_kind: int) -> object:
+        """One RPC round trip with pooled connections and retries."""
+        attempts = self.max_retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(
+                    self.backoff_s * (2 ** (attempt - 1)),
+                    self.max_backoff_s,
+                )
+                time.sleep(delay)
+            try:
+                conn = self._pool.acquire()
+            except RpcConnectionError as error:
+                last_error = error
+                continue
+            try:
+                conn.settimeout(self.timeout_s)
+                codec.send_frame(conn, request)
+                payload = codec.recv_frame(conn)
+            except socket.timeout as error:
+                self._pool.discard(conn)
+                last_error = RpcTimeoutError(
+                    f"request timed out after {self.timeout_s}s"
+                )
+                last_error.__cause__ = error
+                continue
+            except WireFormatError:
+                self._pool.discard(conn)
+                raise  # corrupt data is not transient: no retry
+            except OSError as error:
+                self._pool.discard(conn)
+                last_error = RpcConnectionError(
+                    f"connection to {self.host}:{self.port} failed: {error}"
+                )
+                last_error.__cause__ = error
+                continue
+            if payload is None:
+                # Peer hung up before answering (e.g. server restart
+                # mid-pool): the connection is dead, the request may be
+                # retried on a fresh one.
+                self._pool.discard(conn)
+                last_error = RpcConnectionError(
+                    "server closed the connection before replying"
+                )
+                continue
+            self._pool.release(conn)
+            kind, value = codec.decode_response(payload)
+            if kind == codec.RESP_ERROR:
+                assert isinstance(value, ReproError)
+                raise value
+            if kind != expected_kind:
+                raise WireFormatError(
+                    f"expected response kind 0x{expected_kind:02x}, "
+                    f"got 0x{kind:02x}"
+                )
+            return value
+        assert last_error is not None
+        raise last_error
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "RemoteIsp":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The ISP client-facing surface (see repro.isp.server.IspServer)
+    # ------------------------------------------------------------------
+
+    def get_certificate(self) -> V2fsCertificate:
+        return self._call(
+            codec.encode_get_certificate(), codec.RESP_CERTIFICATE
+        )
+
+    def open_session(self, expected_version: Optional[int] = None) -> int:
+        return self._call(
+            codec.encode_open_session(expected_version), codec.RESP_SESSION
+        )
+
+    def get_file_meta(
+        self, session_id: int, path: str
+    ) -> Tuple[bool, int, int]:
+        return self._call(
+            codec.encode_get_file_meta(session_id, path),
+            codec.RESP_FILE_META,
+        )
+
+    def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
+        return self._call(
+            codec.encode_get_page(session_id, path, page_id),
+            codec.RESP_PAGE,
+        )
+
+    def validate_path(
+        self,
+        session_id: int,
+        path: str,
+        page_id: int,
+        digs_path: codec.DigsPath,
+    ) -> Union[FreshMatch, PageReply]:
+        return self._call(
+            codec.encode_validate_path(
+                session_id, path, page_id, digs_path
+            ),
+            codec.RESP_VALIDATION,
+        )
+
+    def finalize_session(self, session_id: int) -> AdsProof:
+        return self._call(
+            codec.encode_finalize_session(session_id), codec.RESP_VO
+        )
+
+    # ------------------------------------------------------------------
+    # Bootstrap extras (not part of the verified surface)
+    # ------------------------------------------------------------------
+
+    def ping(self) -> None:
+        self._call(codec.encode_ping(), codec.RESP_PONG)
+
+    def fetch_bootstrap(
+        self,
+    ) -> Tuple[AttestationReport, PublicKey, Digest]:
+        """(attestation report, attestation root, expected measurement)."""
+        return self._call(
+            codec.encode_bootstrap_request(), codec.RESP_BOOTSTRAP
+        )
+
+    def fetch_chain_heads(self) -> Dict[str, BlockHeader]:
+        return self._call(
+            codec.encode_chain_heads_request(), codec.RESP_CHAIN_HEADS
+        )
+
+
+class RemoteChainView:
+    """Observed head of one source chain, refreshed over the RPC link.
+
+    Stands in for :class:`~repro.chain.chain.Blockchain` on a remote
+    client: :meth:`latest_header` is the only method the query client
+    needs.  The header still passes the light-client consensus check, so
+    a lying server cannot forge heads without mining.
+    """
+
+    def __init__(self, remote: RemoteIsp, chain_id: str) -> None:
+        self._remote = remote
+        self.chain_id = chain_id
+
+    def latest_header(self) -> BlockHeader:
+        heads = self._remote.fetch_chain_heads()
+        header = heads.get(self.chain_id)
+        if header is None:
+            raise RpcConnectionError(
+                f"server no longer reports chain {self.chain_id!r}"
+            )
+        return header
+
+
+def connect_client(
+    host: str,
+    port: int,
+    mode=None,
+    cache_bytes: int = 1 << 30,
+    timeout_s: float = 10.0,
+    max_retries: int = 3,
+):
+    """Build a verifying :class:`~repro.client.query_client.QueryClient`
+    against a remote ISP, bootstrapping attestation material and chain
+    views over the wire (trust-on-first-use; see
+    :class:`~repro.rpc.server.IspBootstrap`)."""
+    from repro.client.query_client import QueryClient
+    from repro.client.vfs import QueryMode
+
+    remote = RemoteIsp(
+        host, port, timeout_s=timeout_s, max_retries=max_retries
+    )
+    report, attestation_root, measurement = remote.fetch_bootstrap()
+    chains = {
+        chain_id: RemoteChainView(remote, chain_id)
+        for chain_id in remote.fetch_chain_heads()
+    }
+    return QueryClient(
+        isp=remote,
+        chains=chains,
+        attestation_report=report,
+        attestation_root=attestation_root,
+        expected_measurement=measurement,
+        mode=mode if mode is not None else QueryMode.INTER_VBF,
+        cache_bytes=cache_bytes,
+    )

@@ -1,0 +1,649 @@
+"""Wire codec for the client-ISP RPC protocol.
+
+Every message travels in one *frame*::
+
+    +-------+-----------+------------+---------------------+
+    | magic | length u32| crc32 u32  | payload (length B)  |
+    +-------+-----------+------------+---------------------+
+
+``magic`` is the two-byte protocol tag ``b"V2"``; ``length`` is the
+payload size (bounded by :data:`MAX_FRAME_BYTES`, checked *before* any
+allocation); ``crc32`` detects accidental corruption in transit.  The
+CRC is not a security measure — a malicious ISP can recompute it — but
+everything it lets through is still subject to the client's cryptographic
+verification, so corruption is always answered with a typed error
+(:class:`~repro.errors.WireFormatError`) or a failed VO check, never a
+crash or a silently wrong result.
+
+The payload is one message: a one-byte kind tag followed by a
+deterministic binary body.  All integers are big-endian and fixed-width;
+all variable-length fields are length-prefixed and bounds-checked on
+decode, so the same byte string always decodes to the same message and
+malformed input is rejected with :class:`WireFormatError` at the exact
+offending field.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chain.block import BlockHeader
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.hashing import DIGEST_SIZE, Digest
+from repro.crypto.signature import PublicKey, Signature
+from repro.errors import (
+    CertificateError,
+    ChainError,
+    EnclaveError,
+    FileNotFoundInStoreError,
+    NetworkError,
+    ProofError,
+    ReproError,
+    RpcConnectionError,
+    StorageError,
+    VerificationError,
+    WireFormatError,
+)
+from repro.isp.server import FreshMatch, PageReply
+from repro.merkle.proof import AdsProof
+from repro.sgx.attestation import AttestationReport
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+MAGIC = b"V2"
+FRAME_HEADER = struct.Struct(">2sII")  # magic, payload length, crc32
+
+#: Hard ceiling on one frame's payload.  Large enough for any realistic
+#: consolidated VO at our scale, small enough that a hostile length
+#: prefix cannot make the peer allocate unbounded memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_PUBKEY_BYTES = 256
+_SIGNATURE_BYTES = 288
+
+#: Field-level bounds.  All generous relative to legitimate traffic.
+MAX_PATH_BYTES = 4096
+MAX_PAGE_BYTES = 1 << 20
+MAX_DIGS_PATH = 4096
+MAX_CHAIN_STATES = 256
+MAX_VBF_BYTES = 16 * 1024 * 1024
+MAX_ERROR_BYTES = 4096
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap one message payload into a complete frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"refusing to send oversized frame ({len(payload)} bytes)"
+        )
+    return FRAME_HEADER.pack(
+        MAGIC, len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one framed message over a connected socket."""
+    sock.sendall(frame(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int, *, at_start: bool) -> bytes:
+    """Read exactly ``count`` bytes from ``sock``.
+
+    A clean EOF *before any byte of a frame* returns ``b""`` (the peer
+    hung up between messages); an EOF mid-frame is a protocol violation.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if at_start and not chunks:
+                return b""
+            raise WireFormatError(
+                "connection closed mid-frame "
+                f"({count - remaining} of {count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Receive one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`WireFormatError` on a bad magic, an oversized length
+    prefix (rejected before any payload allocation), a CRC mismatch, or
+    an EOF mid-frame.
+    """
+    header = _recv_exact(sock, FRAME_HEADER.size, at_start=True)
+    if not header:
+        return None
+    magic, length, crc = FRAME_HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length, at_start=False) if length else b""
+    if zlib.crc32(payload) != crc:
+        raise WireFormatError("frame checksum mismatch (corrupt payload)")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Bounds-checked primitive decoding
+# ----------------------------------------------------------------------
+
+
+class Reader:
+    """Sequential bounds-checked reader over one message payload."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, count: int) -> bytes:
+        if count < 0 or self._pos + count > len(self._data):
+            raise WireFormatError(
+                f"truncated message: wanted {count} bytes at offset "
+                f"{self._pos}, have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return out
+
+    def u8(self) -> int:
+        return self.read(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.read(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.read(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self.read(8))[0]
+
+    def digest(self) -> Digest:
+        return self.read(DIGEST_SIZE)
+
+    def blob(self, max_bytes: int) -> bytes:
+        length = self.u32()
+        if length > max_bytes:
+            raise WireFormatError(
+                f"length prefix {length} exceeds the {max_bytes}-byte bound"
+            )
+        return self.read(length)
+
+    def text(self, max_bytes: int = MAX_PATH_BYTES) -> str:
+        raw = self.blob(max_bytes)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireFormatError(f"invalid UTF-8 in message: {error}")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise WireFormatError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )
+
+
+class Writer:
+    """Append-only builder for one message payload."""
+
+    def __init__(self) -> None:
+        self._buf = io.BytesIO()
+
+    def raw(self, data: bytes) -> "Writer":
+        self._buf.write(data)
+        return self
+
+    def u8(self, value: int) -> "Writer":
+        return self.raw(struct.pack(">B", value))
+
+    def u16(self, value: int) -> "Writer":
+        return self.raw(struct.pack(">H", value))
+
+    def u32(self, value: int) -> "Writer":
+        return self.raw(struct.pack(">I", value))
+
+    def u64(self, value: int) -> "Writer":
+        return self.raw(struct.pack(">Q", value))
+
+    def digest(self, value: Digest) -> "Writer":
+        if len(value) != DIGEST_SIZE:
+            raise WireFormatError(
+                f"digest must be {DIGEST_SIZE} bytes, got {len(value)}"
+            )
+        return self.raw(value)
+
+    def blob(self, data: bytes) -> "Writer":
+        return self.u32(len(data)).raw(data)
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def payload(self) -> bytes:
+        return self._buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Message kinds
+# ----------------------------------------------------------------------
+
+REQ_GET_CERTIFICATE = 0x01
+REQ_OPEN_SESSION = 0x02
+REQ_GET_FILE_META = 0x03
+REQ_GET_PAGE = 0x04
+REQ_VALIDATE_PATH = 0x05
+REQ_FINALIZE_SESSION = 0x06
+REQ_BOOTSTRAP = 0x07
+REQ_CHAIN_HEADS = 0x08
+REQ_PING = 0x09
+
+RESP_CERTIFICATE = 0x81
+RESP_SESSION = 0x82
+RESP_FILE_META = 0x83
+RESP_PAGE = 0x84
+RESP_VALIDATION = 0x85
+RESP_VO = 0x86
+RESP_BOOTSTRAP = 0x87
+RESP_CHAIN_HEADS = 0x88
+RESP_PONG = 0x89
+RESP_ERROR = 0xFF
+
+_VALIDATION_FRESH = 0
+_VALIDATION_PAGE = 1
+
+#: Error taxonomy carried over the wire.  Codes are stable protocol
+#: surface; the client re-raises the mapped local exception type.
+_ERROR_CODE_TO_TYPE: Dict[int, type] = {
+    1: ReproError,
+    2: NetworkError,
+    3: StorageError,
+    4: FileNotFoundInStoreError,
+    5: VerificationError,
+    6: CertificateError,
+    7: ProofError,
+    8: ChainError,
+    9: EnclaveError,
+}
+_TYPE_TO_ERROR_CODE = {t: c for c, t in _ERROR_CODE_TO_TYPE.items()}
+
+
+def error_code_for(error: BaseException) -> int:
+    """Most specific wire code for a server-side exception."""
+    for klass in type(error).__mro__:
+        code = _TYPE_TO_ERROR_CODE.get(klass)
+        if code is not None:
+            return code
+    return _TYPE_TO_ERROR_CODE[ReproError]
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+DigsPath = List[Tuple[int, int, Digest]]
+
+
+def encode_get_certificate() -> bytes:
+    return Writer().u8(REQ_GET_CERTIFICATE).payload()
+
+
+def encode_open_session(expected_version: Optional[int]) -> bytes:
+    writer = Writer().u8(REQ_OPEN_SESSION)
+    if expected_version is None:
+        writer.u8(0)
+    else:
+        writer.u8(1).u64(expected_version)
+    return writer.payload()
+
+
+def encode_get_file_meta(session_id: int, path: str) -> bytes:
+    return (
+        Writer().u8(REQ_GET_FILE_META).u64(session_id).text(path).payload()
+    )
+
+
+def encode_get_page(session_id: int, path: str, page_id: int) -> bytes:
+    return (
+        Writer()
+        .u8(REQ_GET_PAGE)
+        .u64(session_id)
+        .text(path)
+        .u64(page_id)
+        .payload()
+    )
+
+
+def encode_validate_path(
+    session_id: int, path: str, page_id: int, digs_path: DigsPath
+) -> bytes:
+    writer = (
+        Writer()
+        .u8(REQ_VALIDATE_PATH)
+        .u64(session_id)
+        .text(path)
+        .u64(page_id)
+        .u32(len(digs_path))
+    )
+    for level, index, digest in digs_path:
+        writer.u16(level).u64(index).digest(digest)
+    return writer.payload()
+
+
+def encode_finalize_session(session_id: int) -> bytes:
+    return Writer().u8(REQ_FINALIZE_SESSION).u64(session_id).payload()
+
+
+def encode_bootstrap_request() -> bytes:
+    return Writer().u8(REQ_BOOTSTRAP).payload()
+
+
+def encode_chain_heads_request() -> bytes:
+    return Writer().u8(REQ_CHAIN_HEADS).payload()
+
+
+def encode_ping() -> bytes:
+    return Writer().u8(REQ_PING).payload()
+
+
+#: Decoded request: (kind, args tuple).
+DecodedRequest = Tuple[int, tuple]
+
+
+def decode_request(payload: bytes) -> DecodedRequest:
+    """Parse one request payload into ``(kind, args)``."""
+    reader = Reader(payload)
+    kind = reader.u8()
+    if kind in (
+        REQ_GET_CERTIFICATE, REQ_BOOTSTRAP, REQ_CHAIN_HEADS, REQ_PING
+    ):
+        args: tuple = ()
+    elif kind == REQ_OPEN_SESSION:
+        has_version = reader.u8()
+        if has_version not in (0, 1):
+            raise WireFormatError(
+                f"bad optional-version flag {has_version}"
+            )
+        args = (reader.u64() if has_version else None,)
+    elif kind == REQ_GET_FILE_META:
+        args = (reader.u64(), reader.text())
+    elif kind == REQ_GET_PAGE:
+        args = (reader.u64(), reader.text(), reader.u64())
+    elif kind == REQ_VALIDATE_PATH:
+        session_id = reader.u64()
+        path = reader.text()
+        page_id = reader.u64()
+        count = reader.u32()
+        if count > MAX_DIGS_PATH:
+            raise WireFormatError(
+                f"digs_path length {count} exceeds {MAX_DIGS_PATH}"
+            )
+        digs_path: DigsPath = [
+            (reader.u16(), reader.u64(), reader.digest())
+            for _ in range(count)
+        ]
+        args = (session_id, path, page_id, digs_path)
+    elif kind == REQ_FINALIZE_SESSION:
+        args = (reader.u64(),)
+    else:
+        raise WireFormatError(f"unknown request kind 0x{kind:02x}")
+    reader.expect_end()
+    return kind, args
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+def _put_signature(writer: Writer, signature: Signature) -> None:
+    raw = signature.to_bytes()
+    if len(raw) != _SIGNATURE_BYTES:
+        raise WireFormatError("malformed signature")
+    writer.raw(raw)
+
+
+def _take_signature(reader: Reader) -> Signature:
+    try:
+        return Signature.from_bytes(reader.read(_SIGNATURE_BYTES))
+    except ValueError as error:
+        raise WireFormatError(str(error))
+
+
+def _put_header(writer: Writer, header: BlockHeader) -> None:
+    writer.text(header.chain_id)
+    writer.u64(header.height)
+    writer.digest(header.prev_digest)
+    writer.digest(header.tx_root)
+    writer.u64(header.timestamp)
+    writer.u64(header.nonce)
+
+
+def _take_header(reader: Reader) -> BlockHeader:
+    return BlockHeader(
+        chain_id=reader.text(),
+        height=reader.u64(),
+        prev_digest=reader.digest(),
+        tx_root=reader.digest(),
+        timestamp=reader.u64(),
+        nonce=reader.u64(),
+    )
+
+
+def encode_certificate(certificate: V2fsCertificate) -> bytes:
+    writer = Writer().u8(RESP_CERTIFICATE)
+    writer.digest(certificate.ads_root)
+    writer.u64(certificate.version)
+    writer.u32(len(certificate.chain_states))
+    for chain_id, digest, height in certificate.chain_states:
+        writer.text(chain_id)
+        writer.digest(digest)
+        writer.u64(height)
+    _put_signature(writer, certificate.signature)
+    if certificate.vbf_encoded is None:
+        writer.u8(0)
+    else:
+        writer.u8(1).blob(certificate.vbf_encoded)
+    return writer.payload()
+
+
+def _decode_certificate(reader: Reader) -> V2fsCertificate:
+    ads_root = reader.digest()
+    version = reader.u64()
+    count = reader.u32()
+    if count > MAX_CHAIN_STATES:
+        raise WireFormatError(
+            f"certificate lists {count} chains (limit {MAX_CHAIN_STATES})"
+        )
+    chain_states = tuple(
+        (reader.text(), reader.digest(), reader.u64())
+        for _ in range(count)
+    )
+    signature = _take_signature(reader)
+    has_vbf = reader.u8()
+    if has_vbf not in (0, 1):
+        raise WireFormatError(f"bad optional-vbf flag {has_vbf}")
+    vbf_encoded = reader.blob(MAX_VBF_BYTES) if has_vbf else None
+    return V2fsCertificate(
+        ads_root=ads_root,
+        chain_states=chain_states,
+        version=version,
+        signature=signature,
+        vbf_encoded=vbf_encoded,
+    )
+
+
+def encode_session(session_id: int) -> bytes:
+    return Writer().u8(RESP_SESSION).u64(session_id).payload()
+
+
+def encode_file_meta(exists: bool, size: int, page_count: int) -> bytes:
+    return (
+        Writer()
+        .u8(RESP_FILE_META)
+        .u8(1 if exists else 0)
+        .u64(size)
+        .u64(page_count)
+        .payload()
+    )
+
+
+def encode_page(page: bytes) -> bytes:
+    if len(page) > MAX_PAGE_BYTES:
+        raise WireFormatError(f"page of {len(page)} bytes exceeds bound")
+    return Writer().u8(RESP_PAGE).blob(page).payload()
+
+
+def encode_validation(reply: Union[FreshMatch, PageReply]) -> bytes:
+    writer = Writer().u8(RESP_VALIDATION)
+    if reply[0] == "fresh":
+        _, level, index, digest = reply
+        writer.u8(_VALIDATION_FRESH).u16(level).u64(index).digest(digest)
+    elif reply[0] == "page":
+        writer.u8(_VALIDATION_PAGE).blob(reply[1])
+    else:
+        raise WireFormatError(f"unknown validation reply {reply[0]!r}")
+    return writer.payload()
+
+
+def encode_vo(proof: AdsProof) -> bytes:
+    return Writer().u8(RESP_VO).blob(proof.encode()).payload()
+
+
+def encode_bootstrap(
+    report: AttestationReport,
+    attestation_root: PublicKey,
+    expected_measurement: Digest,
+) -> bytes:
+    writer = Writer().u8(RESP_BOOTSTRAP)
+    writer.digest(report.measurement)
+    writer.raw(report.enclave_public_key.to_bytes())
+    _put_signature(writer, report.signature)
+    writer.raw(attestation_root.to_bytes())
+    writer.digest(expected_measurement)
+    return writer.payload()
+
+
+def encode_chain_heads(heads: Dict[str, BlockHeader]) -> bytes:
+    writer = Writer().u8(RESP_CHAIN_HEADS).u32(len(heads))
+    for chain_id in sorted(heads):
+        writer.text(chain_id)
+        _put_header(writer, heads[chain_id])
+    return writer.payload()
+
+
+def encode_pong() -> bytes:
+    return Writer().u8(RESP_PONG).payload()
+
+
+def encode_error(error: BaseException) -> bytes:
+    message = str(error)[:MAX_ERROR_BYTES]
+    return (
+        Writer()
+        .u8(RESP_ERROR)
+        .u16(error_code_for(error))
+        .text(message)
+        .payload()
+    )
+
+
+#: Decoded response: (kind, value).
+DecodedResponse = Tuple[int, object]
+
+
+def decode_response(payload: bytes) -> DecodedResponse:
+    """Parse one response payload into ``(kind, value)``.
+
+    A :data:`RESP_ERROR` decodes to the mapped *exception instance*
+    (not raised here — the caller decides); everything malformed raises
+    :class:`WireFormatError`.
+    """
+    reader = Reader(payload)
+    kind = reader.u8()
+    value: object
+    if kind == RESP_CERTIFICATE:
+        value = _decode_certificate(reader)
+    elif kind == RESP_SESSION:
+        value = reader.u64()
+    elif kind == RESP_FILE_META:
+        exists = reader.u8()
+        if exists not in (0, 1):
+            raise WireFormatError(f"bad exists flag {exists}")
+        value = (bool(exists), reader.u64(), reader.u64())
+    elif kind == RESP_PAGE:
+        value = reader.blob(MAX_PAGE_BYTES)
+    elif kind == RESP_VALIDATION:
+        tag = reader.u8()
+        if tag == _VALIDATION_FRESH:
+            value = ("fresh", reader.u16(), reader.u64(), reader.digest())
+        elif tag == _VALIDATION_PAGE:
+            value = ("page", reader.blob(MAX_PAGE_BYTES))
+        else:
+            raise WireFormatError(f"unknown validation tag {tag}")
+    elif kind == RESP_VO:
+        blob = reader.blob(MAX_FRAME_BYTES)
+        try:
+            value = AdsProof.decode(blob)
+        except ProofError:
+            raise
+        except Exception as error:  # defense in depth: never crash
+            raise WireFormatError(f"undecodable VO: {error}")
+    elif kind == RESP_BOOTSTRAP:
+        report = AttestationReport(
+            measurement=reader.digest(),
+            enclave_public_key=PublicKey.from_bytes(
+                reader.read(_PUBKEY_BYTES)
+            ),
+            signature=_take_signature(reader),
+        )
+        root = PublicKey.from_bytes(reader.read(_PUBKEY_BYTES))
+        value = (report, root, reader.digest())
+    elif kind == RESP_CHAIN_HEADS:
+        count = reader.u32()
+        if count > MAX_CHAIN_STATES:
+            raise WireFormatError(
+                f"{count} chain heads exceeds {MAX_CHAIN_STATES}"
+            )
+        value = {
+            reader.text(): _take_header(reader) for _ in range(count)
+        }
+    elif kind == RESP_PONG:
+        value = None
+    elif kind == RESP_ERROR:
+        code = reader.u16()
+        message = reader.text(MAX_ERROR_BYTES)
+        error_type = _ERROR_CODE_TO_TYPE.get(code, ReproError)
+        value = error_type(message)
+    else:
+        raise WireFormatError(f"unknown response kind 0x{kind:02x}")
+    reader.expect_end()
+    return kind, value
+
+
+__all__ = [
+    "MAGIC",
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+    "MAX_PAGE_BYTES",
+    "MAX_DIGS_PATH",
+    "Reader",
+    "Writer",
+    "frame",
+    "send_frame",
+    "recv_frame",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "error_code_for",
+]

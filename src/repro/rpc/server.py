@@ -1,0 +1,280 @@
+"""Threaded TCP server exposing an :class:`~repro.isp.server.IspServer`.
+
+One :class:`RpcIspServer` hosts an in-process ISP behind the wire
+protocol of :mod:`repro.rpc.codec`: an accept loop hands each client
+connection to its own thread, and every request is dispatched to the
+wrapped ISP under a single coarse lock.  The lock serializes individual
+*operations*, not whole queries — many client query sessions interleave
+freely, each pinned to its snapshot root at ``open_session`` time, so
+the paper's MVCC property (in-flight queries survive concurrent
+updates) is now exercised under real concurrency rather than simulated
+turn-taking.
+
+The server is *untrusted* from the client's point of view, exactly like
+the in-process ISP: nothing it sends is believed until verified against
+the certificate.  Test subclasses override :meth:`RpcIspServer._send`
+to model wire-level adversaries (bit flips, truncation, hostile length
+prefixes).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.crypto.hashing import Digest
+from repro.crypto.signature import PublicKey
+from repro.errors import NetworkError, ReproError, WireFormatError
+from repro.isp.server import IspServer
+from repro.rpc import codec
+from repro.sgx.attestation import AttestationReport
+
+
+@dataclass
+class IspBootstrap:
+    """Out-of-band client-setup material served over the wire.
+
+    In the paper the client obtains the attestation root and the expected
+    enclave measurement through a trusted channel and observes chain
+    heads from the source networks directly.  For single-binary demos the
+    server hands all of it out (trust-on-first-use); a production
+    deployment would pin ``attestation_root`` and ``measurement``
+    client-side and keep only ``chain_heads`` remote.
+    """
+
+    report: AttestationReport
+    attestation_root: PublicKey
+    measurement: Digest
+    chain_heads: Callable[[], Dict[str, BlockHeader]]
+
+
+class RpcIspServer:
+    """Serve one ISP to many concurrent clients over TCP."""
+
+    def __init__(
+        self,
+        isp: IspServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bootstrap: Optional[IspBootstrap] = None,
+    ) -> None:
+        self.isp = isp
+        self.bootstrap = bootstrap
+        #: Guards every operation on the wrapped ISP.  Updates applied
+        #: outside the RPC path (CI ingestion) must hold it too — see
+        #: :func:`serve_system`.
+        self.lock = threading.RLock()
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: List[socket.socket] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RpcIspServer":
+        """Bind, listen, and serve in background threads."""
+        if self._listener is not None:
+            raise NetworkError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._listener = listener
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rpc-isp-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._listener is None:
+            raise NetworkError("server is not started")
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, join the accept loop."""
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        self._listener = None
+
+    def __enter__(self) -> "RpcIspServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._conn_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._client_loop,
+                args=(conn,),
+                name="rpc-isp-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        try:
+            while self._running.is_set():
+                try:
+                    payload = codec.recv_frame(conn)
+                except WireFormatError as error:
+                    # Protocol garbage from the client: answer with a
+                    # typed error, then drop the connection.
+                    self._try_send(conn, codec.encode_error(error))
+                    return
+                except OSError:
+                    return
+                if payload is None:
+                    return  # clean EOF
+                response = self._handle(payload)
+                try:
+                    self._send(conn, response)
+                except OSError:
+                    return
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, conn: socket.socket, payload: bytes) -> None:
+        """Transmit one response payload (overridden by wire adversaries
+        in the test suite to corrupt, truncate, or inflate frames)."""
+        codec.send_frame(conn, payload)
+
+    def _try_send(self, conn: socket.socket, payload: bytes) -> None:
+        try:
+            self._send(conn, payload)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _handle(self, payload: bytes) -> bytes:
+        """Decode one request, run it against the ISP, encode the reply."""
+        try:
+            kind, args = codec.decode_request(payload)
+        except WireFormatError as error:
+            return codec.encode_error(error)
+        try:
+            with self.lock:
+                return self._dispatch(kind, args)
+        except ReproError as error:
+            return codec.encode_error(error)
+        except Exception as error:  # never let a handler kill the link
+            return codec.encode_error(
+                NetworkError(f"internal server error: {type(error).__name__}")
+            )
+
+    def _dispatch(self, kind: int, args: tuple) -> bytes:
+        isp = self.isp
+        if kind == codec.REQ_GET_CERTIFICATE:
+            return codec.encode_certificate(isp.get_certificate())
+        if kind == codec.REQ_OPEN_SESSION:
+            return codec.encode_session(isp.open_session(*args))
+        if kind == codec.REQ_GET_FILE_META:
+            return codec.encode_file_meta(*isp.get_file_meta(*args))
+        if kind == codec.REQ_GET_PAGE:
+            return codec.encode_page(isp.get_page(*args))
+        if kind == codec.REQ_VALIDATE_PATH:
+            return codec.encode_validation(isp.validate_path(*args))
+        if kind == codec.REQ_FINALIZE_SESSION:
+            return codec.encode_vo(isp.finalize_session(*args))
+        if kind == codec.REQ_BOOTSTRAP:
+            if self.bootstrap is None:
+                raise NetworkError("server has no bootstrap material")
+            return codec.encode_bootstrap(
+                self.bootstrap.report,
+                self.bootstrap.attestation_root,
+                self.bootstrap.measurement,
+            )
+        if kind == codec.REQ_CHAIN_HEADS:
+            if self.bootstrap is None:
+                raise NetworkError("server has no bootstrap material")
+            return codec.encode_chain_heads(self.bootstrap.chain_heads())
+        if kind == codec.REQ_PING:
+            return codec.encode_pong()
+        raise NetworkError(f"unhandled request kind 0x{kind:02x}")
+
+
+def serve_system(
+    system,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    server_class: type = RpcIspServer,
+) -> RpcIspServer:
+    """Wrap a :class:`~repro.core.system.V2FSSystem`'s ISP in an RPC server.
+
+    Returns an *unstarted* server (call :meth:`RpcIspServer.start` or use
+    it as a context manager).  The system's ISP synchronization path is
+    re-routed through the server's lock, so the CI can keep ingesting
+    blocks (``system.advance_block(...)``) while clients query over the
+    wire — concurrent updates serialize against request handling and
+    in-flight sessions stay pinned to their snapshot roots.
+    """
+    bootstrap = IspBootstrap(
+        report=system.attestation_report,
+        attestation_root=system.attestation.root_public_key,
+        measurement=system.ci.enclave.measurement,
+        chain_heads=lambda: {
+            chain_id: chain.latest_header()
+            for chain_id, chain in system.chains.items()
+            if len(chain)
+        },
+    )
+    server = server_class(system.isp, host, port, bootstrap=bootstrap)
+    unlocked_sync = system.isp.sync_update
+
+    def locked_sync_update(writes, new_sizes, certificate):
+        with server.lock:
+            return unlocked_sync(writes, new_sizes, certificate)
+
+    system.isp.sync_update = locked_sync_update
+    return server

@@ -48,6 +48,20 @@ class TestNetworkAccounting:
         assert stats.total_requests() == 0
         assert stats.total_bytes() == 0
 
+    def test_unknown_category_rejected(self):
+        transport = Transport()
+        with pytest.raises(ValueError, match="unknown transport category"):
+            transport.account("pgae", 10, 4096)  # typo'd "page"
+        assert transport.stats.total_requests() == 0
+
+    def test_all_known_categories_accepted(self):
+        from repro.network.transport import KNOWN_CATEGORIES
+
+        transport = Transport()
+        for category in sorted(KNOWN_CATEGORIES):
+            transport.account(category, 1, 1)
+        assert transport.stats.total_requests() == len(KNOWN_CATEGORIES)
+
 
 @pytest.fixture(scope="module")
 def isp_system():

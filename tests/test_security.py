@@ -231,6 +231,123 @@ class TestMaliciousCiStorage:
             system.advance_block("eth")
 
 
+class _WireAdversary:
+    """Shared plumbing for malicious RPC-server subclasses."""
+
+    @staticmethod
+    def serve_malicious(system, server_class):
+        from repro.rpc.server import serve_system
+
+        return serve_system(system, server_class=server_class)
+
+    @staticmethod
+    def remote_baseline_client(system, server):
+        from repro.client.query_client import QueryClient
+        from repro.rpc import RemoteIsp
+
+        host, port = server.address
+        return QueryClient(
+            isp=RemoteIsp(host, port, max_retries=1, backoff_s=0.01),
+            chains=system.chains,
+            attestation_report=system.attestation_report,
+            attestation_root=system.attestation.root_public_key,
+            expected_measurement=system.ci.enclave.measurement,
+            mode=QueryMode.BASELINE,
+        )
+
+
+class TestWireAdversaries(_WireAdversary):
+    """Wire-level attacks on the RPC path: corrupt, truncated, and
+    oversized frames must be rejected client-side with typed errors —
+    never a crash, never an accepted result."""
+
+    def test_bit_flipped_page_frame_rejected(self):
+        """A flipped bit in a page frame (stale CRC) is caught by the
+        frame checksum and answered with a typed wire error."""
+        from repro.errors import WireFormatError
+        from repro.rpc import RpcIspServer, codec
+
+        class BitFlippingServer(RpcIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_PAGE:
+                    frame = bytearray(codec.frame(payload))
+                    frame[-1] ^= 0x01  # payload bit flip, CRC now stale
+                    conn.sendall(bytes(frame))
+                    return
+                super()._send(conn, payload)
+
+        system = build_system(2)
+        server = self.serve_malicious(system, BitFlippingServer)
+        with server:
+            client = self.remote_baseline_client(system, server)
+            with pytest.raises(WireFormatError, match="checksum"):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_bit_flipped_page_with_fixed_crc_rejected(self):
+        """An adversary who recomputes the CRC gets past the framing —
+        and is then caught by the cryptographic verification."""
+        from repro.rpc import RpcIspServer, codec
+
+        class CrcFixingServer(RpcIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_PAGE:
+                    payload = payload[:-1] + bytes(
+                        [payload[-1] ^ 0x01]
+                    )
+                super()._send(conn, payload)
+
+        system = build_system(2)
+        server = self.serve_malicious(system, CrcFixingServer)
+        with server:
+            client = self.remote_baseline_client(system, server)
+            with pytest.raises(ReproError):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_truncated_vo_frame_rejected(self):
+        from repro.errors import WireFormatError
+        from repro.rpc import RpcIspServer, codec
+
+        class VoTruncatingServer(RpcIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_VO:
+                    frame = codec.frame(payload)
+                    conn.sendall(frame[: len(frame) - 9])
+                    raise ConnectionAbortedError("drop after truncation")
+                super()._send(conn, payload)
+
+        system = build_system(2)
+        server = self.serve_malicious(system, VoTruncatingServer)
+        with server:
+            client = self.remote_baseline_client(system, server)
+            with pytest.raises(WireFormatError, match="mid-frame"):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        """A hostile length prefix is rejected before any allocation."""
+        from repro.errors import WireFormatError
+        from repro.rpc import RpcIspServer, codec
+
+        class OversizedFrameServer(RpcIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_VO:
+                    conn.sendall(codec.FRAME_HEADER.pack(
+                        codec.MAGIC, codec.MAX_FRAME_BYTES + 1, 0
+                    ))
+                    raise ConnectionAbortedError("drop after bad header")
+                super()._send(conn, payload)
+
+        system = build_system(2)
+        server = self.serve_malicious(system, OversizedFrameServer)
+        with server:
+            client = self.remote_baseline_client(system, server)
+            with pytest.raises(WireFormatError, match="exceeds"):
+                client.query(SQL)
+            client.isp.close()
+
+
 class TestProofTampering:
     def test_truncated_vo_rejected(self):
         ads = V2fsAds()
