@@ -9,7 +9,13 @@ Four commands cover the zero-to-aha path:
   default, or against a remote ISP with ``--connect host:port``;
 * ``serve`` — build a system and serve its ISP over TCP to remote
   verifying clients (the paper's separate-machine testbed topology);
-* ``experiment`` — regenerate one of the paper's tables/figures by name.
+* ``experiment`` — regenerate one of the paper's tables/figures by name;
+* ``chaos`` — run the seeded fault-injection/recovery harness
+  (:mod:`repro.faults.chaos`) and print its counters.
+
+``serve`` and ``chaos`` accept ``--fault-schedule``/``--fault-seed`` to
+arm named failpoints (e.g.
+``--fault-schedule 'rpc.server.drop=raise@p:0.1'``).
 """
 
 from __future__ import annotations
@@ -121,10 +127,22 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_faults(args: argparse.Namespace) -> None:
+    """Arm the ``--fault-schedule`` (if any) with the ``--fault-seed``."""
+    if getattr(args, "fault_schedule", None):
+        from repro.faults import registry as faults
+        from repro.faults.chaos import apply_schedule
+
+        faults.seed(args.fault_seed)
+        armed = apply_schedule(args.fault_schedule)
+        print(f"armed failpoints: {', '.join(armed)}", file=sys.stderr)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.rpc import serve_system
 
     system = _build_system(args.hours, args.txs_per_block)
+    _arm_faults(args)
     server = serve_system(system, host=args.host, port=args.port)
     _serve_shutdown.clear()
     with server:
@@ -146,6 +164,34 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(EXPERIMENTS[args.name])
     results = module.run()
     print(module.render(results))
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_pager_chaos, run_system_chaos
+
+    failures = 0
+    for seed in args.seeds:
+        print(f"== chaos seed {seed} ==")
+        try:
+            if args.layer in ("system", "all"):
+                stats = run_system_chaos(
+                    seed,
+                    steps=args.steps,
+                    schedule=args.fault_schedule,
+                    use_rpc=not args.no_rpc,
+                )
+                print(f"  system: {stats.as_dict()}")
+            if args.layer in ("pager", "all"):
+                stats = run_pager_chaos(seed, steps=args.steps)
+                print(f"  pager:  {stats.as_dict()}")
+        except AssertionError as error:
+            failures += 1
+            print(f"  INVARIANT VIOLATED: {error}", file=sys.stderr)
+    if failures:
+        print(f"{failures} seed(s) violated invariants", file=sys.stderr)
+        return 1
+    print("all invariants held")
     return 0
 
 
@@ -193,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--serve-for", type=float, default=None,
                        help="stop after this many seconds (default: "
                             "serve until interrupted)")
+    serve.add_argument("--fault-schedule", default=None,
+                       help="arm failpoints before serving, e.g. "
+                            "'rpc.server.drop=raise@p:0.1'")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for probabilistic fault triggers")
     serve.set_defaults(handler=cmd_serve)
 
     experiment = commands.add_parser(
@@ -200,6 +251,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.set_defaults(handler=cmd_experiment)
+
+    chaos = commands.add_parser(
+        "chaos", help="run the seeded fault-injection/recovery harness"
+    )
+    chaos.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
+                       help="chaos seeds to run (default: 1 2 3)")
+    chaos.add_argument("--steps", type=int, default=200,
+                       help="steps per seed")
+    chaos.add_argument("--layer", default="all",
+                       choices=["system", "pager", "all"],
+                       help="which harness to run")
+    chaos.add_argument("--no-rpc", action="store_true",
+                       help="skip the RPC transport in system chaos")
+    chaos.add_argument("--fault-schedule", default=None,
+                       help="override the default fault schedule")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="unused by chaos (the chaos seed reseeds "
+                            "the registry); kept for flag symmetry")
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 

@@ -252,6 +252,11 @@ class ClientVfs(VirtualFilesystem):
     engine computed them itself), and removed when the query finishes.
     """
 
+    # Every remote page is verified against the certified Merkle root,
+    # so the pager's local torn-write checksum is redundant here — and
+    # would misreport ISP tampering as a local storage fault.
+    authenticates_pages = True
+
     def __init__(self, session: ClientSession) -> None:
         self.session = session
         # Local temp area (Algorithm 6); torn down by drop_temp_files().

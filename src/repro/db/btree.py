@@ -27,8 +27,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.db.record import decode_record, encode_record
 from repro.db.types import SqlValue, sort_key
 from repro.errors import SQLExecutionError, StorageError
-from repro.db.pager import Pager
-from repro.vfs.interface import PAGE_SIZE
+from repro.db.pager import PAGE_CONTENT_SIZE, Pager
 
 Key = List[SqlValue]
 
@@ -85,9 +84,9 @@ class _Leaf:
             parts.append(struct.pack(">I", len(value)))
             parts.append(value)
         raw = b"".join(parts)
-        if len(raw) > PAGE_SIZE:
-            raise StorageError("leaf node exceeds page size")
-        return raw + b"\x00" * (PAGE_SIZE - len(raw))
+        if len(raw) > PAGE_CONTENT_SIZE:
+            raise StorageError("leaf node exceeds page capacity")
+        return raw
 
 
 class _Internal:
@@ -112,9 +111,9 @@ class _Internal:
             parts.append(encode_record(key))
             parts.append(struct.pack(">I", child))
         raw = b"".join(parts)
-        if len(raw) > PAGE_SIZE:
-            raise StorageError("internal node exceeds page size")
-        return raw + b"\x00" * (PAGE_SIZE - len(raw))
+        if len(raw) > PAGE_CONTENT_SIZE:
+            raise StorageError("internal node exceeds page capacity")
+        return raw
 
 
 def _decode_node(raw: bytes):
@@ -195,7 +194,7 @@ class BTree:
             if not allow_duplicate and pos > 0 and tuples[pos - 1] == target:
                 raise SQLExecutionError(f"duplicate key {key!r}")
             node.entries.insert(pos, (key, value))
-            if node.encoded_size() <= PAGE_SIZE:
+            if node.encoded_size() <= PAGE_CONTENT_SIZE:
                 self._save(pid, node)
                 return None
             return self._split_leaf(pid, node)
@@ -207,7 +206,7 @@ class BTree:
         sep_key, right_pid = split
         node.keys.insert(pos, sep_key)
         node.children.insert(pos + 1, right_pid)
-        if node.encoded_size() <= PAGE_SIZE:
+        if node.encoded_size() <= PAGE_CONTENT_SIZE:
             self._save(pid, node)
             return None
         return self._split_internal(pid, node)

@@ -7,18 +7,92 @@ performs *no caching*: every page access reaches the virtual filesystem,
 because page-access visibility at the VFS boundary is precisely what V2FS
 instruments (caching is the job of the V2FS client layer, not the
 engine — mirroring how the paper runs SQLite with a minimal page cache).
+
+Durability and corruption detection
+-----------------------------------
+
+Every page the pager writes ends in an 8-byte **checksum epilogue**
+(magic + CRC-32 of the page content), so a torn 4 KiB write — a crash
+that persists only a prefix of the page — is *detected* on read-back as
+a :class:`~repro.errors.TornPageError` instead of being silently decoded.
+Page content is therefore capped at :data:`PAGE_CONTENT_SIZE` bytes; the
+B+Tree sizes its nodes against that.  An all-zero page is a hole (never
+written) and is exempt.  ``flush``/``close`` additionally ``sync()`` the
+underlying file, so a :class:`~repro.faults.registry.SimulatedCrash`
+after a flush cannot lose pages the engine already considers persistent.
+
+Failpoints (see :mod:`repro.faults.registry`):
+
+* ``pager.write_page.pre`` — fired before a data page reaches the file;
+* ``pager.write_page.data`` — mangles the sealed bytes on their way to
+  the file (models a misdirected/bit-rotted write; caught on read-back);
+* ``pager.read_page`` — mangles raw bytes coming back from the file
+  (models disk corruption; caught by the epilogue check);
+* ``pager.flush.pre_sync`` — fired between writing the header and the
+  ``sync()``, the window where a crash loses un-fsynced state.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TornPageError
+from repro.faults import registry as faults
 from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
 
 _MAGIC = b"V2FSDB01"
 _HEADER_FMT = ">8sIIQQ"  # magic, page_count, root_pid, next_rowid, entries
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+#: Page checksum epilogue: magic + CRC-32 over the page content.
+_TRAILER = struct.Struct(">4sI")
+_TRAILER_MAGIC = b"V2pC"
+TRAILER_SIZE = _TRAILER.size
+
+#: Usable bytes per page once the checksum epilogue is reserved.
+PAGE_CONTENT_SIZE = PAGE_SIZE - TRAILER_SIZE
+
+_ZERO_PAGE = b"\x00" * PAGE_SIZE
+_ZERO_TRAILER = b"\x00" * TRAILER_SIZE
+
+
+def seal_page(content: bytes) -> bytes:
+    """Pad ``content`` to a full page and append the checksum epilogue."""
+    if len(content) > PAGE_CONTENT_SIZE:
+        raise StorageError(
+            f"page content of {len(content)} bytes exceeds the "
+            f"{PAGE_CONTENT_SIZE}-byte capacity"
+        )
+    body = content + b"\x00" * (PAGE_CONTENT_SIZE - len(content))
+    return body + _TRAILER.pack(_TRAILER_MAGIC, zlib.crc32(body))
+
+
+def check_page(raw: bytes, context: str) -> None:
+    """Validate one page's checksum epilogue.
+
+    An all-zero page is a hole and passes.  Anything else must carry a
+    matching epilogue; a zeroed or mismatched trailer on a non-empty
+    page is exactly the signature of a torn or corrupt write and raises
+    :class:`~repro.errors.TornPageError`.
+    """
+    if raw == _ZERO_PAGE:
+        return
+    trailer = raw[PAGE_CONTENT_SIZE:]
+    if trailer == _ZERO_TRAILER:
+        raise TornPageError(
+            f"{context}: non-empty page carries no checksum epilogue "
+            "(torn write)"
+        )
+    magic, crc = _TRAILER.unpack(trailer)
+    if magic != _TRAILER_MAGIC:
+        raise TornPageError(
+            f"{context}: bad page epilogue magic {magic!r} (torn write)"
+        )
+    if zlib.crc32(raw[:PAGE_CONTENT_SIZE]) != crc:
+        raise TornPageError(
+            f"{context}: page checksum mismatch (torn or corrupt write)"
+        )
 
 
 class Pager:
@@ -27,6 +101,7 @@ class Pager:
     def __init__(self, vfs: VirtualFilesystem, path: str,
                  create: bool = False) -> None:
         self.path = path
+        self._check_reads = not getattr(vfs, "authenticates_pages", False)
         self._file: VirtualFile = vfs.open(path, create=create)
         if self._file.size() == 0:
             if not create:
@@ -42,6 +117,10 @@ class Pager:
 
     def _read_header(self) -> None:
         raw = self._file.read_page(0)
+        if faults.ACTIVE:
+            raw = faults.mangle("pager.read_page", raw)
+        if self._check_reads:
+            check_page(raw, f"{self.path} header")
         magic, page_count, root_pid, next_rowid, entries = struct.unpack_from(
             _HEADER_FMT, raw, 0
         )
@@ -61,16 +140,19 @@ class Pager:
             self.next_rowid,
             self.entry_count,
         )
-        self._file.write_page(0, raw + b"\x00" * (PAGE_SIZE - _HEADER_SIZE))
+        self._file.write_page(0, seal_page(raw))
 
     def mark_header_dirty(self) -> None:
         self._header_dirty = True
 
     def flush(self) -> None:
-        """Persist header changes (call after a batch of updates)."""
+        """Persist header changes and sync the file to durable storage."""
         if self._header_dirty:
             self._write_header()
             self._header_dirty = False
+        if faults.ACTIVE:
+            faults.fire("pager.flush.pre_sync", path=self.path)
+        self._file.sync()
 
     def allocate_page(self) -> int:
         """Reserve a fresh page id."""
@@ -90,14 +172,26 @@ class Pager:
             raise StorageError(
                 f"page {page_id} out of range in {self.path}"
             )
-        return self._file.read_page(page_id)
+        raw = self._file.read_page(page_id)
+        if faults.ACTIVE:
+            raw = faults.mangle("pager.read_page", raw)
+        if self._check_reads:
+            check_page(raw, f"{self.path} page {page_id}")
+        return raw
 
     def write_page(self, page_id: int, data: bytes) -> None:
+        """Seal ``data`` (≤ :data:`PAGE_CONTENT_SIZE` bytes) and write it."""
         if page_id <= 0 or page_id >= self.page_count:
             raise StorageError(
                 f"page {page_id} out of range in {self.path}"
             )
-        self._file.write_page(page_id, data)
+        sealed = seal_page(data)
+        if faults.ACTIVE:
+            faults.fire(
+                "pager.write_page.pre", path=self.path, page_id=page_id
+            )
+            sealed = faults.mangle("pager.write_page.data", sealed)
+        self._file.write_page(page_id, sealed)
 
     def close(self) -> None:
         self.flush()

@@ -35,6 +35,11 @@ class FileNotFoundInStoreError(StorageError):
     """The requested path does not exist in the page store."""
 
 
+class TornPageError(StorageError):
+    """A page failed its checksum epilogue: a torn or corrupt write was
+    detected on read-back instead of being silently returned."""
+
+
 class SQLError(ReproError):
     """Base class for database-engine errors."""
 

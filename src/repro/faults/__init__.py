@@ -1,0 +1,65 @@
+"""``repro.faults`` — failpoint injection and chaos testing.
+
+Production code paths carry named failpoints (see
+:mod:`repro.faults.registry`); this package also provides the shadow
+dirty-vs-durable filesystem used to model power loss
+(:mod:`repro.faults.shadowfs`) and the randomized chaos/recovery harness
+(:mod:`repro.faults.chaos`).
+
+Hot call sites import the registry module directly
+(``from repro.faults import registry as faults``) so the disabled-path
+guard ``faults.ACTIVE`` is one live module-attribute read; everything
+else can use the re-exports here.
+"""
+
+from __future__ import annotations
+
+from repro.faults import registry as _registry_module
+from repro.faults.registry import (
+    ACTION_CORRUPT,
+    ACTION_COUNT,
+    ACTION_CRASH,
+    ACTION_RAISE,
+    Failpoint,
+    FailpointRegistry,
+    InjectedFault,
+    SimulatedCrash,
+    arm,
+    disarm,
+    fire,
+    get_registry,
+    mangle,
+    reset,
+    seed,
+    stats,
+    suspended,
+)
+
+__all__ = [
+    "ACTION_CORRUPT",
+    "ACTION_COUNT",
+    "ACTION_CRASH",
+    "ACTION_RAISE",
+    "ACTIVE",
+    "Failpoint",
+    "FailpointRegistry",
+    "InjectedFault",
+    "SimulatedCrash",
+    "arm",
+    "disarm",
+    "fire",
+    "get_registry",
+    "mangle",
+    "reset",
+    "seed",
+    "stats",
+    "suspended",
+]
+
+
+def __getattr__(name: str):
+    # ``ACTIVE`` mutates inside the registry module; forward reads so
+    # ``repro.faults.ACTIVE`` is always live (PEP 562).
+    if name == "ACTIVE":
+        return _registry_module.ACTIVE
+    raise AttributeError(name)

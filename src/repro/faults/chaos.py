@@ -1,0 +1,542 @@
+"""Randomized chaos/recovery harness.
+
+Two harnesses exercise the failure model end to end:
+
+* :func:`run_system_chaos` — drives a full five-party
+  :class:`~repro.core.system.V2FSSystem` whose ISP stores its ADS in a
+  :class:`~repro.merkle.persistent_store.PersistentNodeStore`, under a
+  seeded **fault schedule** (see :func:`parse_schedule`).  Each step
+  randomly ingests a block, runs a verified query (in-process or over a
+  live RPC server with wire faults armed), or kills and reopens the
+  store.  Invariants checked throughout:
+
+  - every query that *completes* verifies against ``pk_sgx`` (the
+    client raises otherwise) and returns exactly the rows an in-memory
+    **oracle** ISP — fed the same certified reports with faults
+    suspended — returns;
+  - after every crash + reopen, the recovered ISP serves precisely the
+    last *fully published* certificate root: never a stale one, never a
+    root whose nodes did not reach disk.
+
+* :func:`run_pager_chaos` — hammers one :class:`~repro.db.pager.Pager`
+  + B+Tree over the :class:`~repro.faults.shadowfs.ShadowFilesystem`,
+  crashing with per-page persisted/lost/torn outcomes.  The pager's
+  guarantee is *detection*, not journaling: a reopen either decodes (and
+  then every surviving entry matches a value that was actually written,
+  with all entries committed before the last flush intact when the
+  crash hit a clean file) or raises a typed
+  :class:`~repro.errors.TornPageError` / ``StorageError`` — never
+  silently wrong data.
+
+Schedules are plain strings so they can ride in a CLI flag::
+
+    store.append.mid=crash@p:0.001;rpc.server.drop=raise@p:0.08
+
+Entry grammar: ``name=action[@term,term...]`` joined by ``;`` where
+``action`` is one of ``raise`` / ``crash`` / ``corrupt`` / ``count``
+and each term is ``p:<float>``, ``times:<int>``, ``every:<int>`` or
+``after:<int>`` (see :mod:`repro.faults.registry` for semantics).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, StorageError, TornPageError
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedFault, SimulatedCrash
+from repro.faults.shadowfs import ShadowFilesystem
+
+logger = logging.getLogger("repro.faults")
+
+#: The stock schedule for system chaos: faults on the ISP update
+#: transaction, the node store's append/sync/compaction paths, and the
+#: RPC transport.  Per-put probabilities are small because one ingest
+#: performs hundreds of node appends.
+DEFAULT_SYSTEM_SCHEDULE = (
+    "isp.sync_update.pre=raise@p:0.05;"
+    "isp.sync_update.pre_publish=crash@p:0.02;"
+    "store.append.pre=raise@p:0.001;"
+    "store.append.mid=crash@p:0.0005;"
+    "store.sync.pre=crash@p:0.02;"
+    "store.compact.pre_replace=crash@p:0.005;"
+    "rpc.server.drop=raise@p:0.08;"
+    "rpc.server.stall=raise@p:0.04;"
+    "rpc.server.truncate=raise@p:0.005"
+)
+
+_POLICY_KEYS = {"times": int, "every": int, "after": int}
+
+
+def parse_schedule(text: str) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """Parse a schedule string into ``(name, action, policy)`` triples."""
+    entries: List[Tuple[str, str, Dict[str, Any]]] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(
+                f"bad schedule entry {chunk!r}: expected name=action[@terms]"
+            )
+        name, spec = chunk.split("=", 1)
+        action, _, terms = spec.partition("@")
+        policy: Dict[str, Any] = {}
+        for term in terms.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            key, sep, value = term.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"bad schedule term {term!r} in {chunk!r}: "
+                    "expected key:value"
+                )
+            if key == "p":
+                policy["probability"] = float(value)
+            elif key in _POLICY_KEYS:
+                policy[key] = _POLICY_KEYS[key](value)
+            else:
+                raise ValueError(
+                    f"unknown schedule term {key!r} in {chunk!r}"
+                )
+        entries.append((name.strip(), action.strip(), policy))
+    return entries
+
+
+def apply_schedule(text: str) -> List[str]:
+    """Arm every entry of ``text``; returns the armed failpoint names."""
+    armed = []
+    for name, action, policy in parse_schedule(text):
+        faults.arm(name, action, **policy)
+        armed.append(name)
+    return armed
+
+
+@dataclass
+class ChaosStats:
+    """Counters accumulated by a chaos run."""
+
+    steps: int = 0
+    ingests: int = 0
+    publishes: int = 0
+    publish_retries: int = 0
+    queries_ok: int = 0
+    queries_failed: int = 0
+    remote_queries_ok: int = 0
+    remote_queries_failed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    clean_restarts: int = 0
+    injected_faults: int = 0
+    torn_detected: int = 0
+    corruption_detected: int = 0
+    fires: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            key: getattr(self, key)
+            for key in (
+                "steps", "ingests", "publishes", "publish_retries",
+                "queries_ok", "queries_failed", "remote_queries_ok",
+                "remote_queries_failed", "crashes", "recoveries",
+                "clean_restarts", "injected_faults", "torn_detected",
+                "corruption_detected",
+            )
+        } | {"fires": dict(self.fires)}
+
+
+def _snapshot_fires(stats: ChaosStats) -> None:
+    for name, point in faults.stats().items():
+        stats.fires[name] = stats.fires.get(name, 0) + point.fires
+
+
+# ---------------------------------------------------------------------------
+# System chaos
+# ---------------------------------------------------------------------------
+
+
+class SystemChaos:
+    """One seeded chaos run over a durable-ISP V2FS system."""
+
+    #: Bound on faulted publish attempts before the harness forces the
+    #: update through with faults suspended (progress guarantee).
+    MAX_PUBLISH_ATTEMPTS = 10
+
+    #: Verified queries drawn at random each query step.
+    QUERY_POOL = (
+        "SELECT COUNT(*) FROM btc_transactions",
+        "SELECT COUNT(*), SUM(fee) FROM btc_transactions",
+        "SELECT COUNT(*), SUM(gas_used) FROM eth_transactions",
+        "SELECT COUNT(*) FROM eth_token_transfers",
+    )
+
+    def __init__(
+        self,
+        seed: int,
+        store_path: str,
+        schedule: Optional[str] = None,
+        use_rpc: bool = True,
+        txs_per_block: int = 2,
+    ) -> None:
+        from repro.core.system import SystemConfig, V2FSSystem
+        from repro.isp.server import IspServer
+        from repro.merkle.ads import V2fsAds
+        from repro.merkle.persistent_store import PersistentNodeStore
+
+        self.rng = random.Random(seed)
+        self.store_path = store_path
+        self.use_rpc = use_rpc
+        self.stats = ChaosStats()
+        self._store_cls = PersistentNodeStore
+        self._isp_cls = IspServer
+        self._ads_cls = V2fsAds
+
+        faults.reset()
+        faults.seed(seed)
+        self.schedule = schedule if schedule else DEFAULT_SYSTEM_SCHEDULE
+        apply_schedule(self.schedule)
+
+        with faults.suspended():
+            self.system = V2FSSystem(
+                SystemConfig(seed=seed, txs_per_block=txs_per_block)
+            )
+            bootstrap = self.system.update_reports[0]
+            # Rebuild the ISP around an on-disk store and re-sync the
+            # schema bootstrap; keep an in-memory oracle in lockstep.
+            durable = IspServer()
+            durable.ads = V2fsAds(PersistentNodeStore(store_path))
+            durable.root = durable.ads.root
+            self.system.isp = durable
+            self.oracle = IspServer()
+            for isp in (durable, self.oracle):
+                isp.sync_update(
+                    bootstrap.writes, bootstrap.new_sizes,
+                    bootstrap.certificate,
+                )
+            # Seed one block per chain so queries (which check observed
+            # chain heads) are meaningful from step 0.
+            start = len(self.system.update_reports)
+            self.system.advance_all(1)
+            for report in self.system.update_reports[start:]:
+                self.oracle.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+        self.last_cert = self.system.update_reports[-1].certificate
+        self._rpc_server = None
+        self._remote_client = None
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def isp(self):
+        return self.system.isp
+
+    def _make_client(self, isp, mode=None):
+        from repro.client.query_client import QueryClient
+        from repro.client.vfs import QueryMode
+
+        return QueryClient(
+            isp=isp,
+            chains=self.system.chains,
+            attestation_report=self.system.attestation_report,
+            attestation_root=self.system.attestation.root_public_key,
+            expected_measurement=self.system.ci.enclave.measurement,
+            mode=mode if mode is not None else QueryMode.INTER_VBF,
+            cost_model=self.system.config.network,
+        )
+
+    def _start_rpc(self) -> None:
+        from repro.rpc.client import connect_client
+        from repro.rpc.server import IspBootstrap, RpcIspServer
+
+        bootstrap = IspBootstrap(
+            report=self.system.attestation_report,
+            attestation_root=self.system.attestation.root_public_key,
+            measurement=self.system.ci.enclave.measurement,
+            chain_heads=lambda: {
+                chain_id: chain.latest_header()
+                for chain_id, chain in self.system.chains.items()
+                if len(chain)
+            },
+        )
+        server = RpcIspServer(self.isp, bootstrap=bootstrap)
+        server.fault_stall_s = 0.5
+        server.start()
+        self._rpc_server = server
+        host, port = server.address
+        with faults.suspended():
+            self._remote_client = connect_client(
+                host, port, timeout_s=0.25, max_retries=4
+            )
+
+    def close(self) -> None:
+        if self._rpc_server is not None:
+            self._rpc_server.stop()
+            self._rpc_server = None
+        _snapshot_fires(self.stats)
+        faults.reset()
+        try:
+            self.isp.ads.store.close()
+        except Exception:  # store may already be crashed shut
+            pass
+
+    # -- step implementations --------------------------------------------
+
+    def _reopen(self, crashed: bool) -> None:
+        """Model process death (or a clean restart) plus recovery.
+
+        Recovery rebuilds the ISP from the reopened on-disk store and
+        the last *durably published* certificate — the only root the
+        restarted process may legitimately serve.
+        """
+        with faults.suspended():
+            store = self.isp.ads.store
+            if crashed:
+                store.simulate_crash(self.rng)
+            else:
+                store.close()
+            reopened = self._isp_cls()
+            reopened.ads = self._ads_cls.__new__(self._ads_cls)
+            reopened.ads.store = self._store_cls(self.store_path)
+            reopened.ads.root = self.last_cert.ads_root
+            reopened.root = self.last_cert.ads_root
+            reopened.certificate = self.last_cert
+            self.system.isp = reopened
+            if self._rpc_server is not None:
+                self._rpc_server.isp = reopened
+            # Never a stale root: the recovered certificate is exactly
+            # the last one that was fully published ...
+            assert reopened.root == self.last_cert.ads_root
+            assert reopened.certificate.version == self.last_cert.version
+            # ... and every node it references survived on disk.
+            reopened.ads.list_files(reopened.root)
+        self.stats.recoveries += 1
+
+    def _publish(self, report) -> None:
+        """Publish one certified report through the faulted update path."""
+        for attempt in range(self.MAX_PUBLISH_ATTEMPTS):
+            try:
+                self.isp.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+            except InjectedFault:
+                # Transactional: nothing observable changed; retry.
+                self.stats.injected_faults += 1
+                self.stats.publish_retries += 1
+                continue
+            except SimulatedCrash:
+                self.stats.crashes += 1
+                self.stats.publish_retries += 1
+                self._reopen(crashed=True)
+                continue
+            break
+        else:
+            with faults.suspended():
+                self.isp.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+        # The durable publish record: only now is the update "published"
+        # from the recovery protocol's point of view.
+        self.last_cert = report.certificate
+        self.stats.publishes += 1
+        with faults.suspended():
+            self.oracle.sync_update(
+                report.writes, report.new_sizes, report.certificate
+            )
+
+    def _ingest(self) -> None:
+        """One block through chain + CI (trusted, suspended), then the
+        faulted ISP publish path."""
+        chain_id = self.rng.choice(sorted(self.system.chains))
+        isp = self.isp
+        with faults.suspended():
+            isp.sync_update = lambda writes, sizes, cert: None
+            try:
+                report = self.system.advance_block(chain_id)
+            finally:
+                del isp.sync_update
+        self._publish(report)
+        self.stats.ingests += 1
+
+    def _expected_rows(self, sql: str):
+        with faults.suspended():
+            return self._make_client(self.oracle).query(sql).rows
+
+    def _query(self) -> None:
+        from repro.client.vfs import QueryMode
+
+        sql = self.rng.choice(self.QUERY_POOL)
+        remote = self.use_rpc and self.rng.random() < 0.5
+        try:
+            if remote:
+                result = self._remote_client.query(sql)
+            else:
+                mode = self.rng.choice(list(QueryMode))
+                result = self._make_client(self.isp, mode).query(sql)
+        except ReproError as error:
+            # An aborted query is acceptable under faults — a *wrong*
+            # one never is.  Crashes are not: only _publish crashes.
+            logger.info("chaos query aborted: %s", type(error).__name__)
+            if remote:
+                self.stats.remote_queries_failed += 1
+            else:
+                self.stats.queries_failed += 1
+            return
+        assert result.rows == self._expected_rows(sql), (
+            f"verified query diverged from oracle for {sql!r}"
+        )
+        if remote:
+            self.stats.remote_queries_ok += 1
+        else:
+            self.stats.queries_ok += 1
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self, steps: int) -> ChaosStats:
+        if self.use_rpc:
+            self._start_rpc()
+        try:
+            for _ in range(steps):
+                self.stats.steps += 1
+                roll = self.rng.random()
+                if roll < 0.35:
+                    self._ingest()
+                elif roll < 0.85:
+                    self._query()
+                elif roll < 0.95:
+                    self.stats.crashes += 1
+                    self._reopen(crashed=True)
+                else:
+                    self.stats.clean_restarts += 1
+                    self._reopen(crashed=False)
+            # Closing sweep: with faults off, the durable ISP must agree
+            # with the oracle on every pool query, on the published root.
+            with faults.suspended():
+                assert self.isp.root == self.last_cert.ads_root
+                client = self._make_client(self.isp)
+                for sql in self.QUERY_POOL:
+                    assert client.query(sql).rows == self._expected_rows(sql)
+        finally:
+            self.close()
+        return self.stats
+
+
+def run_system_chaos(
+    seed: int,
+    steps: int = 200,
+    schedule: Optional[str] = None,
+    use_rpc: bool = True,
+    txs_per_block: int = 2,
+    store_path: Optional[str] = None,
+) -> ChaosStats:
+    """Run one seeded system chaos episode; returns its stats.
+
+    Raises ``AssertionError`` the moment an invariant breaks.  When
+    ``store_path`` is omitted a temporary directory hosts the store.
+    """
+    if store_path is None:
+        store_path = os.path.join(
+            tempfile.mkdtemp(prefix="v2fs-chaos-"), "ads.log"
+        )
+    chaos = SystemChaos(
+        seed, store_path, schedule=schedule, use_rpc=use_rpc,
+        txs_per_block=txs_per_block,
+    )
+    return chaos.run(steps)
+
+
+# ---------------------------------------------------------------------------
+# Pager chaos
+# ---------------------------------------------------------------------------
+
+
+def run_pager_chaos(seed: int, steps: int = 300) -> ChaosStats:
+    """Crash-consistency chaos for the pager + B+Tree over shadow files.
+
+    Random inserts interleave with commits (``flush`` → file ``sync``)
+    and crashes with per-page persisted/lost/torn outcomes.  On reopen,
+    either decoding fails *loudly* (torn/corrupt detection — the file is
+    then rebuilt from scratch, modelling restore-from-backup) or every
+    recovered entry must match a value that was actually written; if the
+    crash hit a fully committed file, the recovered contents must equal
+    the committed contents exactly.
+    """
+    from repro.db.btree import BTree
+    from repro.db.pager import Pager
+
+    rng = random.Random(seed)
+    fs = ShadowFilesystem(rng=random.Random(seed + 1))
+    stats = ChaosStats()
+    generation = 0
+    path = f"chaos-{generation}.tbl"
+    tree = BTree(Pager(fs, path, create=True))
+    committed: Dict[int, bytes] = {}
+    pending: Dict[int, bytes] = {}
+    next_key = 0
+
+    def rebuild(survivors: Dict[int, bytes]) -> None:
+        nonlocal tree, path, generation, committed, pending
+        generation += 1
+        path = f"chaos-{generation}.tbl"
+        tree = BTree(Pager(fs, path, create=True))
+        for key in sorted(survivors):
+            tree.insert([key], survivors[key])
+        tree.pager.flush()
+        committed = dict(survivors)
+        pending = {}
+
+    for _ in range(steps):
+        stats.steps += 1
+        roll = rng.random()
+        if roll < 0.70:
+            value = bytes(
+                rng.getrandbits(8) for _ in range(rng.randrange(16, 200))
+            )
+            tree.insert([next_key], value)
+            pending[next_key] = value
+            next_key += 1
+        elif roll < 0.85:
+            tree.pager.flush()
+            committed.update(pending)
+            pending.clear()
+        else:
+            stats.crashes += 1
+            dirty = fs.dirty_pages(path)
+            fs.crash()
+            try:
+                reopened = BTree(Pager(fs, path))
+                found = {key[0]: value for key, value in reopened.items()}
+            except TornPageError:
+                stats.torn_detected += 1
+                rebuild(committed)
+            except StorageError:
+                stats.corruption_detected += 1
+                rebuild(committed)
+            else:
+                for key, value in found.items():
+                    expected = pending.get(key, committed.get(key))
+                    assert value == expected, (
+                        f"recovered entry {key} has a value that was "
+                        "never written"
+                    )
+                if not dirty:
+                    assert found == committed, (
+                        "crash with no dirty pages must preserve the "
+                        "committed contents exactly"
+                    )
+                rebuild(found)
+            stats.recoveries += 1
+
+    # Closing check: a clean flush + crash + reopen round-trips exactly.
+    tree.pager.flush()
+    committed.update(pending)
+    fs.crash()
+    reopened = BTree(Pager(fs, path))
+    assert {k[0]: v for k, v in reopened.items()} == committed
+    return stats

@@ -21,15 +21,19 @@ test suite override methods to model malicious behaviour.
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.certificate import V2fsCertificate
 from repro.crypto.hashing import Digest
 from repro.errors import NetworkError, StorageError
+from repro.faults import registry as faults
 from repro.isp.vo import VOBuilder
 from repro.merkle import page_tree
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
+
+logger = logging.getLogger("repro.isp")
 
 
 class IspSession:
@@ -69,7 +73,22 @@ class IspServer:
         new_sizes: Dict[str, int],
         certificate: V2fsCertificate,
     ) -> None:
-        """Apply the CI's write batch and adopt the new certificate."""
+        """Apply the CI's write batch and adopt the new certificate.
+
+        Transactional: *stage → verify → sync → publish → prune*.  The
+        staged nodes are content-addressed, so a failure before the
+        publish point leaves only unreferenced garbage and the served
+        root/certificate untouched — the caller may simply retry the
+        same batch.  The node store is synced *before* the root becomes
+        visible (write-ahead ordering): a crash right after publish must
+        never expose a root whose nodes did not reach disk.
+
+        Failpoints: ``isp.sync_update.pre`` (before staging),
+        ``isp.sync_update.pre_publish`` (staged and verified, not yet
+        durable or visible).
+        """
+        if faults.ACTIVE:
+            faults.fire("isp.sync_update.pre", version=certificate.version)
         if writes:
             new_root = self.ads.apply_writes(self.root, writes, new_sizes)
         else:
@@ -78,16 +97,29 @@ class IspServer:
             raise StorageError(
                 "synchronized update does not match the certified root"
             )
+        if faults.ACTIVE:
+            faults.fire(
+                "isp.sync_update.pre_publish", version=certificate.version
+            )
+        self.ads.store.sync()
+        # Publish point — plain attribute writes, nothing fallible left.
         self._previous_root = self.root
         self.root = new_root
         self.certificate = certificate
         # Old pages stay readable for in-flight sessions on the previous
         # root; everything older is pruned (the paper's snapshot cleanup).
+        # Best-effort: the update is already published, so a pruning
+        # failure only retains superseded nodes.
         live = [self.root]
         if self._previous_root is not None:
             live.append(self._previous_root)
         live.extend(s.root for s in self._sessions.values())
-        self.ads.prune(live)
+        try:
+            self.ads.prune(live)
+        except Exception:
+            logger.exception(
+                "post-publish prune failed; superseded nodes retained"
+            )
 
     # ------------------------------------------------------------------
     # Client-facing service
@@ -180,5 +212,9 @@ class IspServer:
 
     def finalize_session(self, session_id: int) -> AdsProof:
         """Build and return the consolidated VO; closes the session."""
-        session = self._sessions.pop(session_id)
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            # E.g. a client retrying a finalize whose first reply was
+            # lost in transit: the session is already closed.
+            raise NetworkError(f"unknown session {session_id}")
         return session.vo.build()

@@ -139,6 +139,16 @@ class NodeStore:
         self._nodes[digest] = node
         return digest
 
+    def sync(self) -> None:
+        """Force buffered writes to durable storage.
+
+        A no-op for the in-memory store; the disk-backed
+        :class:`~repro.merkle.persistent_store.PersistentNodeStore`
+        overrides this with a real ``fsync``.  The ISP calls it before
+        publishing a new root, so every node a certified root can reach
+        is durable first (write-ahead ordering).
+        """
+
     def get(self, digest: Digest) -> Node:
         try:
             return self._nodes[digest]

@@ -15,12 +15,16 @@ Payload encodings per node kind mirror the in-memory dataclasses.
 
 from __future__ import annotations
 
+import logging
 import os
+import random
 import struct
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Optional, Set
 
 from repro.crypto.hashing import Digest
 from repro.errors import StorageError
+from repro.faults import registry as faults
+from repro.faults.registry import SimulatedCrash
 from repro.merkle.node_store import (
     DirNode,
     FileNode,
@@ -36,6 +40,28 @@ _KIND_DIR = 3
 _KIND_FILE = 4
 
 _HEADER = struct.Struct(">32sBI")
+
+logger = logging.getLogger("repro.faults")
+
+
+def _fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path`` (durability of a rename).
+
+    ``os.replace`` is atomic, but the *rename itself* is not durable
+    until the directory's metadata reaches disk; without this, a power
+    loss after compaction can resurrect the pre-compaction log.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def _encode_node(node: Node) -> "tuple[int, bytes]":
@@ -100,8 +126,26 @@ class PersistentNodeStore(NodeStore):
 
     Safe to reopen: the constructor scans the log to rebuild the index,
     truncating a torn tail record (crash during append) rather than
-    failing.  Reads go to disk (with a small decoded-node cache), so the
-    working set is not memory-bound.
+    failing, and removes a stale ``.compact`` temp file left by a crash
+    mid-compaction (``os.replace`` makes the swap itself atomic).
+    Reads go to disk (with a small decoded-node cache), so the working
+    set is not memory-bound; on a cache miss the decoded node's digest
+    is recomputed and checked against its key, so a corrupted record is
+    a typed error rather than silently wrong ADS state.
+
+    Durability follows the classic group-commit split: :meth:`put` only
+    buffers (plus ``flush`` to the OS), while :meth:`sync` issues a real
+    ``os.fsync`` and advances the **durable boundary** — the byte offset
+    up to which content is guaranteed to survive power loss.  The ISP
+    syncs before publishing a root (write-ahead ordering), and
+    :meth:`simulate_crash` abandons everything past the boundary, minus
+    an optionally-kept torn prefix, to model the crash itself.
+
+    Failpoints: ``store.append.pre`` / ``store.append.mid`` (between
+    header and payload — a crash there leaves a torn tail record),
+    ``store.append.payload`` (corrupts the record on its way to disk),
+    ``store.sync.pre``, ``store.compact.pre_replace``,
+    ``store.compact.post_replace``.
     """
 
     def __init__(self, path: str, cache_nodes: int = 4096) -> None:
@@ -109,9 +153,18 @@ class PersistentNodeStore(NodeStore):
         self._offsets: Dict[Digest, int] = {}
         self._cache: Dict[Digest, Node] = {}
         self._cache_limit = cache_nodes
+        stale_temp = path + ".compact"
+        if os.path.exists(stale_temp):
+            logger.warning(
+                "removing stale compaction temp %s (crash mid-compaction)",
+                stale_temp,
+            )
+            os.remove(stale_temp)
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._log = open(path, mode)
         self._scan()
+        # Everything that survived the scan is on disk already.
+        self._durable_size = self._end_offset()
 
     # -- log management ---------------------------------------------------
 
@@ -129,11 +182,61 @@ class PersistentNodeStore(NodeStore):
             self._log.seek(length, os.SEEK_CUR)
             position += _HEADER.size + length
         if position < end:
+            logger.warning(
+                "%s: truncating torn tail record (%d of %d bytes kept)",
+                self._path, position, end,
+            )
             self._log.truncate(position)
         self._log.seek(0, os.SEEK_END)
 
+    def _end_offset(self) -> int:
+        self._log.seek(0, os.SEEK_END)
+        return self._log.tell()
+
+    @property
+    def durable_size(self) -> int:
+        """Bytes guaranteed to survive power loss (advanced by ``sync``)."""
+        return self._durable_size
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` the log; advances the durable boundary."""
+        if faults.ACTIVE:
+            faults.fire("store.sync.pre", path=self._path)
+        self._log.flush()
+        os.fsync(self._log.fileno())
+        self._durable_size = self._end_offset()
+
     def close(self) -> None:
+        if not self._log.closed:
+            if self._log.writable():
+                self.sync()
+            self._log.close()
+
+    def simulate_crash(self, rng: Optional[random.Random] = None) -> int:
+        """Model power loss: abandon every byte past the durable boundary.
+
+        A real crash may still have flushed *part* of the dirty tail, so
+        when ``rng`` is given a random prefix of the tail is kept — which
+        routinely leaves a torn record for the reopen scan to truncate.
+        The store is closed afterwards (the process is "dead"); reopen
+        with a fresh :class:`PersistentNodeStore` to model the restart.
+        Returns the surviving file size.
+        """
+        if self._log.closed:
+            # Crashed mid-compaction after the handle was swapped: the
+            # on-disk file is whatever the compaction left behind.
+            return os.path.getsize(self._path)
+        self._log.flush()
+        end = self._end_offset()
+        keep = self._durable_size
+        dirty = end - keep
+        if rng is not None and dirty > 0:
+            keep += rng.randrange(dirty + 1)
+        self._log.truncate(keep)
+        self._log.flush()
+        os.fsync(self._log.fileno())
         self._log.close()
+        return keep
 
     def __enter__(self) -> "PersistentNodeStore":
         return self
@@ -154,11 +257,27 @@ class PersistentNodeStore(NodeStore):
         if digest in self._offsets:
             return digest
         kind, payload = _encode_node(node)
-        self._log.seek(0, os.SEEK_END)
-        position = self._log.tell()
-        self._log.write(_HEADER.pack(digest, kind, len(payload)))
-        self._log.write(payload)
-        self._log.flush()
+        if faults.ACTIVE:
+            faults.fire("store.append.pre", digest=digest)
+            payload = faults.mangle("store.append.payload", payload)
+        position = self._end_offset()
+        try:
+            self._log.write(_HEADER.pack(digest, kind, len(payload)))
+            if faults.ACTIVE:
+                faults.fire("store.append.mid", digest=digest)
+            self._log.write(payload)
+            self._log.flush()
+        except SimulatedCrash:
+            raise  # the "process" died mid-append: leave the torn tail
+        except Exception:
+            # Keep the log well-formed for the still-running process:
+            # drop the partial record before surfacing the error.
+            try:
+                self._log.truncate(position)
+                self._log.flush()
+            except OSError:  # pragma: no cover - double fault
+                pass
+            raise
         self._offsets[digest] = position
         self._remember(digest, node)
         return digest
@@ -176,6 +295,11 @@ class PersistentNodeStore(NodeStore):
         header = self._log.read(_HEADER.size)
         _, kind, length = _HEADER.unpack(header)
         node = _decode_node(kind, self._log.read(length))
+        if node.digest() != digest:
+            raise StorageError(
+                f"corrupt node record for digest {digest.hex()[:16]}… "
+                "(content does not hash to its key)"
+            )
         self._remember(digest, node)
         return node
 
@@ -220,10 +344,17 @@ class PersistentNodeStore(NodeStore):
                 offsets[digest] = out.tell()
                 out.write(_HEADER.pack(digest, kind, len(payload)))
                 out.write(payload)
+            out.flush()
+            os.fsync(out.fileno())
+        if faults.ACTIVE:
+            faults.fire("store.compact.pre_replace", path=self._path)
         self._log.close()
         os.replace(temp_path, self._path)
+        if faults.ACTIVE:
+            faults.fire("store.compact.post_replace", path=self._path)
+        _fsync_directory(self._path)
         self._log = open(self._path, "r+b")
         self._offsets = offsets
         self._cache.clear()
-        self._log.seek(0, os.SEEK_END)
+        self._durable_size = self._end_offset()
         return dead

@@ -19,8 +19,10 @@ prefixes).
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -28,9 +30,13 @@ from repro.chain.block import BlockHeader
 from repro.crypto.hashing import Digest
 from repro.crypto.signature import PublicKey
 from repro.errors import NetworkError, ReproError, WireFormatError
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedFault
 from repro.isp.server import IspServer
 from repro.rpc import codec
 from repro.sgx.attestation import AttestationReport
+
+logger = logging.getLogger("repro.rpc")
 
 
 @dataclass
@@ -63,6 +69,10 @@ class RpcIspServer:
     ) -> None:
         self.isp = isp
         self.bootstrap = bootstrap
+        #: How long the ``rpc.server.stall`` failpoint holds a response.
+        #: Chaos runs pair it with a short client ``timeout_s`` so a
+        #: stalled read surfaces as a timeout, not a stuck test.
+        self.fault_stall_s = 0.5
         #: Guards every operation on the wrapped ISP.  Updates applied
         #: outside the RPC path (CI ingestion) must hold it too — see
         #: :func:`serve_system`.
@@ -168,6 +178,8 @@ class RpcIspServer:
                     return
                 if payload is None:
                     return  # clean EOF
+                if faults.ACTIVE and not self._wire_faults(conn):
+                    return
                 response = self._handle(payload)
                 try:
                     self._send(conn, response)
@@ -182,9 +194,54 @@ class RpcIspServer:
             except OSError:
                 pass
 
+    def _wire_faults(self, conn: socket.socket) -> bool:
+        """Apply transport-level failpoints to one received request.
+
+        Arming ``rpc.server.drop`` (any raising action) severs the
+        connection before the request is served — the client observes a
+        reset and retries.  ``rpc.server.stall`` holds the response for
+        :attr:`fault_stall_s` so a client with a shorter timeout gives
+        up mid-read.  Returns False when the connection was dropped.
+        """
+        try:
+            faults.fire("rpc.server.drop")
+        except InjectedFault:
+            logger.warning("failpoint rpc.server.drop: severing connection")
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return False
+        try:
+            faults.fire("rpc.server.stall")
+        except InjectedFault:
+            logger.warning(
+                "failpoint rpc.server.stall: holding response %.2fs",
+                self.fault_stall_s,
+            )
+            time.sleep(self.fault_stall_s)
+        return True
+
     def _send(self, conn: socket.socket, payload: bytes) -> None:
         """Transmit one response payload (overridden by wire adversaries
         in the test suite to corrupt, truncate, or inflate frames)."""
+        if faults.ACTIVE:
+            try:
+                faults.fire("rpc.server.truncate")
+            except InjectedFault:
+                # Send a torn frame, then sever: the client's framed read
+                # hits EOF mid-frame and raises WireFormatError (which is
+                # deliberately never retried).
+                logger.warning(
+                    "failpoint rpc.server.truncate: sending torn frame"
+                )
+                whole = codec.frame(payload)
+                conn.sendall(whole[: max(1, len(whole) // 2)])
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
         codec.send_frame(conn, payload)
 
     def _try_send(self, conn: socket.socket, payload: bytes) -> None:
@@ -207,8 +264,14 @@ class RpcIspServer:
             with self.lock:
                 return self._dispatch(kind, args)
         except ReproError as error:
+            logger.debug(
+                "request 0x%02x failed: %s", kind, error
+            )
             return codec.encode_error(error)
         except Exception as error:  # never let a handler kill the link
+            # A non-ReproError here is a server bug, not a client mistake:
+            # keep the full traceback server-side, send a typed error.
+            logger.exception("unhandled error dispatching request 0x%02x", kind)
             return codec.encode_error(
                 NetworkError(f"internal server error: {type(error).__name__}")
             )

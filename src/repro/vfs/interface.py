@@ -75,6 +75,18 @@ class VirtualFile(ABC):
         Returns the number of bytes written (always ``len(data)``).
         """
 
+    def sync(self) -> None:
+        """Force written data to durable storage (``fsync``).
+
+        The default is a no-op: purely in-memory backends have no
+        dirty/durable distinction.  Backends that model or provide real
+        durability (:class:`repro.faults.shadowfs.ShadowFile`, real-disk
+        files) override this; the pager calls it from ``flush``/``close``
+        so a simulated crash cannot abandon pages the engine believes
+        are persistent.
+        """
+        self._check_open()
+
     @abstractmethod
     def close(self) -> None:
         """Release the handle."""
@@ -108,6 +120,14 @@ class VirtualFile(ABC):
 
 class VirtualFilesystem(ABC):
     """Factory for file handles plus namespace operations."""
+
+    #: True when pages read through this filesystem are already
+    #: authenticated end-to-end by an external mechanism (e.g. Merkle
+    #: proofs against a certified root).  The pager then skips its
+    #: torn-write checksum on reads, so tampering surfaces through the
+    #: authenticating layer's own error taxonomy rather than as a
+    #: local storage fault.
+    authenticates_pages = False
 
     @abstractmethod
     def open(self, path: str, create: bool = False) -> VirtualFile:

@@ -10,7 +10,16 @@ from __future__ import annotations
 import pytest
 
 from repro.core.system import SystemConfig, V2FSSystem
+from repro.faults import registry as faults
 from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(autouse=True)
+def _reset_failpoints():
+    """Keep the process-wide failpoint registry clean between tests."""
+    faults.reset()
+    yield
+    faults.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,11 +1,14 @@
 """Tests for the disk-backed node store (the RocksDB analog)."""
 
 import os
+import random
 
 import pytest
 
 from repro.crypto.hashing import hash_bytes
 from repro.errors import StorageError
+from repro.faults import registry
+from repro.faults.registry import InjectedFault, SimulatedCrash
 from repro.merkle.ads import V2fsAds
 from repro.merkle.node_store import DirNode, FileNode, PageData, PairNode
 from repro.merkle.persistent_store import PersistentNodeStore
@@ -103,3 +106,108 @@ class TestCompaction:
             size = os.path.getsize(store_path)
             assert store.prune([root]) == 0
             assert os.path.getsize(store_path) == size
+
+    def test_stale_compact_temp_is_removed_on_open(self, store_path):
+        with PersistentNodeStore(store_path) as store:
+            digest = store.put(PageData(b"live"))
+        temp = store_path + ".compact"
+        with open(temp, "wb") as handle:
+            handle.write(b"half-written compaction")
+        with PersistentNodeStore(store_path) as reopened:
+            assert reopened.get(digest) == PageData(b"live")
+        assert not os.path.exists(temp)
+
+    def test_crash_before_replace_keeps_the_old_log(self, store_path):
+        store = PersistentNodeStore(store_path)
+        digests = [store.put(PageData(b"gen-%d" % i)) for i in range(4)]
+        store.sync()
+        registry.arm("store.compact.pre_replace", "crash", times=1)
+        with pytest.raises(SimulatedCrash):
+            store.prune([digests[-1]])
+        registry.reset()
+        store.simulate_crash()
+        with PersistentNodeStore(store_path) as reopened:
+            # Nothing was replaced: every record is still present.
+            for i, digest in enumerate(digests):
+                assert reopened.get(digest) == PageData(b"gen-%d" % i)
+
+    def test_crash_after_replace_keeps_the_compacted_log(self, store_path):
+        store = PersistentNodeStore(store_path)
+        digests = [store.put(PageData(b"gen-%d" % i)) for i in range(4)]
+        store.sync()
+        registry.arm("store.compact.post_replace", "crash", times=1)
+        with pytest.raises(SimulatedCrash):
+            store.prune([digests[-1]])
+        registry.reset()
+        store.simulate_crash()  # log handle already swapped shut
+        with PersistentNodeStore(store_path) as reopened:
+            assert reopened.get(digests[-1]) == PageData(b"gen-3")
+            with pytest.raises(StorageError):
+                reopened.get(digests[0])  # compacted away
+
+
+class TestFaultedAppends:
+    def test_sync_advances_the_durable_boundary(self, store_path):
+        store = PersistentNodeStore(store_path)
+        assert store.durable_size == 0
+        store.put(PageData(b"buffered"))
+        assert store.durable_size == 0  # put only buffers
+        store.sync()
+        assert store.durable_size == os.path.getsize(store_path) > 0
+        store.close()
+
+    def test_simulated_crash_abandons_unsynced_appends(self, store_path):
+        store = PersistentNodeStore(store_path)
+        durable = store.put(PageData(b"durable"))
+        store.sync()
+        lost = store.put(PageData(b"lost"))
+        store.simulate_crash()  # no rng: drop the whole dirty tail
+        with PersistentNodeStore(store_path) as reopened:
+            assert reopened.get(durable) == PageData(b"durable")
+            with pytest.raises(StorageError):
+                reopened.get(lost)
+
+    def test_crash_mid_append_leaves_a_recoverable_torn_tail(
+        self, store_path
+    ):
+        store = PersistentNodeStore(store_path)
+        durable = store.put(PageData(b"durable"))
+        store.sync()
+        registry.arm("store.append.mid", "crash", times=1)
+        with pytest.raises(SimulatedCrash):
+            store.put(PageData(b"torn"))
+        registry.reset()
+        # Keep a random prefix of the dirty tail: a torn header record.
+        store.simulate_crash(random.Random(2))
+        with PersistentNodeStore(store_path) as reopened:
+            assert reopened.get(durable) == PageData(b"durable")
+            fresh = reopened.put(PageData(b"after-recovery"))
+            reopened.sync()
+            assert reopened.get(fresh) == PageData(b"after-recovery")
+
+    def test_injected_fault_mid_append_truncates_the_partial_record(
+        self, store_path
+    ):
+        store = PersistentNodeStore(store_path)
+        registry.arm("store.append.mid", "raise", times=1)
+        size_before = os.path.getsize(store_path)
+        with pytest.raises(InjectedFault):
+            store.put(PageData(b"interrupted"))
+        registry.reset()
+        store.sync()
+        # The half-written header was rolled back in-process.
+        assert os.path.getsize(store_path) == size_before
+        digest = store.put(PageData(b"interrupted"))
+        assert store.get(digest) == PageData(b"interrupted")
+        store.close()
+
+    def test_corrupted_payload_is_detected_on_reopen(self, store_path):
+        store = PersistentNodeStore(store_path)
+        registry.seed(4)
+        registry.arm("store.append.payload", "corrupt", times=1)
+        digest = store.put(PageData(b"to-be-corrupted" * 4))
+        registry.reset()
+        store.close()
+        with PersistentNodeStore(store_path) as reopened:
+            with pytest.raises(StorageError, match="corrupt node record"):
+                reopened.get(digest)

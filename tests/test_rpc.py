@@ -53,22 +53,24 @@ def remote_client(system, server, mode, **remote_kwargs):
     )
 
 
-def query_with_retries(client, sql, attempts=10):
+def query_with_retries(client, sql, deadline_s=10.0):
     """Retry around the inherent certificate race with live ingestion.
 
     A client that validated certificate version N can lose the race to a
     concurrent update; the ISP answers ``open_session`` with a typed
     "superseded" error (or the freshly fetched certificate is already
     stale against observed heads).  Both are transient: refetch, retry.
+    The retry budget is time-based — the stale window lasts as long as
+    one CI ingest, which stretches arbitrarily on a loaded machine.
     """
-    last = None
-    for _ in range(attempts):
+    deadline = time.monotonic() + deadline_s
+    while True:
         try:
             return client.query(sql)
-        except (CertificateError, NetworkError) as error:
-            last = error
-            time.sleep(0.01)
-    raise last
+        except (CertificateError, NetworkError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.02)
 
 
 class TestLoopbackEquivalence:
