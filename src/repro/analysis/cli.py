@@ -1,0 +1,143 @@
+"""``python -m repro lint`` — run the invariant checker.
+
+Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 findings,
+2 usage errors (bad baseline file, no inputs).  The ``lint`` subparser
+itself is declared here and mounted by :mod:`repro.cli`, so the
+analyzer stays importable without the rest of the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis.core import (
+    SEVERITY_ERROR,
+    all_rules,
+    analyze_paths,
+    baseline_entries,
+    load_baseline,
+    subtract_baseline,
+)
+from repro.analysis.reporters import render_json, render_text
+
+#: Default baseline looked up relative to the current directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_EPILOG = """\
+suppressions:
+  Findings are suppressed inline, on the offending line or on a comment
+  line directly above it, and MUST carry a rationale:
+
+      risky_call()  # repro: allow(crash-hygiene) -- recovery re-raises upstream
+
+  A suppression without '-- rationale' is itself an error
+  (suppression-rationale); one that matches no finding is a warning
+  (unused-suppression), so stale allowances cannot accumulate.
+
+baselines:
+  A baseline file ({"version": 1, "findings": [{"path", "rule",
+  "message"}, ...]}) grandfathers pre-existing findings; entries are
+  line-number-free so pure line drift never invalidates them.  Generate
+  one with --write-baseline, diff it with --format=json output.
+"""
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.formatter_class = argparse.RawDescriptionHelpFormatter
+    parser.epilog = _EPILOG
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too (CI mode)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        dest="output_format",
+        help="report format; json is stable and sorted for diffing",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules with the invariant each protects",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name} [{rule.severity}]")
+            print(f"    {rule.description}")
+            print(f"    invariant: {rule.invariant}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = analyze_paths(paths)
+
+    if args.write_baseline:
+        payload = {"version": 1, "findings": baseline_entries(findings)}
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline or DEFAULT_BASELINE)
+        if args.baseline is not None and not baseline_path.exists():
+            print(
+                f"error: baseline {baseline_path} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        if baseline_path.exists():
+            try:
+                findings = subtract_baseline(
+                    findings, load_baseline(baseline_path)
+                )
+            except (ValueError, json.JSONDecodeError) as error:
+                print(
+                    f"error: unreadable baseline {baseline_path}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+
+    if args.output_format == "json":
+        sys.stdout.write(render_json(findings))
+    else:
+        print(render_text(findings))
+
+    errors: List = [f for f in findings if f.severity == SEVERITY_ERROR]
+    if errors:
+        return 1
+    if args.strict and findings:
+        return 1
+    return 0

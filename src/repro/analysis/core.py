@@ -1,0 +1,391 @@
+"""Analyzer core: findings, rules, suppressions, baselines, the driver.
+
+The moving parts, in the order they act on a file:
+
+1. the file is parsed once with :func:`ast.parse` into a
+   :class:`ModuleContext` (tree + source lines + dotted module name);
+2. every registered :class:`Rule` whose :meth:`Rule.applies_to` accepts
+   the module walks the tree and yields :class:`Finding`\\ s;
+3. inline suppressions (``# repro: allow(<rule>) -- rationale``) on the
+   finding's line — or on a comment line directly above it — filter
+   findings out; a suppression **must** carry a rationale after ``--``
+   or it is itself reported (``suppression-rationale``), and a
+   suppression that filtered nothing is reported as a warning
+   (``unused-suppression``) so stale allowances cannot accumulate;
+4. a baseline (a checked-in JSON file of grandfathered findings) is
+   subtracted; whatever remains is reported.
+
+Exit-code policy lives in :mod:`repro.analysis.cli`: error-severity
+findings always fail, warnings fail only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Findings synthesized by the core itself (not by a registered rule).
+RULE_PARSE = "parse"
+RULE_SUPPRESSION_RATIONALE = "suppression-rationale"
+RULE_UNUSED_SUPPRESSION = "unused-suppression"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, rule, message) — the stable sort key used
+    by every reporter, so output is diffable across runs and machines.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: deliberately line-number-free, so pure
+        line drift does not invalidate a grandfathered finding."""
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one parsed module."""
+
+    def __init__(self, path: str, module: str, tree: ast.Module,
+                 source: str) -> None:
+        self.path = path
+        #: Dotted module name (``repro.db.pager``) — rules scope on this,
+        #: never on raw filesystem paths.
+        self.module = module
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+
+    def finding(self, node: ast.AST, rule: str, message: str,
+                severity: str = SEVERITY_ERROR) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            rule=rule,
+            message=message,
+            severity=severity,
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module sits under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`name`, :attr:`description`, and
+    :attr:`invariant` (the paper property the rule protects), override
+    :meth:`check`, and optionally narrow :meth:`applies_to`.
+    """
+
+    name: str = ""
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+    #: One line tying the rule to the V2FS soundness argument.
+    invariant: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self.applies_to(ctx):
+            yield from self.check(ctx)
+
+
+#: The process-wide rule registry, keyed by rule name.
+_RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the registry (instantiated once)."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"{rule_cls.__name__} has no rule name")
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [_RULES[name] for name in sorted(_RULES)]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+# Matches an allow(...) suppression comment with its optional rationale
+# (the syntax is spelled out in this module's docstring, deliberately
+# not here: a literal example would register as a real suppression).
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_\-,\s]+?)\s*\)"
+    r"(?:\s*--\s*(\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    line: int
+    #: The line the suppression shields: its own line for a trailing
+    #: comment; the next statement line for a standalone comment block
+    #: (rationales may continue over several comment lines).
+    target: int
+    rules: Tuple[str, ...]
+    rationale: Optional[str]
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        return (
+            finding.rule in self.rules
+            and finding.line in (self.line, self.target)
+        )
+
+
+def collect_suppressions(ctx: ModuleContext) -> List[Suppression]:
+    """Scan real ``#`` comments (via :mod:`tokenize`, so the suppression
+    syntax quoted inside strings or docstrings never counts)."""
+    found: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(ctx.source).readline
+        ))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found  # the parse rule already reports broken files
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        lineno = token.start[0]
+        target = lineno
+        if token.line.strip().startswith("#"):
+            # Standalone comment: shield the next statement line, past
+            # any continuation of the rationale comment block.
+            target = lineno + 1
+            while target <= len(ctx.lines):
+                text = ctx.lines[target - 1].strip()
+                if text and not text.startswith("#"):
+                    break
+                target += 1
+        found.append(Suppression(lineno, target, rules, match.group(2)))
+    return found
+
+
+def apply_suppressions(
+    ctx: ModuleContext, findings: List[Finding]
+) -> List[Finding]:
+    """Filter suppressed findings; report suppression hygiene issues."""
+    suppressions = collect_suppressions(ctx)
+    kept: List[Finding] = []
+    for finding in findings:
+        covering = next(
+            (s for s in suppressions if s.covers(finding)), None
+        )
+        if covering is None:
+            kept.append(finding)
+        else:
+            covering.used = True
+    for sup in suppressions:
+        if sup.rationale is None:
+            kept.append(Finding(
+                path=ctx.path, line=sup.line,
+                rule=RULE_SUPPRESSION_RATIONALE,
+                message=(
+                    "suppression has no rationale; write "
+                    "'# repro: allow(rule) -- why this is sound'"
+                ),
+            ))
+        known = set(_RULES) | {
+            RULE_PARSE, RULE_SUPPRESSION_RATIONALE, RULE_UNUSED_SUPPRESSION
+        }
+        for rule_name in sup.rules:
+            if rule_name not in known:
+                kept.append(Finding(
+                    path=ctx.path, line=sup.line,
+                    rule=RULE_UNUSED_SUPPRESSION,
+                    message=f"suppression names unknown rule {rule_name!r}",
+                    severity=SEVERITY_WARNING,
+                ))
+        if not sup.used:
+            kept.append(Finding(
+                path=ctx.path, line=sup.line,
+                rule=RULE_UNUSED_SUPPRESSION,
+                message=(
+                    "suppression matched no finding "
+                    f"({', '.join(sup.rules)}); remove it"
+                ),
+                severity=SEVERITY_WARNING,
+            ))
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Load a baseline file: a JSON object with a ``findings`` list of
+    ``{"path", "rule", "message"}`` entries (line numbers are excluded
+    on purpose — see :meth:`Finding.key`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not isinstance(
+        data.get("findings"), list
+    ):
+        raise ValueError(
+            f"{path}: baseline must be an object with a 'findings' list"
+        )
+    return data["findings"]
+
+
+def subtract_baseline(
+    findings: List[Finding], baseline: Iterable[Dict[str, str]]
+) -> List[Finding]:
+    """Remove baselined findings (multiset semantics: each baseline
+    entry absorbs at most one finding)."""
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = (entry.get("path", ""), entry.get("rule", ""),
+               entry.get("message", ""))
+        budget[key] = budget.get(key, 0) + 1
+    kept: List[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.key(), 0)
+        if remaining > 0:
+            budget[finding.key()] = remaining - 1
+        else:
+            kept.append(finding)
+    return kept
+
+
+def baseline_entries(findings: Sequence[Finding]) -> List[Dict[str, str]]:
+    """Render findings as sorted baseline entries (``--write-baseline``)."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a source path (``src/repro/db/pager.py``
+    -> ``repro.db.pager``); falls back to the stem for odd layouts."""
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [path.name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def analyze_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<fixture>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze one source string (the test fixtures' entry point)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(
+            path=path, line=error.lineno or 1, rule=RULE_PARSE,
+            message=f"syntax error: {error.msg}",
+        )]
+    ctx = ModuleContext(path, module, tree, source)
+    findings: List[Finding] = []
+    for rule in (rules if rules is not None else all_rules()):
+        findings.extend(rule.run(ctx))
+    return sorted(apply_suppressions(ctx, findings))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Analyze every ``*.py`` under ``paths``; returns sorted findings.
+
+    Reported paths are made relative to ``root`` (default: the current
+    directory) when possible, and always use ``/`` separators, so JSON
+    output is stable across checkouts and platforms.
+    """
+    base = root if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(base.resolve())
+        except ValueError:
+            rel = file_path
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(Finding(
+                path=rel.as_posix(), line=1, rule=RULE_PARSE,
+                message=f"unreadable source file: {error}",
+            ))
+            continue
+        findings.extend(analyze_source(
+            source,
+            module=module_name_for(file_path),
+            path=rel.as_posix(),
+            rules=rules,
+        ))
+    return sorted(findings)

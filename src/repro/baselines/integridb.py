@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.crypto.hashing import hash_bytes
 from repro.crypto.signature import _P_HEX  # reuse the vetted 2048-bit prime

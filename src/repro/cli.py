@@ -11,7 +11,9 @@ Four commands cover the zero-to-aha path:
   verifying clients (the paper's separate-machine testbed topology);
 * ``experiment`` — regenerate one of the paper's tables/figures by name;
 * ``chaos`` — run the seeded fault-injection/recovery harness
-  (:mod:`repro.faults.chaos`) and print its counters.
+  (:mod:`repro.faults.chaos`) and print its counters;
+* ``lint`` — run the :mod:`repro.analysis` invariant checker over the
+  source tree (``--strict`` is the CI gate).
 
 ``serve`` and ``chaos`` accept ``--fault-schedule``/``--fault-seed`` to
 arm named failpoints (e.g.
@@ -195,6 +197,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="unused by chaos (the chaos seed reseeds "
                             "the registry); kept for flag symmetry")
     chaos.set_defaults(handler=cmd_chaos)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check the V2FS soundness invariants",
+        description=(
+            "Run the repro.analysis rules (vfs-boundary, crash-hygiene, "
+            "proof-determinism, failpoint-names, typed-errors) over the "
+            "source tree."
+        ),
+    )
+    from repro.analysis.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint)
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -18,9 +18,10 @@ an unmodified database engine over the client V2FS.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.chain.chain import Blockchain
 from repro.chain.consensus import SimulatedPoW, check_header
@@ -38,7 +39,8 @@ from repro.network.transport import (
     Transport,
 )
 from repro.sgx.attestation import AttestationReport, AttestationService
-from repro.vfs.local import LocalFilesystem
+
+logger = logging.getLogger("repro.client")
 
 
 @dataclass
@@ -124,10 +126,17 @@ class QueryClient:
         try:
             result: ResultSet = engine.execute(sql)
             vo_bytes = session.finalize()
-        except Exception:
+        except Exception as error:
             # Whatever went wrong (malformed data from the ISP, proof
             # failure, engine error), the pages this query cached are
-            # unverified and must not survive.
+            # unverified and must not survive.  Deliberately broad and
+            # strictly re-raising: the rollback is cleanup, never
+            # recovery (crash-hygiene verifies the re-raise statically).
+            logger.debug(
+                "query failed before verification completed (%s); "
+                "evicting pages cached by this query",
+                type(error).__name__,
+            )
             session.rollback_cache()
             raise
         finally:

@@ -16,6 +16,7 @@ separate local filesystem per Appendix A.
 from __future__ import annotations
 
 import enum
+import logging
 from typing import Dict, List, Optional, Tuple
 
 from repro.client.caches import InterQueryCache, IntraQueryCache
@@ -35,6 +36,8 @@ from repro.network.transport import (
 )
 from repro.vbf.versioned_bloom import VersionedBloomFilter
 from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
+
+logger = logging.getLogger("repro.client")
 
 PageKey = Tuple[str, int]
 
@@ -198,7 +201,15 @@ class ClientSession:
                 self.page_claims, self.node_claims,
             )
             self._verify_metas(vo)
-        except Exception:
+        except Exception as error:
+            # Deliberately broad and strictly re-raising: any failure
+            # here means the VO did not authenticate what the engine
+            # read, so the cache eviction is cleanup, never recovery
+            # (crash-hygiene verifies the re-raise statically).
+            logger.debug(
+                "VO verification failed (%s); evicting pages cached "
+                "by this query", type(error).__name__,
+            )
             self.rollback_cache()
             raise
         # Harvest authenticated ancestor digests for future freshness

@@ -37,7 +37,6 @@ from repro.errors import CertificateError, ProofError
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import collect_proof_files
 from repro.sgx.enclave import Enclave, OCallCostModel
-from repro.vfs.interface import PAGE_SIZE
 from repro.vfs.maintenance import MaintenanceSession, register_storage_ocalls
 
 

@@ -37,7 +37,6 @@ from repro.errors import ChainError
 from repro.isp.server import IspServer
 from repro.network.transport import NetworkCostModel
 from repro.sgx.attestation import AttestationService
-from repro.vfs.interface import PAGE_SIZE
 from repro.vfs.local import LocalFilesystem
 
 #: Indexes created at bootstrap: (index name, table, column).

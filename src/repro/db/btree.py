@@ -24,10 +24,10 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Tuple
 
+from repro.db.pager import PAGE_CONTENT_SIZE, Pager
 from repro.db.record import decode_record, encode_record
 from repro.db.types import SqlValue, sort_key
 from repro.errors import SQLExecutionError, StorageError
-from repro.db.pager import PAGE_CONTENT_SIZE, Pager
 
 Key = List[SqlValue]
 

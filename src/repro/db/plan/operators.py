@@ -15,7 +15,6 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Tuple,
 )
 
 from repro.db.plan.expressions import Compiled, Schema

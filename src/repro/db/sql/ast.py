@@ -7,8 +7,8 @@ keys is an AST equality test).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 
 # ---------------------------------------------------------------------------

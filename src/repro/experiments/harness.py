@@ -7,7 +7,7 @@ replays a workload through a client and aggregates the paper's metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.client.query_client import QueryClient

@@ -15,6 +15,7 @@ else can use the re-exports here.
 from __future__ import annotations
 
 from repro.faults import registry as _registry_module
+from repro.faults.catalog import FAILPOINTS, declare, is_declared
 from repro.faults.registry import (
     ACTION_CORRUPT,
     ACTION_COUNT,
@@ -41,12 +42,15 @@ __all__ = [
     "ACTION_CRASH",
     "ACTION_RAISE",
     "ACTIVE",
+    "FAILPOINTS",
     "Failpoint",
     "FailpointRegistry",
     "InjectedFault",
     "SimulatedCrash",
     "arm",
+    "declare",
     "disarm",
+    "is_declared",
     "fire",
     "get_registry",
     "mangle",

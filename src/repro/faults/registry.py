@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import ReproError
+from repro.faults.catalog import is_declared, suggest
 
 logger = logging.getLogger("repro.faults")
 
@@ -189,7 +190,21 @@ class FailpointRegistry:
         probability: Optional[float] = None,
         after: int = 0,
     ) -> Failpoint:
-        """Arm (or re-arm) the failpoint ``name``; returns its handle."""
+        """Arm (or re-arm) the failpoint ``name``; returns its handle.
+
+        ``name`` must be declared in :data:`repro.faults.FAILPOINTS` —
+        arming an undeclared (typo'd) name would build a chaos schedule
+        that silently targets nothing, so it is rejected here instead of
+        discovered never.
+        """
+        if not is_declared(name):
+            hint = suggest(name)
+            raise ValueError(
+                f"failpoint {name!r} is not declared in the "
+                "repro.faults.FAILPOINTS catalog"
+                + (f"; did you mean {', '.join(map(repr, hint))}?"
+                   if hint else "")
+            )
         point = Failpoint(
             name, action, times=times, every=every,
             probability=probability, after=after, rng=self.rng,

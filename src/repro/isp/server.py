@@ -116,7 +116,9 @@ class IspServer:
         live.extend(s.root for s in self._sessions.values())
         try:
             self.ads.prune(live)
-        except Exception:
+        except (StorageError, OSError):
+            # Only the expected operational failures are absorbed; a
+            # VerificationError (or anything unforeseen) propagates.
             logger.exception(
                 "post-publish prune failed; superseded nodes retained"
             )

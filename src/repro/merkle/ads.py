@@ -20,13 +20,16 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.crypto.hashing import Digest, hash_bytes
-from repro.errors import ProofError, StorageError
+from repro.errors import (
+    FileNotFoundInStoreError,
+    ProofError,
+    StorageError,
+)
 from repro.merkle import page_tree, path_trie
 from repro.merkle.node_store import FileNode, NodeStore, PageData
 from repro.merkle.proof import (
     AdsProof,
     FileProof,
-    ProofDir,
     WriteProof,
     collect_proof_files,
     gen_trie_proof,
@@ -112,7 +115,10 @@ class V2fsAds:
             try:
                 node = path_trie.get_file(self.store, new_root, path)
                 old_tree, old_count = node.tree_root, node.page_count
-            except Exception:
+            except FileNotFoundInStoreError:
+                # First write to this path: start from an empty page
+                # tree.  Anything else (corrupt trie, unknown digest)
+                # must propagate — it is not a missing file.
                 old_tree, old_count = page_tree.EMPTY[0], 0
             leaf_writes = {
                 pid: self.store.put(PageData(bytes(data)))

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, Optional, Set
 from repro.crypto.hashing import Digest
 from repro.errors import StorageError
 from repro.faults import registry as faults
-from repro.faults.registry import SimulatedCrash
+from repro.faults.registry import InjectedFault, SimulatedCrash
 from repro.merkle.node_store import (
     DirNode,
     FileNode,
@@ -269,9 +269,12 @@ class PersistentNodeStore(NodeStore):
             self._log.flush()
         except SimulatedCrash:
             raise  # the "process" died mid-append: leave the torn tail
-        except Exception:
-            # Keep the log well-formed for the still-running process:
-            # drop the partial record before surfacing the error.
+        except (OSError, ValueError, InjectedFault):
+            # The failures this block can actually produce: an I/O
+            # error, a write on a closed handle, or an injected stand-in
+            # for either (the store.append.* failpoints).  Keep the log
+            # well-formed for the still-running process: drop the
+            # partial record before surfacing the error.
             try:
                 self._log.truncate(position)
                 self._log.flush()

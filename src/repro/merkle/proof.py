@@ -22,13 +22,13 @@ from __future__ import annotations
 import io
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.crypto.hashing import DIGEST_SIZE, Digest, hash_concat
 from repro.errors import ProofError
 from repro.merkle.node_store import DirNode, FileNode, NodeStore
 from repro.merkle.page_tree import Position
-from repro.merkle.path_trie import ROOT_SEGMENT, join_path, split_path
+from repro.merkle.path_trie import join_path, split_path
 
 
 @dataclass

@@ -10,8 +10,8 @@ latency + size/bandwidth model calibrated to the paper's 1 Gbps testbed.
 
 from repro.network.transport import (
     CATEGORY_CERT,
-    CATEGORY_META,
     CATEGORY_CHECK,
+    CATEGORY_META,
     CATEGORY_PAGE,
     CATEGORY_VO,
     NetworkCostModel,

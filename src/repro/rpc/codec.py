@@ -43,7 +43,6 @@ from repro.errors import (
     NetworkError,
     ProofError,
     ReproError,
-    RpcConnectionError,
     StorageError,
     VerificationError,
     WireFormatError,

@@ -268,6 +268,9 @@ class RpcIspServer:
                 "request 0x%02x failed: %s", kind, error
             )
             return codec.encode_error(error)
+        # repro: allow(crash-hygiene) -- the error-frame contract: a handler
+        # failure must reach the remote client as RESP_ERROR, never kill the
+        # link; SimulatedCrash is a BaseException and still propagates.
         except Exception as error:  # never let a handler kill the link
             # A non-ReproError here is a server bug, not a client mistake:
             # keep the full traceback server-side, send a typed error.

@@ -5,12 +5,12 @@ exact relational-operation matrix of Table II, parameterized by a query
 time window drawn from a Zipfian recency distribution.
 """
 
+from repro.workloads.generator import Workload, WorkloadGenerator
 from repro.workloads.queries import (
     QUERY_TEMPLATES,
     QueryTemplate,
     operations_matrix,
 )
-from repro.workloads.generator import Workload, WorkloadGenerator
 
 __all__ = [
     "QUERY_TEMPLATES",

@@ -4,12 +4,12 @@ import pytest
 
 from repro.client.vfs import QueryMode
 from repro.experiments import (
-    fig8,
-    fig9to11,
     fig12,
     fig13,
     fig14to16,
     fig17,
+    fig8,
+    fig9to11,
     harness,
     table1,
     table2,

@@ -8,6 +8,12 @@ from repro.faults import registry
 from repro.faults.chaos import apply_schedule, parse_schedule
 from repro.faults.registry import InjectedFault, SimulatedCrash
 
+# arm() rejects names missing from the FAILPOINTS catalog; the
+# throwaway hooks these tests exercise must be declared first.
+for _name in ("a.point", "boom", "dead", "limited", "combo", "maybe",
+              "bits", "hook", "paused", "bad", "a.b"):
+    faults.declare(_name, "test-local failpoint")
+
 
 def test_inactive_by_default_and_fire_is_a_noop():
     assert faults.ACTIVE is False
@@ -127,6 +133,29 @@ def test_suspended_disables_and_renests():
     assert faults.ACTIVE is True
     with pytest.raises(InjectedFault):
         registry.fire("paused")
+
+
+def test_arm_rejects_undeclared_names_with_a_hint():
+    with pytest.raises(ValueError) as excinfo:
+        registry.arm("store.apend.mid", "crash")
+    message = str(excinfo.value)
+    assert "not declared" in message
+    assert "store.append.mid" in message  # did-you-mean suggestion
+    assert "store.apend.mid" not in registry.stats()
+    # Declaring the name makes the same arm() legal.
+    faults.declare("store.apend.mid.test", "typo probe, now declared")
+    registry.arm("store.apend.mid.test", "count")
+    registry.reset()
+
+
+def test_every_production_failpoint_name_is_armable():
+    for name in (
+        "pager.write_page.pre", "store.append.mid",
+        "isp.sync_update.pre_publish", "rpc.server.drop",
+    ):
+        assert name in faults.FAILPOINTS
+        registry.arm(name, "count")
+    registry.reset()
 
 
 def test_unknown_action_and_bad_policy_are_rejected():

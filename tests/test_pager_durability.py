@@ -1,5 +1,7 @@
 """Pager durability: checksum epilogues, torn writes, and the shadow FS."""
 
+import random
+
 import pytest
 
 from repro.db.btree import BTree
@@ -15,8 +17,6 @@ from repro.faults.registry import SimulatedCrash
 from repro.faults.shadowfs import ShadowFilesystem
 from repro.vfs.interface import PAGE_SIZE
 from repro.vfs.local import LocalFilesystem
-
-import random
 
 
 # ---------------------------------------------------------------------------
