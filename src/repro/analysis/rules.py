@@ -19,6 +19,7 @@ from repro.analysis.core import (
     register,
 )
 from repro.faults.catalog import FAILPOINTS, suggest
+from repro.obs import catalog as obs_catalog
 
 
 def _walk_with_functions(
@@ -377,6 +378,75 @@ class FailpointNamesRule(Rule):
                     node, self.name,
                     f"failpoint {name!r} is not declared in "
                     "repro.faults.FAILPOINTS"
+                    + (f" (did you mean {hint[0]!r}?)" if hint else ""),
+                )
+
+
+# ----------------------------------------------------------------------
+# obs-naming
+# ----------------------------------------------------------------------
+
+
+@register
+class ObsNamingRule(Rule):
+    """Every metric call site must target a declared scope.
+
+    Experiments read counters from the registry by name; a call site
+    whose literal is missing from :data:`repro.obs.SCOPES` accumulates
+    counts no figure ever reads, and a figure reading an undeclared
+    name reports zeros forever.  The runtime mirror of this check lives
+    in ``MetricsRegistry._get``.
+    """
+
+    name = "obs-naming"
+    description = (
+        "obs.inc/add/observe/event/timed/set_gauge string literals "
+        "must be declared in the repro.obs.SCOPES catalog"
+    )
+    invariant = (
+        "observability coverage: every recorded scope is readable by "
+        "name and every read name is recorded somewhere"
+    )
+
+    _HOOKS = {"inc", "add", "observe", "event", "timed", "set_gauge"}
+    _RECEIVERS = ("obs", "metrics", "REGISTRY")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # The obs package itself manipulates names generically.
+        return not ctx.in_package("repro.obs")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._HOOKS or not node.args:
+                continue
+            dotted = _dotted(func)
+            if dotted is None or dotted.split(".")[0] not in self._RECEIVERS:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                yield ctx.finding(
+                    node, self.name,
+                    f"metric scope passed to {func.attr}() is not a "
+                    "string literal; the catalog check happens only at "
+                    "runtime here",
+                    severity=SEVERITY_WARNING,
+                )
+                continue
+            scope = first.value
+            if not obs_catalog.is_declared(scope):
+                hint = obs_catalog.suggest(scope)
+                yield ctx.finding(
+                    node, self.name,
+                    f"metric scope {scope!r} is not declared in "
+                    "repro.obs.SCOPES"
                     + (f" (did you mean {hint[0]!r}?)" if hint else ""),
                 )
 

@@ -12,12 +12,18 @@ Four commands cover the zero-to-aha path:
 * ``experiment`` — regenerate one of the paper's tables/figures by name;
 * ``chaos`` — run the seeded fault-injection/recovery harness
   (:mod:`repro.faults.chaos`) and print its counters;
+* ``metrics`` — inspect the :mod:`repro.obs` layer: list the scope
+  catalog, validate an exported document, or run a small instrumented
+  workload and dump its counters;
 * ``lint`` — run the :mod:`repro.analysis` invariant checker over the
   source tree (``--strict`` is the CI gate).
 
 ``serve`` and ``chaos`` accept ``--fault-schedule``/``--fault-seed`` to
 arm named failpoints (e.g.
-``--fault-schedule 'rpc.server.drop=raise@p:0.1'``).
+``--fault-schedule 'rpc.server.drop=raise@p:0.1'``).  ``query``,
+``serve``, ``chaos``, ``experiment``, and ``metrics`` accept
+``--metrics-out FILE`` to export the process-wide metrics registry as
+JSON on exit.
 """
 
 from __future__ import annotations
@@ -96,6 +102,16 @@ def _parse_address(text: str) -> "tuple[str, int]":
     return host, int(port)
 
 
+def _write_metrics(args: argparse.Namespace) -> None:
+    """Export the process-wide registry if ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        from repro.obs import REGISTRY
+
+        REGISTRY.write_json(path)
+        print(f"metrics written to {path}", file=sys.stderr)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.client.vfs import QueryMode
 
@@ -126,6 +142,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"latency {stats.latency_s * 1000:.1f}ms",
         file=sys.stderr,
     )
+    _write_metrics(args)
     return 0
 
 
@@ -159,6 +176,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             _serve_shutdown.wait(timeout=args.serve_for)
         except KeyboardInterrupt:
             print("shutting down", file=sys.stderr)
+    _write_metrics(args)
     return 0
 
 
@@ -166,6 +184,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(EXPERIMENTS[args.name])
     results = module.run()
     print(module.render(results))
+    _write_metrics(args)
     return 0
 
 
@@ -190,10 +209,51 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         except AssertionError as error:
             failures += 1
             print(f"  INVARIANT VIOLATED: {error}", file=sys.stderr)
+    _write_metrics(args)
     if failures:
         print(f"{failures} seed(s) violated invariants", file=sys.stderr)
         return 1
     print("all invariants held")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import REGISTRY, SCOPES, validate_payload
+
+    if args.list:
+        width = max(len(name) for name in SCOPES)
+        for name in sorted(SCOPES):
+            print(f"{name.ljust(width)}  {SCOPES[name]}")
+        return 0
+    if args.validate:
+        import json
+
+        with open(args.validate, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        problems = validate_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid "
+              f"({len(payload.get('counters', {}))} counters)")
+        return 0
+    # Default: run one small instrumented workload, dump the counters.
+    from repro.client.vfs import QueryMode
+
+    system = _build_system(args.hours, args.txs_per_block)
+    client = system.make_client(QueryMode(args.mode))
+    client.query("SELECT COUNT(*) FROM eth_transactions")
+    client.query("SELECT COUNT(*), SUM(fee) FROM btc_transactions")
+    payload = REGISTRY.payload()
+    width = max(len(name) for name in payload["counters"] or [""])
+    for name, value in sorted(payload["counters"].items()):
+        shown = int(value) if float(value).is_integer() else value
+        print(f"{name.ljust(width)}  {shown}")
+    if args.trace_out:
+        REGISTRY.trace.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    _write_metrics(args)
     return 0
 
 
@@ -231,6 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a remote ISP served by 'repro serve' instead of "
              "building a local system",
     )
+    query.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics registry as JSON on exit")
     query.set_defaults(handler=cmd_query)
 
     serve = commands.add_parser(
@@ -252,12 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "'rpc.server.drop=raise@p:0.1'")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for probabilistic fault triggers")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics registry as JSON on exit")
     serve.set_defaults(handler=cmd_serve)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--metrics-out", metavar="FILE", default=None,
+                            help="write the metrics registry as JSON "
+                                 "on exit")
     experiment.set_defaults(handler=cmd_experiment)
 
     chaos = commands.add_parser(
@@ -277,15 +344,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault-seed", type=int, default=0,
                        help="unused by chaos (the chaos seed reseeds "
                             "the registry); kept for flag symmetry")
+    chaos.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics registry as JSON on exit")
     chaos.set_defaults(handler=cmd_chaos)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="inspect the observability layer",
+        description=(
+            "List the declared metric scopes, validate an exported "
+            "metrics document, or (default) run a small instrumented "
+            "workload and dump every counter."
+        ),
+    )
+    metrics.add_argument("--list", action="store_true",
+                         help="print the scope catalog and exit")
+    metrics.add_argument("--validate", metavar="FILE", default=None,
+                         help="schema-check an exported metrics JSON "
+                              "document; non-zero exit on problems")
+    metrics.add_argument("--hours", type=int, default=3,
+                         help="hours of history for the sample workload")
+    metrics.add_argument("--txs-per-block", type=int, default=4)
+    metrics.add_argument(
+        "--mode", default="inter+vbf",
+        choices=["baseline", "intra", "inter", "inter+vbf"],
+    )
+    metrics.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write the metrics registry as JSON")
+    metrics.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write buffered trace events as JSON lines")
+    metrics.set_defaults(handler=cmd_metrics)
 
     lint = commands.add_parser(
         "lint",
         help="statically check the V2FS soundness invariants",
         description=(
             "Run the repro.analysis rules (vfs-boundary, crash-hygiene, "
-            "proof-determinism, failpoint-names, typed-errors) over the "
-            "source tree."
+            "proof-determinism, failpoint-names, obs-naming, "
+            "typed-errors) over the source tree."
         ),
     )
     from repro.analysis.cli import configure_parser as _configure_lint

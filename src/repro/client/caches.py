@@ -14,15 +14,25 @@ Two caches are provided:
 For the VBF extension (Section V-B) each cached page also stores ``V_n``
 (the certificate version at which it was last known fresh) and ``S_n``
 (its slot positions in the filter).
+
+Per-``path`` side indexes (cached page ids, learned-node levels, fresh
+levels) keep every operation local to the file it touches: marking a
+subtree fresh walks only that file's cached pages, invalidating a page's
+ancestors pops exactly its ancestor chain, and eviction does no full
+scans — under the paper's heavy-traffic target the cache holds many
+files, and O(cache)-per-access scans would dominate the hit path.
+Hit/miss accounting flows through :mod:`repro.obs`
+(``cache.intra.*`` / ``cache.inter.*`` scopes).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.crypto.hashing import Digest, hash_bytes, hash_pair
 from repro.merkle.page_tree import EMPTY
+from repro.obs import metrics as obs
 from repro.vfs.interface import PAGE_SIZE
 
 PageKey = Tuple[str, int]
@@ -46,6 +56,10 @@ class IntraQueryCache:
         page = self._pages.get(key)
         if page is not None:
             self._pages.move_to_end(key)
+            if obs.ACTIVE:
+                obs.inc("cache.intra.hit")
+        elif obs.ACTIVE:
+            obs.inc("cache.intra.miss")
         return page
 
     def put(self, key: PageKey, page: bytes) -> None:
@@ -53,6 +67,8 @@ class IntraQueryCache:
         self._pages.move_to_end(key)
         while len(self._pages) * PAGE_SIZE > self.capacity_bytes:
             self._pages.popitem(last=False)
+            if obs.ACTIVE:
+                obs.inc("cache.intra.evict")
 
     def clear(self) -> None:
         self._pages.clear()
@@ -84,15 +100,23 @@ class InterQueryCache:
         #: Internal-node digests learned from past VO verifications.
         self._nodes: Dict[NodeKey, Digest] = {}
         #: Nodes confirmed fresh during the *current* query.
-        self._fresh: set = set()
-        self.hits = 0
-        self.misses = 0
+        self._fresh: Set[NodeKey] = set()
+        # -- per-path indexes (each operation stays local to its file) --
+        #: Cached page ids per file.
+        self._page_ids: Dict[str, Set[int]] = {}
+        #: Highest learned-node level per file (ancestor-chain bound).
+        self._node_top: Dict[str, int] = {}
+        #: Highest level marked fresh per file during the current query;
+        #: this is the file's *actual* tree height ceiling, replacing the
+        #: old probe over a hardcoded 48-level range.
+        self._fresh_top: Dict[str, int] = {}
 
     # -- query lifecycle -------------------------------------------------
 
     def begin_query(self) -> None:
         """Mark every cached node unknown (Algorithm 5 preamble)."""
         self._fresh.clear()
+        self._fresh_top.clear()
 
     # -- page access -------------------------------------------------------
 
@@ -100,28 +124,52 @@ class InterQueryCache:
         entry = self._pages.get(key)
         if entry is not None:
             self._pages.move_to_end(key)
-            self.hits += 1
-        else:
-            self.misses += 1
+            if obs.ACTIVE:
+                obs.inc("cache.inter.hit")
+        elif obs.ACTIVE:
+            obs.inc("cache.inter.miss")
         return entry
 
     def insert(self, key: PageKey, page: bytes, version: int) -> None:
         """Insert a freshly fetched page (fresh by definition)."""
         self._pages[key] = CachedPage(page, version)
         self._pages.move_to_end(key)
+        path, page_id = key
+        self._page_ids.setdefault(path, set()).add(page_id)
         self.mark_fresh_leaf(key, version)
+        if obs.ACTIVE:
+            obs.inc("cache.inter.insert")
         self._evict_if_needed()
 
     def update(self, key: PageKey, page: bytes, version: int) -> None:
         """Replace a stale page; its cached ancestors are now invalid."""
         self.invalidate_ancestors(key)
         self.insert(key, page, version)
+        if obs.ACTIVE:
+            obs.inc("cache.inter.update")
+
+    def discard(self, key: PageKey) -> None:
+        """Drop one page (and its now-unsupported ancestors) entirely."""
+        entry = self._pages.pop(key, None)
+        if entry is None:
+            return
+        self._drop_from_index(key)
+        self.invalidate_ancestors(key)
+
+    def _drop_from_index(self, key: PageKey) -> None:
+        path, page_id = key
+        ids = self._page_ids.get(path)
+        if ids is not None:
+            ids.discard(page_id)
+            if not ids:
+                del self._page_ids[path]
 
     # -- freshness -----------------------------------------------------------
 
     def mark_fresh_leaf(self, key: PageKey, version: int) -> None:
         path, page_id = key
         self._fresh.add((path, 0, page_id))
+        self._fresh_top.setdefault(path, 0)
         entry = self._pages.get(key)
         if entry is not None:
             entry.version = max(entry.version, version)
@@ -130,17 +178,32 @@ class InterQueryCache:
                         version: int) -> None:
         """An ancestor matched at the ISP: its whole subtree is fresh."""
         self._fresh.add((path, level, index))
+        if level > self._fresh_top.get(path, -1):
+            self._fresh_top[path] = level
         first = index << level
         last = ((index + 1) << level) - 1
-        for (entry_path, page_id), entry in self._pages.items():
-            if entry_path == path and first <= page_id <= last:
-                entry.version = max(entry.version, version)
+        for page_id in self._page_ids.get(path, ()):
+            if first <= page_id <= last:
+                self._pages[(path, page_id)].version = max(
+                    self._pages[(path, page_id)].version, version
+                )
+        if obs.ACTIVE:
+            obs.inc("cache.inter.fresh_node")
 
-    def is_fresh(self, key: PageKey, max_height: int = 48) -> bool:
+    def is_fresh(self, key: PageKey) -> bool:
+        """Is some marked-fresh ancestor (or the leaf itself) covering?
+
+        The probe height is the highest level actually marked fresh for
+        this file during the current query — a bound derived from the
+        file's real tree, not a fixed maximum.
+        """
         path, page_id = key
+        top = self._fresh_top.get(path)
+        if top is None:
+            return False
         return any(
             (path, level, page_id >> level) in self._fresh
-            for level in range(max_height + 1)
+            for level in range(top + 1)
         )
 
     # -- ancestor digests ----------------------------------------------------
@@ -150,6 +213,8 @@ class InterQueryCache:
         """Remember an internal-node digest proven by a VO."""
         if level > 0:
             self._nodes[(path, level, index)] = digest
+            if level > self._node_top.get(path, 0):
+                self._node_top[path] = level
 
     def known_digest(
         self, path: str, level: int, index: int, page_count: int
@@ -177,7 +242,7 @@ class InterQueryCache:
         if right is None:
             return None
         digest = hash_pair(left, right)
-        self._nodes[(path, level, index)] = digest
+        self.learn_node(path, level, index, digest)
         return digest
 
     def digs_path(
@@ -198,18 +263,28 @@ class InterQueryCache:
         return entries
 
     def invalidate_ancestors(self, key: PageKey) -> None:
-        """Drop stored ancestor digests after a page changed."""
+        """Drop stored ancestor digests after a page changed.
+
+        Pops exactly the page's ancestor chain — (level, page_id >>
+        level) up to the highest level ever learned for the file —
+        instead of scanning every stored node.
+        """
         path, page_id = key
-        for (node_path, level, index) in list(self._nodes):
-            if node_path == path and (page_id >> level) == index:
-                del self._nodes[(node_path, level, index)]
+        top = self._node_top.get(path)
+        if top is None:
+            return
+        for level in range(1, top + 1):
+            self._nodes.pop((path, level, page_id >> level), None)
 
     # -- eviction ----------------------------------------------------------
 
     def _evict_if_needed(self) -> None:
         while len(self._pages) * PAGE_SIZE > self.capacity_bytes:
             key, _ = self._pages.popitem(last=False)
+            self._drop_from_index(key)
             self.invalidate_ancestors(key)
+            if obs.ACTIVE:
+                obs.inc("cache.inter.evict")
 
     # -- stats ---------------------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.network.transport import (
     NetworkStats,
     Transport,
 )
+from repro.obs import metrics as obs
 from repro.sgx.attestation import AttestationReport, AttestationService
 
 logger = logging.getLogger("repro.client")
@@ -143,6 +144,9 @@ class QueryClient:
             vfs.drop_temp_files()
 
         exec_s = time.perf_counter() - started
+        if obs.ACTIVE:
+            obs.inc("client.query.count")
+            obs.observe("client.query.latency_s", exec_s)
         net = self.transport.stats.delta_since(before_net)
         stats = QueryStats(
             exec_s=exec_s,
@@ -166,6 +170,9 @@ class QueryClient:
         self.transport.account(
             CATEGORY_CERT, 8, certificate.byte_size()
         )
+        if obs.ACTIVE:
+            obs.inc("client.cert.requests")
+            obs.add("client.net.bytes", 8 + certificate.byte_size())
         certificate.verify_signature(self.pk_sgx)
         for chain_id, chain in self.chains.items():
             header = chain.latest_header()  # observed from the network

@@ -34,6 +34,7 @@ from repro.network.transport import (
     CATEGORY_VO,
     Transport,
 )
+from repro.obs import metrics as obs
 from repro.vbf.versioned_bloom import VersionedBloomFilter
 from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
 
@@ -102,9 +103,11 @@ class ClientSession:
         meta = self.used_metas.get(path)
         if meta is None:
             meta = self.isp.get_file_meta(self.session_id, path)
-            self.transport.account(
-                CATEGORY_META, len(path.encode()), 17
-            )
+            request_bytes = len(path.encode())
+            self.transport.account(CATEGORY_META, request_bytes, 17)
+            if obs.ACTIVE:
+                obs.inc("client.meta.requests")
+                obs.add("client.net.bytes", request_bytes + 17)
             self.used_metas[path] = meta
         return meta
 
@@ -129,9 +132,11 @@ class ClientSession:
         """Unconditional page request (Algorithm 4 read path)."""
         path, page_id = key
         page = self.isp.get_page(self.session_id, path, page_id)
-        self.transport.account(
-            CATEGORY_PAGE, len(path.encode()) + 8, PAGE_SIZE
-        )
+        request_bytes = len(path.encode()) + 8
+        self.transport.account(CATEGORY_PAGE, request_bytes, PAGE_SIZE)
+        if obs.ACTIVE:
+            obs.inc("client.page.requests")
+            obs.add("client.net.bytes", request_bytes + PAGE_SIZE)
         self.page_claims[key] = hash_bytes(page)
         return page
 
@@ -153,7 +158,11 @@ class ClientSession:
                 entry.slots = self.vbf.positions(path, page_id)
             if self.vbf.fresh_since(entry.slots, entry.version):
                 cache.mark_fresh_leaf(key, self.certificate.version)
+                if obs.ACTIVE:
+                    obs.inc("vbf.fast_path.hit")
                 return entry.page
+            if obs.ACTIVE:
+                obs.inc("vbf.fast_path.miss")
         # Merkle freshness check (Algorithm 5).
         _, _, page_count = self.file_meta(path)
         height = page_tree.height_for(page_count)
@@ -162,9 +171,13 @@ class ClientSession:
         response = self.isp.validate_path(
             self.session_id, path, page_id, digs_path
         )
+        if obs.ACTIVE:
+            obs.inc("client.check.requests")
         if response[0] == "fresh":
             _, level, index, digest = response
             self.transport.account(CATEGORY_CHECK, request_bytes, 44)
+            if obs.ACTIVE:
+                obs.add("client.net.bytes", request_bytes + 44)
             expected = cache.known_digest(path, level, index, page_count)
             if expected != digest:
                 raise VerificationError(
@@ -176,6 +189,8 @@ class ClientSession:
             return entry.page
         _, page = response
         self.transport.account(CATEGORY_CHECK, request_bytes, PAGE_SIZE)
+        if obs.ACTIVE:
+            obs.add("client.net.bytes", request_bytes + PAGE_SIZE)
         self.page_claims[key] = hash_bytes(page)
         cache.update(key, page, self.certificate.version)
         self._inserted_keys.append(key)
@@ -195,6 +210,10 @@ class ClientSession:
         vo = self.isp.finalize_session(self.session_id)
         vo_bytes = vo.byte_size()
         self.transport.account(CATEGORY_VO, 8, vo_bytes)
+        if obs.ACTIVE:
+            obs.inc("client.vo.requests")
+            obs.add("client.vo.bytes", vo_bytes)
+            obs.add("client.net.bytes", 8 + vo_bytes)
         try:
             established = V2fsAds.verify_read_proof(
                 vo, self.certificate.ads_root,
@@ -247,9 +266,10 @@ class ClientSession:
         """
         if self.inter_cache is None:
             return
+        if self._inserted_keys and obs.ACTIVE:
+            obs.inc("client.rollback")
         for key in self._inserted_keys:
-            self.inter_cache._pages.pop(key, None)
-            self.inter_cache.invalidate_ancestors(key)
+            self.inter_cache.discard(key)
         self._inserted_keys.clear()
 
 

@@ -40,15 +40,33 @@ class V2fsCertificate:
         version: int,
         vbf_encoded: Optional[bytes],
     ) -> bytes:
-        """Canonical signed payload (Algorithm 3, line 8)."""
-        parts = [b"v2fs-cert", ads_root, version.to_bytes(8, "big")]
+        """Canonical signed payload (Algorithm 3, line 8).
+
+        The encoding must be *injective*: every variable-length field
+        (chain ids, digests) is length-prefixed and the chain-state list
+        is count-prefixed, so no two distinct inputs can serialize to
+        the same signed message.  (The v1 encoding joined raw fields
+        with ``b"|"``, which let bytes migrate between adjacent fields —
+        a malleability hole in the one object the enclave signs.)
+        """
+        out = bytearray(b"v2fs-cert-v2")
+        out += len(ads_root).to_bytes(4, "big")
+        out += ads_root
+        out += version.to_bytes(8, "big")
+        out += len(chain_states).to_bytes(4, "big")
         for chain_id, digest, height in chain_states:
-            parts.append(chain_id.encode("utf-8"))
-            parts.append(digest)
-            parts.append(height.to_bytes(8, "big"))
-        if vbf_encoded is not None:
-            parts.append(hash_bytes(vbf_encoded))
-        return b"|".join(parts)
+            encoded_id = chain_id.encode("utf-8")
+            out += len(encoded_id).to_bytes(4, "big")
+            out += encoded_id
+            out += len(digest).to_bytes(4, "big")
+            out += digest
+            out += height.to_bytes(8, "big")
+        if vbf_encoded is None:
+            out += b"\x00"
+        else:
+            out += b"\x01"
+            out += hash_bytes(vbf_encoded)
+        return bytes(out)
 
     def message(self) -> bytes:
         return self.message_bytes(

@@ -36,6 +36,7 @@ from repro.dcert.certifier import DCertCertificate, dcert_valid
 from repro.errors import CertificateError, ProofError
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import collect_proof_files
+from repro.obs import metrics as obs
 from repro.sgx.enclave import Enclave, OCallCostModel
 from repro.vfs.maintenance import MaintenanceSession, register_storage_ocalls
 
@@ -290,6 +291,12 @@ class V2fsCertificateIssuer:
 
         wall = time.perf_counter() - started
         overhead = self.enclave.stats.simulated_overhead_s
+        if obs.ACTIVE:
+            obs.inc("ci.maintenance.runs")
+            obs.add("ci.proof.bytes", proof_bytes)
+            obs.add("ci.pages.read", len(read_keys))
+            obs.add("ci.pages.written",
+                    sum(len(p) for p in writes.values()))
         return MaintenanceReport(
             certificate=certificate,
             wall_time_s=wall,

@@ -39,6 +39,7 @@ import zlib
 
 from repro.errors import StorageError, TornPageError
 from repro.faults import registry as faults
+from repro.obs import metrics as obs
 from repro.vfs.interface import PAGE_SIZE, VirtualFile, VirtualFilesystem
 
 _MAGIC = b"V2FSDB01"
@@ -152,6 +153,8 @@ class Pager:
             self._header_dirty = False
         if faults.ACTIVE:
             faults.fire("pager.flush.pre_sync", path=self.path)
+        if obs.ACTIVE:
+            obs.inc("pager.flush")
         self._file.sync()
 
     def allocate_page(self) -> int:
@@ -172,6 +175,8 @@ class Pager:
             raise StorageError(
                 f"page {page_id} out of range in {self.path}"
             )
+        if obs.ACTIVE:
+            obs.inc("pager.read_page")
         raw = self._file.read_page(page_id)
         if faults.ACTIVE:
             raw = faults.mangle("pager.read_page", raw)
@@ -185,6 +190,8 @@ class Pager:
             raise StorageError(
                 f"page {page_id} out of range in {self.path}"
             )
+        if obs.ACTIVE:
+            obs.inc("pager.write_page")
         sealed = seal_page(data)
         if faults.ACTIVE:
             faults.fire(

@@ -19,6 +19,7 @@ from typing import Dict, List
 from repro.baselines.integridb import IntegriDbLike
 from repro.db.engine import Engine
 from repro.merkle.ads import V2fsAds
+from repro.obs import REGISTRY
 from repro.vfs.local import LocalFilesystem
 
 DEFAULT_SIZES = [100, 300, 1_000]
@@ -107,6 +108,7 @@ def _v2fs_build_and_query(rows: List[List]) -> Dict[str, float]:
     """
     vfs = LocalFilesystem()
     engine = Engine(vfs)
+    build_before = REGISTRY.counters_snapshot()
     started = time.perf_counter()
     engine.execute("CREATE TABLE t (id INTEGER, v INTEGER, s TEXT)")
     engine.execute("CREATE INDEX idx_v ON t (v)")
@@ -125,6 +127,7 @@ def _v2fs_build_and_query(rows: List[List]) -> Dict[str, float]:
         sizes[path] = len(data)
     root = ads.apply_writes(ads.root, writes, sizes)
     update_s = time.perf_counter() - started
+    build_delta = REGISTRY.counters_delta(build_before)
 
     # Verifiable query: run it on a recording filesystem, then prove and
     # verify exactly the pages the engine touched (what the client would
@@ -132,6 +135,7 @@ def _v2fs_build_and_query(rows: List[List]) -> Dict[str, float]:
     low, high = _query_range(len(rows))
     recording = _RecordingVfs(vfs)
     query_engine = Engine(recording)
+    query_before = REGISTRY.counters_snapshot()
     started = time.perf_counter()
     query_engine.execute(
         f"SELECT COUNT(*), SUM(v) FROM t WHERE v BETWEEN {low} AND {high}"
@@ -145,7 +149,14 @@ def _v2fs_build_and_query(rows: List[List]) -> Dict[str, float]:
     proof = ads.gen_read_proof(root, sorted(claims))
     V2fsAds.verify_read_proof(proof, root, claims)
     query_s = time.perf_counter() - started
-    return {"update_s": update_s, "query_s": query_s}
+    query_delta = REGISTRY.counters_delta(query_before)
+    return {
+        "update_s": update_s,
+        "query_s": query_s,
+        "pages_written": int(build_delta.get("vfs.write_page", 0)),
+        "pages_read": int(query_delta.get("vfs.read_page", 0)),
+        "read_proofs": int(query_delta.get("ads.proof.read", 0)),
+    }
 
 
 def _integridb_build_and_query(rows: List[List]) -> Dict[str, float]:
@@ -178,6 +189,8 @@ def run(sizes: List[int] = DEFAULT_SIZES, seed: int = 7) -> Dict:
             "integridb_query_s": theirs["query_s"],
             "query_speedup": theirs["query_s"] / max(ours["query_s"],
                                                      1e-9),
+            "v2fs_pages_written": ours["pages_written"],
+            "v2fs_pages_read": ours["pages_read"],
         }
     return {"sizes": results}
 
@@ -186,7 +199,7 @@ def render(results: Dict) -> str:
     from repro.experiments.harness import fmt_seconds, render_table
 
     headers = ["records", "V2FS update", "IntegriDB update", "speedup",
-               "V2FS query", "IntegriDB query", "speedup"]
+               "V2FS query", "IntegriDB query", "speedup", "pages read"]
     rows = []
     for count, row in sorted(results["sizes"].items()):
         rows.append([
@@ -197,6 +210,7 @@ def render(results: Dict) -> str:
             fmt_seconds(row["v2fs_query_s"]),
             fmt_seconds(row["integridb_query_s"]),
             f"{row['query_speedup']:.0f}x",
+            str(row["v2fs_pages_read"]),
         ])
     return render_table(
         headers, rows, title="Fig. 17: Comparison with IntegriDB"

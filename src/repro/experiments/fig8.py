@@ -17,6 +17,7 @@ from typing import Dict, List
 
 from repro.core.system import SystemConfig, V2FSSystem
 from repro.experiments.harness import fmt_bytes, fmt_seconds, render_table
+from repro.obs import REGISTRY
 
 DEFAULT_BATCHES = [1, 2, 4, 8, 16]
 
@@ -26,7 +27,12 @@ def run(
     txs_per_block: int = 8,
     seed: int = 7,
 ) -> Dict:
-    """Measure one maintenance batch of each size, with and without SGX."""
+    """Measure one maintenance batch of each size, with and without SGX.
+
+    The OCall and proof-size columns are sourced from the process-wide
+    metrics registry (``sgx.ocall`` / ``ci.proof.bytes``) as a
+    before/after delta around each maintenance batch.
+    """
     series: Dict[str, List] = {
         "blocks": list(batches),
         "sgx_s": [],
@@ -41,12 +47,16 @@ def run(
                          use_sgx=use_sgx)
         )
         for batch in batches:
+            before = REGISTRY.counters_snapshot()
             report = system.advance_blocks("eth", batch)
+            delta = REGISTRY.counters_delta(before)
             total = report.total_time_s
             if use_sgx:
                 series["sgx_s"].append(total)
-                series["ocalls"].append(report.ocalls)
-                series["proof_bytes"].append(report.proof_bytes)
+                series["ocalls"].append(int(delta.get("sgx.ocall", 0)))
+                series["proof_bytes"].append(
+                    int(delta.get("ci.proof.bytes", 0))
+                )
             else:
                 series["no_sgx_s"].append(total)
     series["slowdown"] = [

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.client.query_client import QueryClient
 from repro.client.vfs import QueryMode
 from repro.core.system import SystemConfig, V2FSSystem
+from repro.obs import REGISTRY
 from repro.workloads.generator import Workload, WorkloadGenerator
 
 #: Labels used throughout the experiment tables.
@@ -119,20 +120,29 @@ def run_workload(
     workload: Workload,
     mode_label: Optional[str] = None,
 ) -> WorkloadMetrics:
-    """Run every query of ``workload`` through ``client``; aggregate."""
+    """Run every query of ``workload`` through ``client``; aggregate.
+
+    Timings come from each query's :class:`QueryStats`; the traffic
+    counts (page/check requests, VO and network bytes) are sourced from
+    the process-wide :data:`repro.obs.REGISTRY` as a before/after delta
+    around the query loop.  The loop is single-threaded, so the delta is
+    exactly this workload's traffic.
+    """
     metrics = WorkloadMetrics(
         workload=workload.name,
         mode=mode_label or MODE_LABELS.get(client.mode, str(client.mode)),
     )
+    before = REGISTRY.counters_snapshot()
     for sql in workload.queries:
         result = client.query(sql)
         metrics.queries += 1
         metrics.exec_s += result.stats.exec_s
         metrics.net_s += result.stats.net_s
-        metrics.page_requests += result.stats.page_requests
-        metrics.check_requests += result.stats.check_requests
-        metrics.vo_bytes += result.stats.vo_bytes
-        metrics.bytes_transferred += result.stats.bytes_transferred
+    delta = REGISTRY.counters_delta(before)
+    metrics.page_requests = int(delta.get("client.page.requests", 0))
+    metrics.check_requests = int(delta.get("client.check.requests", 0))
+    metrics.vo_bytes = int(delta.get("client.vo.bytes", 0))
+    metrics.bytes_transferred = int(delta.get("client.net.bytes", 0))
     return metrics
 
 

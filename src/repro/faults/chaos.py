@@ -51,6 +51,7 @@ from repro.errors import ReproError, StorageError, TornPageError
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault, SimulatedCrash
 from repro.faults.shadowfs import ShadowFilesystem
+from repro.obs import metrics as obs
 
 logger = logging.getLogger("repro.faults")
 
@@ -317,6 +318,8 @@ class SystemChaos:
             # ... and every node it references survived on disk.
             reopened.ads.list_files(reopened.root)
         self.stats.recoveries += 1
+        if obs.ACTIVE:
+            obs.inc("chaos.recoveries")
 
     def _publish(self, report) -> None:
         """Publish one certified report through the faulted update path."""
@@ -332,6 +335,8 @@ class SystemChaos:
                 continue
             except SimulatedCrash:
                 self.stats.crashes += 1
+                if obs.ACTIVE:
+                    obs.inc("chaos.crashes")
                 self.stats.publish_retries += 1
                 self._reopen(crashed=True)
                 continue
@@ -404,6 +409,8 @@ class SystemChaos:
         try:
             for _ in range(steps):
                 self.stats.steps += 1
+                if obs.ACTIVE:
+                    obs.inc("chaos.steps")
                 roll = self.rng.random()
                 if roll < 0.35:
                     self._ingest()
@@ -411,6 +418,8 @@ class SystemChaos:
                     self._query()
                 elif roll < 0.95:
                     self.stats.crashes += 1
+                    if obs.ACTIVE:
+                        obs.inc("chaos.crashes")
                     self._reopen(crashed=True)
                 else:
                     self.stats.clean_restarts += 1
@@ -493,6 +502,8 @@ def run_pager_chaos(seed: int, steps: int = 300) -> ChaosStats:
 
     for _ in range(steps):
         stats.steps += 1
+        if obs.ACTIVE:
+            obs.inc("chaos.steps")
         roll = rng.random()
         if roll < 0.70:
             value = bytes(
@@ -507,6 +518,8 @@ def run_pager_chaos(seed: int, steps: int = 300) -> ChaosStats:
             pending.clear()
         else:
             stats.crashes += 1
+            if obs.ACTIVE:
+                obs.inc("chaos.crashes")
             dirty = fs.dirty_pages(path)
             fs.crash()
             try:
@@ -532,6 +545,8 @@ def run_pager_chaos(seed: int, steps: int = 300) -> ChaosStats:
                     )
                 rebuild(found)
             stats.recoveries += 1
+            if obs.ACTIVE:
+                obs.inc("chaos.recoveries")
 
     # Closing check: a clean flush + crash + reopen round-trips exactly.
     tree.pager.flush()

@@ -32,6 +32,7 @@ from repro.isp.vo import VOBuilder
 from repro.merkle import page_tree
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
+from repro.obs import metrics as obs
 
 logger = logging.getLogger("repro.isp")
 
@@ -106,6 +107,10 @@ class IspServer:
         self._previous_root = self.root
         self.root = new_root
         self.certificate = certificate
+        if obs.ACTIVE:
+            obs.inc("isp.sync_update")
+            obs.event("isp.sync_update", version=certificate.version,
+                      files=len(writes))
         # Old pages stay readable for in-flight sessions on the previous
         # root; everything older is pruned (the paper's snapshot cleanup).
         # Best-effort: the update is already published, so a pruning
@@ -156,6 +161,8 @@ class IspServer:
             next(self._session_ids), self.ads, self.root, certificate
         )
         self._sessions[session.session_id] = session
+        if obs.ACTIVE:
+            obs.inc("isp.session.open")
         return session.session_id
 
     def _session(self, session_id: int) -> IspSession:
@@ -169,6 +176,8 @@ class IspServer:
     ) -> Tuple[bool, int, int]:
         """Return (exists, size, page_count) under the session snapshot."""
         session = self._session(session_id)
+        if obs.ACTIVE:
+            obs.inc("isp.get_file_meta")
         if not self.ads.file_exists(session.root, path):
             return False, 0, 0
         node = self.ads.file_node(session.root, path)
@@ -177,6 +186,8 @@ class IspServer:
 
     def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
         session = self._session(session_id)
+        if obs.ACTIVE:
+            obs.inc("isp.get_page")
         page = self.ads.get_page(session.root, path, page_id)
         session.vo.add_page(path, page_id)
         return page
@@ -207,9 +218,13 @@ class IspServer:
             )
             if current == digest:
                 session.vo.add_node(path, level, index)
+                if obs.ACTIVE:
+                    obs.inc("isp.validate_path.fresh")
                 return ("fresh", level, index, digest)
         page = self.ads.get_page(session.root, path, page_id)
         session.vo.add_page(path, page_id)
+        if obs.ACTIVE:
+            obs.inc("isp.validate_path.page")
         return ("page", page)
 
     def finalize_session(self, session_id: int) -> AdsProof:
@@ -219,4 +234,8 @@ class IspServer:
             # E.g. a client retrying a finalize whose first reply was
             # lost in transit: the session is already closed.
             raise NetworkError(f"unknown session {session_id}")
-        return session.vo.build()
+        vo = session.vo.build()
+        if obs.ACTIVE:
+            obs.inc("isp.session.finalize")
+            obs.observe("isp.vo.bytes", vo.byte_size())
+        return vo

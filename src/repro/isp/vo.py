@@ -20,6 +20,7 @@ from typing import Set, Tuple
 from repro.crypto.hashing import Digest
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
+from repro.obs import metrics as obs
 
 
 class VOBuilder:
@@ -45,6 +46,9 @@ class VOBuilder:
 
     def build(self) -> AdsProof:
         """Render the consolidated VO."""
+        if obs.ACTIVE:
+            obs.observe("isp.vo.pages", len(self.page_keys))
+            obs.observe("isp.vo.nodes", len(self.node_keys))
         proof = self._ads.gen_read_proof(
             self._root, sorted(self.page_keys), sorted(self.node_keys)
         )

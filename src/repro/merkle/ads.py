@@ -35,6 +35,7 @@ from repro.merkle.proof import (
     gen_trie_proof,
     skeleton_root_with_updates,
 )
+from repro.obs import metrics as obs
 
 
 class AdsError(ProofError):
@@ -107,6 +108,8 @@ class V2fsAds:
         created on first write.  The previous root remains a readable
         snapshot until pruned.
         """
+        if obs.ACTIVE:
+            obs.inc("ads.apply_writes")
         new_root = root
         for path in sorted(writes):
             page_writes = writes[path]
@@ -141,6 +144,8 @@ class V2fsAds:
 
     def prune(self, live_roots: Iterable[Digest]) -> int:
         """Garbage-collect all versions except those in ``live_roots``."""
+        if obs.ACTIVE:
+            obs.inc("ads.prune")
         return self.store.prune(live_roots)
 
     # ------------------------------------------------------------------
@@ -154,6 +159,8 @@ class V2fsAds:
         node_keys: Iterable[NodeKey] = (),
     ) -> AdsProof:
         """Build the consolidated proof for a set of page/node claims."""
+        if obs.ACTIVE:
+            obs.inc("ads.proof.read")
         by_file: Dict[str, Set[page_tree.Position]] = {}
         for path, pid in page_keys:
             by_file.setdefault(path, set()).add((0, pid))
@@ -184,6 +191,8 @@ class V2fsAds:
         a file yet, the skeleton still authenticates non-membership via
         the expanded root directory.
         """
+        if obs.ACTIVE:
+            obs.inc("ads.proof.write")
         existing = [
             path for path in sorted(writes)
             if path_trie.file_exists(self.store, root, path)

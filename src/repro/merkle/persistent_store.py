@@ -33,6 +33,7 @@ from repro.merkle.node_store import (
     PageData,
     PairNode,
 )
+from repro.obs import metrics as obs
 
 _KIND_PAIR = 1
 _KIND_PAGE = 2
@@ -202,6 +203,8 @@ class PersistentNodeStore(NodeStore):
         """Flush and ``fsync`` the log; advances the durable boundary."""
         if faults.ACTIVE:
             faults.fire("store.sync.pre", path=self._path)
+        if obs.ACTIVE:
+            obs.inc("store.sync")
         self._log.flush()
         os.fsync(self._log.fileno())
         self._durable_size = self._end_offset()
@@ -256,6 +259,8 @@ class PersistentNodeStore(NodeStore):
         digest = node.digest()
         if digest in self._offsets:
             return digest
+        if obs.ACTIVE:
+            obs.inc("store.put")
         kind, payload = _encode_node(node)
         if faults.ACTIVE:
             faults.fire("store.append.pre", digest=digest)
@@ -286,6 +291,8 @@ class PersistentNodeStore(NodeStore):
         return digest
 
     def get(self, digest: Digest) -> Node:
+        if obs.ACTIVE:
+            obs.inc("store.get")
         node = self._cache.get(digest)
         if node is not None:
             return node
@@ -338,6 +345,8 @@ class PersistentNodeStore(NodeStore):
         dead = len(self._offsets) - len(live)
         if dead == 0:
             return 0
+        if obs.ACTIVE:
+            obs.inc("store.compact")
         temp_path = self._path + ".compact"
         with open(temp_path, "wb") as out:
             offsets: Dict[Digest, int] = {}

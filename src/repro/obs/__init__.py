@@ -1,0 +1,40 @@
+"""``repro.obs`` — unified metrics and tracing.
+
+Counters, gauges, histograms and monotonic timers live in
+:mod:`repro.obs.metrics` under scope names declared in
+:mod:`repro.obs.catalog`; a bounded trace ring with JSON-lines export
+lives in :mod:`repro.obs.trace`.  Instrumented code imports the module
+façade (``from repro.obs import metrics as obs``); consumers import the
+classes re-exported here.
+"""
+
+from repro.obs.catalog import SCOPES, declare, is_declared, suggest
+from repro.obs.metrics import (
+    REGISTRY,
+    SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    validate_payload,
+)
+from repro.obs.trace import TraceBuffer
+
+__all__ = [
+    "REGISTRY",
+    "SCHEMA",
+    "SCOPES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceBuffer",
+    "declare",
+    "disable",
+    "enable",
+    "is_declared",
+    "suggest",
+    "validate_payload",
+]

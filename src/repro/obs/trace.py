@@ -1,0 +1,67 @@
+"""Bounded ring buffer of structured trace events.
+
+The buffer keeps the most recent ``capacity`` events — instrumented code
+emits freely and the buffer discards the oldest, so tracing costs O(1)
+memory no matter how long the process runs.  Each event is a
+``(timestamp, scope, fields)`` triple; timestamps come from
+``time.monotonic()`` so event spacing is meaningful even if the wall
+clock steps.
+
+Export is JSON-lines (one event per line), the format every trace
+viewer and ``jq`` pipeline ingests without a schema.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterator, List, Tuple
+
+TraceEvent = Tuple[float, str, Dict[str, Any]]
+
+DEFAULT_CAPACITY = 4096
+
+
+class TraceBuffer:
+    """A fixed-capacity ring of trace events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        #: Total events ever emitted (so a reader can tell how many the
+        #: ring discarded: ``emitted - len(buffer)``).
+        self.emitted = 0
+
+    def emit(self, timestamp: float, scope: str,
+             fields: Dict[str, Any]) -> None:
+        self._events.append((timestamp, scope, fields))
+        self.emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(tuple(self._events))
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    # -- JSON-lines export ---------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The buffered events, one JSON object per line."""
+        lines = []
+        for timestamp, scope, fields in self._events:
+            record = {"ts": round(timestamp, 6), "scope": scope}
+            record.update(fields)
+            lines.append(json.dumps(record, sort_keys=True, default=repr))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())

@@ -44,6 +44,7 @@ from repro.errors import (
 )
 from repro.isp.server import FreshMatch, PageReply
 from repro.merkle.proof import AdsProof
+from repro.obs import metrics as obs
 from repro.rpc import codec
 from repro.sgx.attestation import AttestationReport
 
@@ -135,8 +136,12 @@ class RemoteIsp:
         """One RPC round trip with pooled connections and retries."""
         attempts = self.max_retries + 1
         last_error: Optional[Exception] = None
+        if obs.ACTIVE:
+            obs.inc("rpc.client.requests")
         for attempt in range(attempts):
             if attempt:
+                if obs.ACTIVE:
+                    obs.inc("rpc.client.retries")
                 delay = min(
                     self.backoff_s * (2 ** (attempt - 1)),
                     self.max_backoff_s,

@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.isp.server import FreshMatch, PageReply
 from repro.merkle.proof import AdsProof
+from repro.obs import metrics as obs
 from repro.sgx.attestation import AttestationReport
 
 # ----------------------------------------------------------------------
@@ -81,6 +82,9 @@ def frame(payload: bytes) -> bytes:
         raise WireFormatError(
             f"refusing to send oversized frame ({len(payload)} bytes)"
         )
+    if obs.ACTIVE:
+        obs.inc("rpc.frame.encode")
+        obs.add("rpc.frame.encode.bytes", len(payload))
     return FRAME_HEADER.pack(
         MAGIC, len(payload), zlib.crc32(payload)
     ) + payload
@@ -133,6 +137,9 @@ def recv_frame(sock: socket.socket) -> Optional[bytes]:
     payload = _recv_exact(sock, length, at_start=False) if length else b""
     if zlib.crc32(payload) != crc:
         raise WireFormatError("frame checksum mismatch (corrupt payload)")
+    if obs.ACTIVE:
+        obs.inc("rpc.frame.decode")
+        obs.add("rpc.frame.decode.bytes", len(payload))
     return payload
 
 

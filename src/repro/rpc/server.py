@@ -33,6 +33,7 @@ from repro.errors import NetworkError, ReproError, WireFormatError
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault
 from repro.isp.server import IspServer
+from repro.obs import metrics as obs
 from repro.rpc import codec
 from repro.sgx.attestation import AttestationReport
 
@@ -256,9 +257,13 @@ class RpcIspServer:
 
     def _handle(self, payload: bytes) -> bytes:
         """Decode one request, run it against the ISP, encode the reply."""
+        if obs.ACTIVE:
+            obs.inc("rpc.server.requests")
         try:
             kind, args = codec.decode_request(payload)
         except WireFormatError as error:
+            if obs.ACTIVE:
+                obs.inc("rpc.server.errors")
             return codec.encode_error(error)
         try:
             with self.lock:
@@ -267,6 +272,8 @@ class RpcIspServer:
             logger.debug(
                 "request 0x%02x failed: %s", kind, error
             )
+            if obs.ACTIVE:
+                obs.inc("rpc.server.errors")
             return codec.encode_error(error)
         # repro: allow(crash-hygiene) -- the error-frame contract: a handler
         # failure must reach the remote client as RESP_ERROR, never kill the
@@ -275,6 +282,8 @@ class RpcIspServer:
             # A non-ReproError here is a server bug, not a client mistake:
             # keep the full traceback server-side, send a typed error.
             logger.exception("unhandled error dispatching request 0x%02x", kind)
+            if obs.ACTIVE:
+                obs.inc("rpc.server.errors")
             return codec.encode_error(
                 NetworkError(f"internal server error: {type(error).__name__}")
             )

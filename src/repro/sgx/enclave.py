@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict
 from repro.crypto.hashing import Digest, hash_bytes
 from repro.crypto.signature import KeyPair, PublicKey, Signature, sign
 from repro.errors import EnclaveError
+from repro.obs import metrics as obs
 
 
 @dataclass
@@ -102,10 +103,15 @@ class Enclave:
             raise EnclaveError(f"no OCall handler registered for {name!r}")
         result = handler(*args, **kwargs)
         payload = _payload_size(args) + _payload_size((result,))
+        cost = self.cost_model.cost(payload)
         self.stats.calls += 1
         self.stats.bytes_crossed += payload
-        self.stats.simulated_overhead_s += self.cost_model.cost(payload)
+        self.stats.simulated_overhead_s += cost
         self.stats.by_name[name] = self.stats.by_name.get(name, 0) + 1
+        if obs.ACTIVE:
+            obs.inc("sgx.ocall")
+            obs.add("sgx.ocall.bytes", payload)
+            obs.add("sgx.ocall.overhead_s", cost)
         return result
 
 

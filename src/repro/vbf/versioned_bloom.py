@@ -19,11 +19,21 @@ import struct
 from typing import List, Tuple
 
 from repro.crypto.hashing import keyed_hash
+from repro.errors import CertificateError
 
 #: Defaults from the paper: 100,000 slots, five hash functions (<1% FPP
 #: at the paper's update rates).  Experiments may scale these down.
 DEFAULT_SLOTS = 100_000
 DEFAULT_HASHES = 5
+
+#: Decode-time caps.  The filter arrives inside an (as yet unverified)
+#: certificate, so the header is attacker-controlled: without a cap a
+#: hostile ``slots`` of 2^32-1 demands a 16 GiB allocation before the
+#: signature is ever checked.  16M slots is ~170x the paper's default.
+MAX_SLOTS = 1 << 24
+MAX_HASHES = 64
+
+_HEADER = struct.Struct(">II")
 
 
 class VersionedBloomFilter:
@@ -71,16 +81,45 @@ class VersionedBloomFilter:
     # -- serialization (embedded in the certificate) ---------------------
 
     def encode(self) -> bytes:
-        header = struct.pack(">II", self.slots, self.hashes)
+        header = _HEADER.pack(self.slots, self.hashes)
         body = struct.pack(f">{self.slots}I", *self._table)
         return header + body
 
     @classmethod
     def decode(cls, data: bytes) -> "VersionedBloomFilter":
-        slots, hashes = struct.unpack_from(">II", data, 0)
+        """Decode an untrusted filter, validating before allocating.
+
+        Every malformed input — truncated header, zero or oversized
+        ``slots``/``hashes``, a body that disagrees with the declared
+        slot count — raises :class:`~repro.errors.CertificateError`
+        (the filter travels inside the certificate), never a leaked
+        ``struct.error`` or ``MemoryError``.
+        """
+        if len(data) < _HEADER.size:
+            raise CertificateError(
+                f"VBF header truncated: {len(data)} bytes, "
+                f"need {_HEADER.size}"
+            )
+        slots, hashes = _HEADER.unpack_from(data, 0)
+        if not 1 <= slots <= MAX_SLOTS:
+            raise CertificateError(
+                f"VBF declares {slots} slots; valid range is "
+                f"1..{MAX_SLOTS}"
+            )
+        if not 1 <= hashes <= MAX_HASHES:
+            raise CertificateError(
+                f"VBF declares {hashes} hash functions; valid range "
+                f"is 1..{MAX_HASHES}"
+            )
+        expected = _HEADER.size + 4 * slots
+        if len(data) != expected:
+            raise CertificateError(
+                f"VBF body is {len(data)} bytes; {slots} slots "
+                f"require exactly {expected}"
+            )
         vbf = cls(slots, hashes)
         vbf._table = list(
-            struct.unpack_from(f">{slots}I", data, 8)
+            struct.unpack_from(f">{slots}I", data, _HEADER.size)
         )
         return vbf
 

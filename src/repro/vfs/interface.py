@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from typing import List
 
 from repro.errors import StorageError
+from repro.obs import metrics as obs
 
 #: Fixed page size, matching SQLite's default as used in the paper.
 PAGE_SIZE = 4096
@@ -102,6 +103,8 @@ class VirtualFile(ABC):
 
     def read_page(self, page_id: int) -> bytes:
         """Read one full page (zero-padded at EOF)."""
+        if obs.ACTIVE:
+            obs.inc("vfs.read_page")
         self.seek(page_id * PAGE_SIZE)
         data = self.read(PAGE_SIZE)
         if len(data) < PAGE_SIZE:
@@ -110,6 +113,8 @@ class VirtualFile(ABC):
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one full page."""
+        if obs.ACTIVE:
+            obs.inc("vfs.write_page")
         if len(data) != PAGE_SIZE:
             raise StorageError(
                 f"write_page requires exactly {PAGE_SIZE} bytes"

@@ -308,6 +308,75 @@ class TestFailpointNames:
 
 
 # ----------------------------------------------------------------------
+# obs-naming
+# ----------------------------------------------------------------------
+
+
+class TestObsNaming:
+    def test_undeclared_scope_fires_with_hint(self):
+        findings = lint(
+            """
+            from repro.obs import metrics as obs
+
+            def get(key):
+                obs.inc("cache.inter.hits")
+            """,
+            "repro.client.caches",
+        )
+        assert [f.rule for f in findings] == ["obs-naming"]
+        assert "cache.inter.hit" in findings[0].message
+
+    def test_declared_scopes_are_clean(self):
+        assert rules_fired(
+            """
+            from repro.obs import metrics as obs
+
+            def get(key, vo):
+                obs.inc("cache.inter.hit")
+                obs.add("client.vo.bytes", 10)
+                obs.observe("isp.vo.bytes", vo)
+                obs.event("isp.sync_update", version=1)
+                with obs.timed("client.query.latency_s"):
+                    pass
+            """,
+            "repro.client.caches",
+        ) == []
+
+    def test_non_literal_scope_is_a_warning(self):
+        findings = lint(
+            """
+            from repro.obs import metrics as obs
+
+            def count(name):
+                obs.inc(name)
+            """,
+            "repro.client.caches",
+        )
+        assert [(f.rule, f.severity) for f in findings] == [
+            ("obs-naming", "warning")
+        ]
+
+    def test_unrelated_receivers_are_ignored(self):
+        assert rules_fired(
+            """
+            def bump(self, stats):
+                stats.inc("whatever")
+                self.totals.add("anything")
+            """,
+            "repro.client.caches",
+        ) == []
+
+    def test_obs_package_itself_is_exempt(self):
+        assert rules_fired(
+            """
+            def inc(self, name):
+                self.counter(name).inc(1)
+            """,
+            "repro.obs.metrics",
+        ) == []
+
+
+# ----------------------------------------------------------------------
 # typed-errors
 # ----------------------------------------------------------------------
 
@@ -527,12 +596,12 @@ class TestCliAndSelfCheck:
             "lint", "--baseline", str(tmp_path / "nope.json"), str(SRC),
         ]) == 2
 
-    def test_list_rules_names_all_five(self, capsys):
+    def test_list_rules_names_all_six(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         output = capsys.readouterr().out
         for name in (
             "vfs-boundary", "crash-hygiene", "proof-determinism",
-            "failpoint-names", "typed-errors",
+            "failpoint-names", "obs-naming", "typed-errors",
         ):
             assert name in output
 

@@ -1,0 +1,98 @@
+"""Regression tests for the injective certificate encoding.
+
+The v1 signed payload joined raw variable-length fields with ``b"|"``,
+so bytes could migrate between adjacent fields: two *different*
+``chain_states`` tuples could serialize to the same signed message, and
+a signature minted for one was valid for the other.  The v2 encoding
+length-prefixes every variable-length field and count-prefixes the
+chain-state list, which makes the payload injective.
+"""
+
+import pytest
+
+from repro.core.certificate import V2fsCertificate
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.signature import KeyPair, sign
+from repro.errors import CertificateError
+
+
+def _legacy_message_bytes(ads_root, chain_states, version, vbf_encoded):
+    """The pre-fix v1 encoding, reproduced verbatim for the demo."""
+    parts = [b"v2fs-cert", ads_root, version.to_bytes(8, "big")]
+    for chain_id, digest, height in chain_states:
+        parts.append(chain_id.encode("utf-8"))
+        parts.append(digest)
+        parts.append(height.to_bytes(8, "big"))
+    if vbf_encoded is not None:
+        parts.append(hash_bytes(vbf_encoded))
+    return b"|".join(parts)
+
+
+ROOT = b"\xaa" * 32
+
+#: An honest two-chain state list ...
+STATES_A = (("a", b"\x01" * 32, 7), ("b", b"\x02" * 32, 9))
+#: ... and a crafted one-chain list whose "digest" swallows the
+#: delimiter, the height, the next chain id, and the next digest.
+#: Under the v1 join both flatten to the identical byte string.
+STATES_B = ((
+    "a",
+    b"\x01" * 32 + b"|" + (7).to_bytes(8, "big") + b"|b|" + b"\x02" * 32,
+    9,
+),)
+
+
+class TestLegacyCollision:
+    def test_distinct_states_collide_under_v1(self):
+        assert STATES_A != STATES_B
+        assert _legacy_message_bytes(ROOT, STATES_A, 3, None) == \
+            _legacy_message_bytes(ROOT, STATES_B, 3, None)
+
+    def test_v2_separates_the_colliding_pair(self):
+        assert V2fsCertificate.message_bytes(ROOT, STATES_A, 3, None) != \
+            V2fsCertificate.message_bytes(ROOT, STATES_B, 3, None)
+
+    def test_signature_no_longer_transfers(self):
+        """A certificate signed for STATES_A must not verify for STATES_B."""
+        keys = KeyPair.generate(b"cert-encoding-test")
+        signature = sign(
+            keys, V2fsCertificate.message_bytes(ROOT, STATES_A, 3, None)
+        )
+        honest = V2fsCertificate(
+            ads_root=ROOT, chain_states=STATES_A, version=3,
+            signature=signature,
+        )
+        honest.verify_signature(keys.public)
+        forged = V2fsCertificate(
+            ads_root=ROOT, chain_states=STATES_B, version=3,
+            signature=signature,
+        )
+        with pytest.raises(CertificateError):
+            forged.verify_signature(keys.public)
+
+
+class TestV2Shape:
+    def test_domain_tag_bumped(self):
+        message = V2fsCertificate.message_bytes(ROOT, STATES_A, 3, None)
+        assert message.startswith(b"v2fs-cert-v2")
+
+    def test_vbf_presence_is_explicit(self):
+        without = V2fsCertificate.message_bytes(ROOT, STATES_A, 3, None)
+        with_vbf = V2fsCertificate.message_bytes(ROOT, STATES_A, 3, b"x")
+        assert without != with_vbf
+        assert without.endswith(b"\x00")
+
+    def test_field_boundaries_do_not_leak(self):
+        """Moving a byte between chain id and digest changes the message."""
+        one = (("ab", b"\x05" * 32, 1),)
+        # Same concatenated bytes, different split: id "a", digest
+        # starting with "b".
+        other = (("a", b"b" + b"\x05" * 31, 1),)
+        assert V2fsCertificate.message_bytes(ROOT, one, 1, None) != \
+            V2fsCertificate.message_bytes(ROOT, other, 1, None)
+
+    def test_entry_count_is_bound(self):
+        """An empty list cannot impersonate a list with empty-ish entries."""
+        empty = V2fsCertificate.message_bytes(ROOT, (), 1, None)
+        one = V2fsCertificate.message_bytes(ROOT, (("", b"", 0),), 1, None)
+        assert empty != one

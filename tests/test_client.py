@@ -98,11 +98,16 @@ class TestInterQueryCache:
         assert len(cache) == 2
 
     def test_hit_miss_counters(self):
+        from repro.obs import REGISTRY
+
         cache = InterQueryCache()
         cache.insert(("/f", 0), b"a", 1)
+        before = REGISTRY.counters_snapshot()
         cache.get(("/f", 0))
         cache.get(("/f", 9))
-        assert cache.hits >= 1 and cache.misses >= 1
+        delta = REGISTRY.counters_delta(before)
+        assert delta.get("cache.inter.hit", 0) >= 1
+        assert delta.get("cache.inter.miss", 0) >= 1
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,196 @@
+"""Unit tests for the repro.obs metrics/tracing layer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    REGISTRY,
+    SCHEMA,
+    SCOPES,
+    MetricsRegistry,
+    TraceBuffer,
+    declare,
+    is_declared,
+    suggest,
+    validate_payload,
+)
+from repro.obs import metrics as obs
+from repro.obs.metrics import SIZE_BUCKETS, TIME_BUCKETS, Histogram
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True, trace_capacity=8)
+
+
+class TestCatalog:
+    def test_production_scopes_declared(self):
+        assert is_declared("cache.inter.hit")
+        assert is_declared("sgx.ocall")
+        assert not is_declared("no.such.scope")
+
+    def test_suggest_offers_near_misses(self):
+        hints = suggest("cache.inter.hits")
+        assert "cache.inter.hit" in hints
+
+    def test_declare_adds_a_scope(self):
+        declare("test.obs.catalog.extra", "throwaway test scope")
+        assert is_declared("test.obs.catalog.extra")
+
+    def test_every_scope_is_documented(self):
+        for name, doc in SCOPES.items():
+            assert doc.strip(), f"{name} lacks a docstring"
+
+
+class TestRegistry:
+    def test_undeclared_scope_rejected_with_hint(self, registry):
+        with pytest.raises(ValueError, match="did you mean"):
+            registry.inc("cache.inter.hits")
+
+    def test_counter_inc_and_value(self, registry):
+        registry.inc("cache.inter.hit")
+        registry.inc("cache.inter.hit", 2)
+        assert registry.value("cache.inter.hit") == 3
+
+    def test_kind_conflict_raises(self, registry):
+        registry.inc("cache.inter.hit")
+        with pytest.raises(ValueError, match="already a counter"):
+            registry.observe("cache.inter.hit", 1)
+
+    def test_gauge_last_value_wins(self, registry):
+        declare("test.obs.gauge", "throwaway")
+        registry.set_gauge("test.obs.gauge", 5)
+        registry.set_gauge("test.obs.gauge", 2)
+        assert registry.value("test.obs.gauge") == 2
+
+    def test_counters_delta_reports_only_changes(self, registry):
+        registry.inc("cache.inter.hit")
+        before = registry.counters_snapshot()
+        registry.inc("cache.inter.miss", 4)
+        delta = registry.counters_delta(before)
+        assert delta == {"cache.inter.miss": 4}
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("cache.inter.hit")
+        registry.observe("isp.vo.bytes", 100)
+        registry.event("isp.sync_update", version=1)
+        with registry.timed("client.query.latency_s"):
+            pass
+        payload = registry.payload()
+        assert payload["counters"] == {}
+        assert payload["histograms"] == {}
+        assert len(registry.trace) == 0
+
+    def test_disabled_timed_is_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.timed("client.query.latency_s") is \
+            registry.timed("client.query.latency_s")
+
+    def test_timed_records_a_sample(self, registry):
+        with registry.timed("client.query.latency_s"):
+            pass
+        histogram = registry.histogram("client.query.latency_s")
+        assert histogram.count == 1
+        assert histogram.boundaries == TIME_BUCKETS
+
+    def test_histogram_bucket_defaults_by_suffix(self, registry):
+        assert registry.histogram("isp.vo.bytes").boundaries == SIZE_BUCKETS
+
+    def test_reset_zeroes_everything(self, registry):
+        registry.inc("cache.inter.hit")
+        registry.event("isp.sync_update", version=1)
+        registry.reset()
+        assert registry.value("cache.inter.hit") == 0
+        assert len(registry.trace) == 0
+        assert registry.trace.emitted == 0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram("isp.vo.bytes", boundaries=(10, 100))
+        for value in (1, 10, 11, 100, 101):
+            histogram.observe(value)
+        assert histogram.buckets == [2, 2]
+        assert histogram.overflow == 1
+        assert histogram.count == 5
+        assert histogram.total == 223
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("isp.vo.bytes", boundaries=(100, 10))
+
+
+class TestTrace:
+    def test_ring_discards_oldest(self):
+        buffer = TraceBuffer(capacity=3)
+        for i in range(5):
+            buffer.emit(float(i), "isp.sync_update", {"version": i})
+        assert buffer.emitted == 5
+        assert len(buffer) == 3
+        assert [f["version"] for _, _, f in buffer.events()] == [2, 3, 4]
+
+    def test_jsonl_round_trips(self):
+        buffer = TraceBuffer(capacity=4)
+        buffer.emit(1.25, "isp.sync_update", {"version": 7, "files": 2})
+        lines = buffer.to_jsonl().strip().splitlines()
+        record = json.loads(lines[0])
+        assert record == {
+            "ts": 1.25, "scope": "isp.sync_update",
+            "version": 7, "files": 2,
+        }
+
+    def test_event_validates_scope(self, registry):
+        with pytest.raises(ValueError):
+            registry.event("not.a.scope", x=1)
+
+
+class TestFacade:
+    def test_disable_enable_round_trip(self):
+        before = REGISTRY.value("cache.inter.hit")
+        obs.disable()
+        try:
+            assert not obs.ACTIVE
+            obs.inc("cache.inter.hit")
+            assert REGISTRY.value("cache.inter.hit") == before
+        finally:
+            obs.enable()
+        assert obs.ACTIVE
+        obs.inc("cache.inter.hit")
+        assert REGISTRY.value("cache.inter.hit") == before + 1
+
+    def test_add_is_inc(self):
+        assert obs.add is obs.inc
+
+
+class TestValidatePayload:
+    def test_live_payload_validates(self, registry):
+        registry.inc("cache.inter.hit")
+        registry.observe("isp.vo.bytes", 500)
+        assert validate_payload(registry.payload()) == []
+
+    def test_schema_tag_checked(self, registry):
+        payload = registry.payload()
+        payload["schema"] = "bogus/v9"
+        assert any("schema" in p for p in validate_payload(payload))
+        assert SCHEMA == "repro.obs/v1"
+
+    def test_undeclared_scope_flagged(self, registry):
+        payload = registry.payload()
+        payload["counters"]["made.up"] = 1
+        assert any("made.up" in p for p in validate_payload(payload))
+
+    def test_non_numeric_counter_flagged(self, registry):
+        payload = registry.payload()
+        payload["counters"]["cache.inter.hit"] = "many"
+        assert any("not numeric" in p for p in validate_payload(payload))
+
+    def test_histogram_bucket_sum_checked(self, registry):
+        registry.observe("isp.vo.bytes", 500)
+        payload = registry.payload()
+        payload["histograms"]["isp.vo.bytes"]["count"] = 9
+        assert any("bucket sum" in p for p in validate_payload(payload))
+
+    def test_non_object_payload(self):
+        assert validate_payload([1, 2]) != []

@@ -1,11 +1,18 @@
 """Tests for the versioned bloom filter, including the paper's Theorem 2
 (no false negatives) as a property test."""
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.vbf.versioned_bloom import VersionedBloomFilter
+from repro.errors import CertificateError
+from repro.vbf.versioned_bloom import (
+    MAX_HASHES,
+    MAX_SLOTS,
+    VersionedBloomFilter,
+)
 
 
 class TestBasics:
@@ -57,6 +64,64 @@ class TestBasics:
         vbf.mark_written("/a", 1, 7)
         positions = clone.positions("/a", 1)
         assert clone.fresh_since(positions, 0)
+
+
+class TestHostileDecode:
+    """The filter arrives inside an unverified certificate: every
+    malformed payload must raise a typed ``CertificateError`` before any
+    large allocation — never ``struct.error`` or ``MemoryError``."""
+
+    def test_empty_payload(self):
+        with pytest.raises(CertificateError, match="truncated"):
+            VersionedBloomFilter.decode(b"")
+
+    def test_truncated_header(self):
+        with pytest.raises(CertificateError, match="truncated"):
+            VersionedBloomFilter.decode(b"\x00\x00\x00")
+
+    def test_truncated_body(self):
+        encoded = VersionedBloomFilter(slots=16, hashes=2).encode()
+        with pytest.raises(CertificateError, match="exactly"):
+            VersionedBloomFilter.decode(encoded[:-1])
+
+    def test_trailing_garbage(self):
+        encoded = VersionedBloomFilter(slots=16, hashes=2).encode()
+        with pytest.raises(CertificateError, match="exactly"):
+            VersionedBloomFilter.decode(encoded + b"\x00")
+
+    def test_zero_slots(self):
+        with pytest.raises(CertificateError, match="slots"):
+            VersionedBloomFilter.decode(struct.pack(">II", 0, 3))
+
+    def test_zero_hashes(self):
+        payload = struct.pack(">II", 1, 0) + b"\x00" * 4
+        with pytest.raises(CertificateError, match="hash"):
+            VersionedBloomFilter.decode(payload)
+
+    def test_oversized_slots_rejected_before_allocation(self):
+        # A hostile header declaring 2^32-1 slots would demand a 16 GiB
+        # allocation if the cap were checked after the body length.
+        payload = struct.pack(">II", 0xFFFFFFFF, 5)
+        with pytest.raises(CertificateError, match="slots"):
+            VersionedBloomFilter.decode(payload)
+
+    def test_slot_cap_boundary(self):
+        payload = struct.pack(">II", MAX_SLOTS + 1, 5)
+        with pytest.raises(CertificateError, match="slots"):
+            VersionedBloomFilter.decode(payload)
+
+    def test_oversized_hashes(self):
+        payload = struct.pack(">II", 4, MAX_HASHES + 1) + b"\x00" * 16
+        with pytest.raises(CertificateError, match="hash"):
+            VersionedBloomFilter.decode(payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_leak_struct_error(self, data):
+        try:
+            VersionedBloomFilter.decode(data)
+        except CertificateError:
+            pass  # the only acceptable failure mode
 
 
 class TestTheorem2NoFalseNegatives:
