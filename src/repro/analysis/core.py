@@ -118,6 +118,30 @@ class Rule:
             yield from self.check(ctx)
 
 
+class ProgramRule(Rule):
+    """A rule that needs the *whole program*, not one module at a time.
+
+    Per-module rules are pure functions of one tree; interprocedural
+    properties (lock ordering across call edges, guarded-by discipline
+    through helper functions) are not.  A ProgramRule receives every
+    parsed :class:`ModuleContext` at once via :meth:`check_program`;
+    the driver runs it after the per-module pass, and its findings go
+    through the same suppression and baseline machinery (each finding's
+    ``path`` must name one of the analyzed modules for suppressions to
+    apply).
+    """
+
+    def check_program(
+        self, contexts: Sequence["ModuleContext"]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Running a program rule over a single module is well-defined:
+        # the program simply has one module (the fixture entry point).
+        yield from self.check_program([ctx])
+
+
 #: The process-wide rule registry, keyed by rule name.
 _RULES: Dict[str, Rule] = {}
 
@@ -134,7 +158,8 @@ def register(rule_cls: type) -> type:
 
 
 def all_rules() -> List[Rule]:
-    # Importing the rules module populates the registry on first use.
+    # Importing the rule modules populates the registry on first use.
+    from repro.analysis import concurrency as _concurrency  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
     return [_RULES[name] for name in sorted(_RULES)]
@@ -325,6 +350,35 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts) or path.stem
 
 
+def _run_rules(
+    contexts: Sequence[ModuleContext],
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Per-module rules on each context, program rules once over all,
+    then suppressions applied per module."""
+    findings: List[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if not isinstance(rule, ProgramRule):
+                findings.extend(rule.run(ctx))
+    program_scope = [
+        (rule, [ctx for ctx in contexts if rule.applies_to(ctx)])
+        for rule in rules if isinstance(rule, ProgramRule)
+    ]
+    for rule, scoped in program_scope:
+        if scoped:
+            findings.extend(rule.check_program(scoped))
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    kept: List[Finding] = []
+    for ctx in contexts:
+        kept.extend(apply_suppressions(ctx, by_path.pop(ctx.path, [])))
+    for stray in by_path.values():  # findings on unanalyzed paths
+        kept.extend(stray)
+    return sorted(kept)
+
+
 def analyze_source(
     source: str,
     *,
@@ -333,18 +387,36 @@ def analyze_source(
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
     """Analyze one source string (the test fixtures' entry point)."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        return [Finding(
-            path=path, line=error.lineno or 1, rule=RULE_PARSE,
-            message=f"syntax error: {error.msg}",
-        )]
-    ctx = ModuleContext(path, module, tree, source)
+    return analyze_sources([(module, path, source)], rules=rules)
+
+
+def analyze_sources(
+    named_sources: Sequence[Tuple[str, str, str]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze ``(module, path, source)`` triples as one program.
+
+    The multi-module entry point for interprocedural rule fixtures: a
+    test can hand the analyzer a whole miniature package and check
+    cross-module call-graph reasoning.
+    """
+    contexts: List[ModuleContext] = []
     findings: List[Finding] = []
-    for rule in (rules if rules is not None else all_rules()):
-        findings.extend(rule.run(ctx))
-    return sorted(apply_suppressions(ctx, findings))
+    for module, path, source in named_sources:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            findings.append(Finding(
+                path=path, line=error.lineno or 1, rule=RULE_PARSE,
+                message=f"syntax error: {error.msg}",
+            ))
+            continue
+        contexts.append(ModuleContext(path, module, tree, source))
+    findings.extend(_run_rules(
+        contexts, rules if rules is not None else all_rules()
+    ))
+    return sorted(findings)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -365,9 +437,12 @@ def analyze_paths(
 
     Reported paths are made relative to ``root`` (default: the current
     directory) when possible, and always use ``/`` separators, so JSON
-    output is stable across checkouts and platforms.
+    output is stable across checkouts and platforms.  All files are
+    parsed before any program rule runs, so interprocedural rules see
+    the complete call graph.
     """
     base = root if root is not None else Path.cwd()
+    named_sources: List[Tuple[str, str, str]] = []
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):
         try:
@@ -382,10 +457,8 @@ def analyze_paths(
                 message=f"unreadable source file: {error}",
             ))
             continue
-        findings.extend(analyze_source(
-            source,
-            module=module_name_for(file_path),
-            path=rel.as_posix(),
-            rules=rules,
-        ))
+        named_sources.append(
+            (module_name_for(file_path), rel.as_posix(), source)
+        )
+    findings.extend(analyze_sources(named_sources, rules=rules))
     return sorted(findings)

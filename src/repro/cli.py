@@ -16,7 +16,10 @@ Four commands cover the zero-to-aha path:
   catalog, validate an exported document, or run a small instrumented
   workload and dump its counters;
 * ``lint`` — run the :mod:`repro.analysis` invariant checker over the
-  source tree (``--strict`` is the CI gate).
+  source tree (``--strict`` is the CI gate);
+* ``sanitize`` — run the concurrent serving workload with the
+  :mod:`repro.sanitize` runtime armed and fail on any data-race or
+  lock-order report.
 
 ``serve`` and ``chaos`` accept ``--fault-schedule``/``--fault-seed`` to
 arm named failpoints (e.g.
@@ -189,7 +192,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import run_pager_chaos, run_system_chaos
+    from repro.faults.chaos import (
+        run_concurrent_chaos,
+        run_pager_chaos,
+        run_system_chaos,
+    )
 
     failures = 0
     for seed in args.seeds:
@@ -206,6 +213,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if args.layer in ("pager", "all"):
                 stats = run_pager_chaos(seed, steps=args.steps)
                 print(f"  pager:  {stats.as_dict()}")
+            if args.layer in ("concurrent", "all"):
+                res = run_concurrent_chaos(seed)
+                print(f"  concurrent: queries_ok={res['queries_ok']} "
+                      f"reports={len(res['reports'])}")
+                if res["client_errors"] or res["reports"]:
+                    failures += 1
+                    for line in res["client_errors"] + res["reports"]:
+                        print(f"  {line}", file=sys.stderr)
         except AssertionError as error:
             failures += 1
             print(f"  INVARIANT VIOLATED: {error}", file=sys.stderr)
@@ -261,6 +276,35 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
 
     return run(args)
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Armed concurrency stress: exit non-zero on any sanitizer report."""
+    from repro.faults.chaos import run_concurrent_chaos
+
+    failures = 0
+    for seed in args.seeds:
+        print(f"== sanitize seed {seed} ==")
+        result = run_concurrent_chaos(
+            seed,
+            clients=args.clients,
+            queries_per_client=args.queries,
+            ingest_blocks=args.blocks,
+            armed=not args.disarmed,
+        )
+        print(f"  queries_ok={result['queries_ok']} "
+              f"reports={len(result['reports'])}")
+        for error in result["client_errors"]:
+            failures += 1
+            print(f"  CLIENT ERROR: {error}", file=sys.stderr)
+        for report in result["reports"]:
+            failures += 1
+            print(report, file=sys.stderr)
+    if failures:
+        print(f"{failures} problem(s) found", file=sys.stderr)
+        return 1
+    print("sanitizer clean: no races, no lock-order inversions")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -335,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--steps", type=int, default=200,
                        help="steps per seed")
     chaos.add_argument("--layer", default="all",
-                       choices=["system", "pager", "all"],
+                       choices=["system", "pager", "concurrent", "all"],
                        help="which harness to run")
     chaos.add_argument("--no-rpc", action="store_true",
                        help="skip the RPC transport in system chaos")
@@ -381,13 +425,37 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run the repro.analysis rules (vfs-boundary, crash-hygiene, "
             "proof-determinism, failpoint-names, obs-naming, "
-            "typed-errors) over the source tree."
+            "typed-errors, lock-order, guarded-by) over the source tree."
         ),
     )
     from repro.analysis.cli import configure_parser as _configure_lint
 
     _configure_lint(lint)
     lint.set_defaults(handler=cmd_lint)
+
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="run the armed concurrency sanitizer stress workload",
+        description=(
+            "Serve a live-ingesting ISP to concurrent RPC clients with "
+            "the repro.sanitize runtime armed (Eraser-style lock sets, "
+            "vector-clock happens-before, lock-order graph); any "
+            "data-race or lock-order report fails the run."
+        ),
+    )
+    sanitize.add_argument("--seeds", type=int, nargs="+", default=[1],
+                          help="workload seeds to run (default: 1)")
+    sanitize.add_argument("--clients", type=int, default=4,
+                          help="concurrent query clients")
+    sanitize.add_argument("--queries", type=int, default=6,
+                          help="queries per client")
+    sanitize.add_argument("--blocks", type=int, default=6,
+                          help="blocks ingested concurrently")
+    sanitize.add_argument("--disarmed", action="store_true",
+                          help="run the same workload without the "
+                               "sanitizer (overhead/determinism "
+                               "comparisons)")
+    sanitize.set_defaults(handler=cmd_sanitize)
     return parser
 
 

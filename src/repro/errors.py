@@ -88,3 +88,8 @@ class RpcConnectionError(RpcError):
 
 class RpcTimeoutError(RpcError):
     """An RPC did not complete within its per-request timeout."""
+
+
+class SanitizerError(ReproError):
+    """The runtime concurrency sanitizer accumulated reports (data races
+    or lock-order inversions) that the caller asserted could not occur."""

@@ -1,6 +1,6 @@
 """Randomized chaos/recovery harness.
 
-Two harnesses exercise the failure model end to end:
+Three harnesses exercise the failure model end to end:
 
 * :func:`run_system_chaos` — drives a full five-party
   :class:`~repro.core.system.V2FSSystem` whose ISP stores its ADS in a
@@ -17,6 +17,17 @@ Two harnesses exercise the failure model end to end:
   - after every crash + reopen, the recovered ISP serves precisely the
     last *fully published* certificate root: never a stale one, never a
     root whose nodes did not reach disk.
+
+* :func:`run_concurrent_chaos` — the *concurrency* layer: N client
+  threads query a live ISP over the real RPC loopback while an ingest
+  thread publishes blocks through ``sync_update`` (the paper's
+  Fig. 13b interference experiment as a correctness test, not a
+  benchmark).  No failpoints are armed — the adversary here is the
+  thread scheduler.  Run with the :mod:`repro.sanitize` runtime armed
+  it must produce **zero** race/lock-order reports; run disarmed it
+  must produce the **same final query results** (ingestion is a
+  deterministic function of the seed, so the end state is
+  interleaving-independent).
 
 * :func:`run_pager_chaos` — hammers one :class:`~repro.db.pager.Pager`
   + B+Tree over the :class:`~repro.faults.shadowfs.ShadowFilesystem`,
@@ -44,14 +55,23 @@ import logging
 import os
 import random
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError, StorageError, TornPageError
+from repro.errors import (
+    CertificateError,
+    NetworkError,
+    ReproError,
+    StorageError,
+    TornPageError,
+)
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault, SimulatedCrash
 from repro.faults.shadowfs import ShadowFilesystem
 from repro.obs import metrics as obs
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanThread
 
 logger = logging.getLogger("repro.faults")
 
@@ -458,6 +478,156 @@ def run_system_chaos(
         txs_per_block=txs_per_block,
     )
     return chaos.run(steps)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent chaos (the sanitizer's stress workload)
+# ---------------------------------------------------------------------------
+
+
+def _query_with_retries(client, sql: str, deadline_s: float = 20.0):
+    """Retry around the inherent certificate race with live ingestion.
+
+    A client that validated certificate version N can lose the race to
+    a concurrent publish; the ISP answers ``open_session`` with a typed
+    "superseded" error.  Transient by construction: refetch and retry
+    until the deadline.
+    """
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            return client.query(sql)
+        except (CertificateError, NetworkError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.02)
+
+
+def _build_durable_system(seed: int, txs_per_block: int,
+                          store_path: str):
+    """A V2FSSystem whose ISP persists its ADS on disk (one bootstrap
+    block per chain already ingested)."""
+    from repro.core.system import SystemConfig, V2FSSystem
+    from repro.isp.server import IspServer
+    from repro.merkle.ads import V2fsAds
+    from repro.merkle.persistent_store import PersistentNodeStore
+
+    system = V2FSSystem(SystemConfig(seed=seed, txs_per_block=txs_per_block))
+    bootstrap = system.update_reports[0]
+    durable = IspServer()
+    durable.ads = V2fsAds(PersistentNodeStore(store_path))
+    durable.root = durable.ads.root
+    durable.sync_update(
+        bootstrap.writes, bootstrap.new_sizes, bootstrap.certificate
+    )
+    system.isp = durable
+    system.advance_all(1)
+    return system
+
+
+def run_concurrent_chaos(
+    seed: int,
+    *,
+    clients: int = 4,
+    queries_per_client: int = 6,
+    ingest_blocks: int = 6,
+    armed: bool = True,
+    txs_per_block: int = 2,
+    store_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """N querying threads vs. a live-ingesting ISP over real sockets.
+
+    Arms the :mod:`repro.sanitize` runtime when ``armed`` (SanLocks
+    feed the lock-order graph, SanThreads carry fork/join clocks, and
+    the tracked shared structures — session table, page map, metrics
+    instrument map, connection list — go through the Eraser tracker).
+    Returns a result dict; the harness itself asserts nothing, so
+    callers can compare armed and disarmed runs::
+
+        {"armed": ..., "final_rows": {sql: rows}, "queries_ok": int,
+         "client_errors": [str], "reports": [rendered report]}
+
+    ``final_rows`` is captured after every thread has joined, with the
+    same block count ingested on the same system seed, so two runs of
+    the same ``seed`` must agree exactly — any divergence means an
+    interleaving corrupted state.
+    """
+    if store_path is None:
+        store_path = os.path.join(
+            tempfile.mkdtemp(prefix="v2fs-sanitize-"), "ads.log"
+        )
+    san.reset()
+    if armed:
+        san.arm()
+    result: Dict[str, Any] = {
+        "armed": armed, "final_rows": {}, "queries_ok": 0,
+        "client_errors": [], "reports": [],
+    }
+    try:
+        from repro.rpc.client import connect_client
+        from repro.rpc.server import serve_system
+
+        rng = random.Random(seed)
+        system = _build_durable_system(seed, txs_per_block, store_path)
+        pool = SystemChaos.QUERY_POOL
+        # Pre-drawn so the block sequence is a function of the seed
+        # alone, not of how threads interleave with the rng.
+        chain_plan = [
+            rng.choice(sorted(system.chains)) for _ in range(ingest_blocks)
+        ]
+        server = serve_system(system)
+        # Per-thread slots (and list.append, atomic under the GIL) —
+        # the harness itself must not need a lock.
+        errors: List[str] = []
+        ok = [0] * clients
+
+        def ingest_loop() -> None:
+            for chain_id in chain_plan:
+                system.advance_block(chain_id)
+                time.sleep(0.005)  # let queries land between publishes
+
+        def client_loop(slot: int) -> None:
+            host, port = server.address
+            client = connect_client(host, port)
+            try:
+                for index in range(queries_per_client):
+                    sql = pool[(slot + index) % len(pool)]
+                    _query_with_retries(client, sql)
+                    ok[slot] += 1
+            except ReproError as error:
+                errors.append(
+                    f"client {slot}: {type(error).__name__}: {error}"
+                )
+            finally:
+                client.isp.close()
+
+        with server:
+            threads = [
+                SanThread(target=ingest_loop, name="chaos-ingest")
+            ] + [
+                SanThread(target=client_loop, args=(slot,),
+                          name=f"chaos-client-{slot}")
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Every thread joined: the end state is now deterministic.
+            host, port = server.address
+            sweep = connect_client(host, port)
+            try:
+                for sql in pool:
+                    result["final_rows"][sql] = sweep.query(sql).rows
+            finally:
+                sweep.isp.close()
+        result["queries_ok"] = sum(ok)
+        result["client_errors"] = errors
+        system.isp.ads.store.close()
+    finally:
+        result["reports"] = [report.render() for report in san.reports()]
+        san.reset()
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,8 @@ from repro.merkle import page_tree
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
 from repro.obs import metrics as obs
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanLock
 
 logger = logging.getLogger("repro.isp")
 
@@ -60,7 +62,15 @@ class IspServer:
         self.ads = V2fsAds()
         self.root = self.ads.root
         self.certificate: Optional[V2fsCertificate] = None
-        self._sessions: Dict[int, IspSession] = {}
+        # Guards *mutation and iteration* of the session table.  Reads
+        # by session id stay lock-free on purpose (``writes`` mode): a
+        # single-key dict lookup is atomic under the GIL, sessions are
+        # pinned to their snapshot root at open (MVCC), and the worst
+        # a stale lookup can observe is a just-finalized id — which is
+        # the same NetworkError the client gets for any unknown
+        # session.  See DESIGN.md "Concurrency model".
+        self._lock = SanLock("isp.sessions")
+        self._sessions: Dict[int, IspSession] = {}  # repro: guarded-by(_lock, writes)
         self._session_ids = itertools.count(1)
         self._previous_root: Optional[Digest] = None
 
@@ -118,7 +128,11 @@ class IspServer:
         live = [self.root]
         if self._previous_root is not None:
             live.append(self._previous_root)
-        live.extend(s.root for s in self._sessions.values())
+        # Iterating the session table is not a single atomic lookup —
+        # a handler thread inserting mid-iteration would blow up with
+        # "dict changed size" — so the sweep runs under the lock.
+        with self._lock:
+            live.extend(s.root for s in self._sessions.values())
         try:
             self.ads.prune(live)
         except (StorageError, OSError):
@@ -160,7 +174,12 @@ class IspServer:
         session = IspSession(
             next(self._session_ids), self.ads, self.root, certificate
         )
-        self._sessions[session.session_id] = session
+        with self._lock:
+            if san.ACTIVE:
+                san.track(self, "_sessions", guard="isp.sessions",
+                          writes_only=True)
+                san.track_write(self, "_sessions")
+            self._sessions[session.session_id] = session
         if obs.ACTIVE:
             obs.inc("isp.session.open")
         return session.session_id
@@ -229,7 +248,10 @@ class IspServer:
 
     def finalize_session(self, session_id: int) -> AdsProof:
         """Build and return the consolidated VO; closes the session."""
-        session = self._sessions.pop(session_id, None)
+        with self._lock:
+            if san.ACTIVE:
+                san.track_write(self, "_sessions")
+            session = self._sessions.pop(session_id, None)
         if session is None:
             # E.g. a client retrying a finalize whose first reply was
             # lost in transit: the session is already closed.

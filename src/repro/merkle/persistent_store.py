@@ -34,6 +34,8 @@ from repro.merkle.node_store import (
     PairNode,
 )
 from repro.obs import metrics as obs
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanLock
 
 _KIND_PAIR = 1
 _KIND_PAGE = 2
@@ -151,8 +153,16 @@ class PersistentNodeStore(NodeStore):
 
     def __init__(self, path: str, cache_nodes: int = 4096) -> None:
         self._path = path
-        self._offsets: Dict[Digest, int] = {}
-        self._cache: Dict[Digest, Node] = {}
+        # One reentrant lock serializes every log/index operation: the
+        # shared file handle is seek-then-read, and prune() swaps both
+        # the handle and the offset map out from under concurrent
+        # readers, so RPC handler threads reading pages while
+        # sync_update compacts would otherwise read from a closed or
+        # repositioned file.  Reentrant because reachable()/prune()
+        # call get() back under the same lock.
+        self._lock = SanLock("store.pages", reentrant=True)
+        self._offsets: Dict[Digest, int] = {}  # repro: guarded-by(_lock)
+        self._cache: Dict[Digest, Node] = {}  # repro: guarded-by(_lock)
         self._cache_limit = cache_nodes
         stale_temp = path + ".compact"
         if os.path.exists(stale_temp):
@@ -162,14 +172,19 @@ class PersistentNodeStore(NodeStore):
             )
             os.remove(stale_temp)
         mode = "r+b" if os.path.exists(path) else "w+b"
-        self._log = open(path, mode)
-        self._scan()
-        # Everything that survived the scan is on disk already.
-        self._durable_size = self._end_offset()
+        with self._lock:
+            if san.ACTIVE:
+                san.track(self, "_offsets", guard="store.pages")
+            self._log = open(path, mode)
+            self._scan()
+            # Everything that survived the scan is on disk already.
+            self._durable_size = self._end_offset()
 
     # -- log management ---------------------------------------------------
 
     def _scan(self) -> None:
+        if san.ACTIVE:
+            san.track_write(self, "_offsets")
         self._log.seek(0, os.SEEK_END)
         end = self._log.tell()
         self._log.seek(0)
@@ -205,15 +220,17 @@ class PersistentNodeStore(NodeStore):
             faults.fire("store.sync.pre", path=self._path)
         if obs.ACTIVE:
             obs.inc("store.sync")
-        self._log.flush()
-        os.fsync(self._log.fileno())
-        self._durable_size = self._end_offset()
+        with self._lock:
+            self._log.flush()
+            os.fsync(self._log.fileno())
+            self._durable_size = self._end_offset()
 
     def close(self) -> None:
-        if not self._log.closed:
-            if self._log.writable():
-                self.sync()
-            self._log.close()
+        with self._lock:
+            if not self._log.closed:
+                if self._log.writable():
+                    self.sync()
+                self._log.close()
 
     def simulate_crash(self, rng: Optional[random.Random] = None) -> int:
         """Model power loss: abandon every byte past the durable boundary.
@@ -225,21 +242,22 @@ class PersistentNodeStore(NodeStore):
         with a fresh :class:`PersistentNodeStore` to model the restart.
         Returns the surviving file size.
         """
-        if self._log.closed:
-            # Crashed mid-compaction after the handle was swapped: the
-            # on-disk file is whatever the compaction left behind.
-            return os.path.getsize(self._path)
-        self._log.flush()
-        end = self._end_offset()
-        keep = self._durable_size
-        dirty = end - keep
-        if rng is not None and dirty > 0:
-            keep += rng.randrange(dirty + 1)
-        self._log.truncate(keep)
-        self._log.flush()
-        os.fsync(self._log.fileno())
-        self._log.close()
-        return keep
+        with self._lock:
+            if self._log.closed:
+                # Crashed mid-compaction after the handle was swapped:
+                # the on-disk file is whatever the compaction left.
+                return os.path.getsize(self._path)
+            self._log.flush()
+            end = self._end_offset()
+            keep = self._durable_size
+            dirty = end - keep
+            if rng is not None and dirty > 0:
+                keep += rng.randrange(dirty + 1)
+            self._log.truncate(keep)
+            self._log.flush()
+            os.fsync(self._log.fileno())
+            self._log.close()
+            return keep
 
     def __enter__(self) -> "PersistentNodeStore":
         return self
@@ -250,68 +268,76 @@ class PersistentNodeStore(NodeStore):
     # -- NodeStore interface ------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._offsets)
+        with self._lock:
+            return len(self._offsets)
 
     def __contains__(self, digest: Digest) -> bool:
-        return digest in self._offsets
+        with self._lock:
+            return digest in self._offsets
 
     def put(self, node: Node) -> Digest:
         digest = node.digest()
-        if digest in self._offsets:
-            return digest
-        if obs.ACTIVE:
-            obs.inc("store.put")
-        kind, payload = _encode_node(node)
-        if faults.ACTIVE:
-            faults.fire("store.append.pre", digest=digest)
-            payload = faults.mangle("store.append.payload", payload)
-        position = self._end_offset()
-        try:
-            self._log.write(_HEADER.pack(digest, kind, len(payload)))
+        with self._lock:
+            if digest in self._offsets:
+                return digest
+            if obs.ACTIVE:
+                obs.inc("store.put")
+            kind, payload = _encode_node(node)
             if faults.ACTIVE:
-                faults.fire("store.append.mid", digest=digest)
-            self._log.write(payload)
-            self._log.flush()
-        except SimulatedCrash:
-            raise  # the "process" died mid-append: leave the torn tail
-        except (OSError, ValueError, InjectedFault):
-            # The failures this block can actually produce: an I/O
-            # error, a write on a closed handle, or an injected stand-in
-            # for either (the store.append.* failpoints).  Keep the log
-            # well-formed for the still-running process: drop the
-            # partial record before surfacing the error.
+                faults.fire("store.append.pre", digest=digest)
+                payload = faults.mangle("store.append.payload", payload)
+            position = self._end_offset()
             try:
-                self._log.truncate(position)
+                self._log.write(_HEADER.pack(digest, kind, len(payload)))
+                if faults.ACTIVE:
+                    faults.fire("store.append.mid", digest=digest)
+                self._log.write(payload)
                 self._log.flush()
-            except OSError:  # pragma: no cover - double fault
-                pass
-            raise
-        self._offsets[digest] = position
-        self._remember(digest, node)
-        return digest
+            except SimulatedCrash:
+                raise  # the "process" died mid-append: torn tail stays
+            except (OSError, ValueError, InjectedFault):
+                # The failures this block can actually produce: an I/O
+                # error, a write on a closed handle, or an injected
+                # stand-in for either (the store.append.* failpoints).
+                # Keep the log well-formed for the still-running
+                # process: drop the partial record before surfacing.
+                try:
+                    self._log.truncate(position)
+                    self._log.flush()
+                except OSError:  # pragma: no cover - double fault
+                    pass
+                raise
+            if san.ACTIVE:
+                san.track_write(self, "_offsets")
+            self._offsets[digest] = position
+            self._remember(digest, node)
+            return digest
 
     def get(self, digest: Digest) -> Node:
         if obs.ACTIVE:
             obs.inc("store.get")
-        node = self._cache.get(digest)
-        if node is not None:
+        with self._lock:
+            node = self._cache.get(digest)
+            if node is not None:
+                return node
+            if san.ACTIVE:
+                san.track_read(self, "_offsets")
+            offset = self._offsets.get(digest)
+            if offset is None:
+                raise StorageError(
+                    f"unknown node digest {digest.hex()[:16]}…"
+                )
+            self._log.seek(offset)
+            header = self._log.read(_HEADER.size)
+            _, kind, length = _HEADER.unpack(header)
+            node = _decode_node(kind, self._log.read(length))
+            if node.digest() != digest:
+                raise StorageError(
+                    f"corrupt node record for digest {digest.hex()[:16]}… "
+                    "(content does not hash to its key)"
+                )
+            self._remember(digest, node)
             return node
-        offset = self._offsets.get(digest)
-        if offset is None:
-            raise StorageError(
-                f"unknown node digest {digest.hex()[:16]}…"
-            )
-        self._log.seek(offset)
-        header = self._log.read(_HEADER.size)
-        _, kind, length = _HEADER.unpack(header)
-        node = _decode_node(kind, self._log.read(length))
-        if node.digest() != digest:
-            raise StorageError(
-                f"corrupt node record for digest {digest.hex()[:16]}… "
-                "(content does not hash to its key)"
-            )
-        self._remember(digest, node)
-        return node
 
     def _remember(self, digest: Digest, node: Node) -> None:
         if len(self._cache) >= self._cache_limit:
@@ -319,6 +345,10 @@ class PersistentNodeStore(NodeStore):
         self._cache[digest] = node
 
     def reachable(self, roots: Iterable[Digest]) -> Set[Digest]:
+        with self._lock:
+            return self._reachable(roots)
+
+    def _reachable(self, roots: Iterable[Digest]) -> Set[Digest]:
         seen: Set[Digest] = set()
         stack = [r for r in roots if r in self._offsets]
         while stack:
@@ -338,35 +368,43 @@ class PersistentNodeStore(NodeStore):
         return seen
 
     def prune(self, live_roots: Iterable[Digest]) -> int:
-        """Compact the log, keeping only nodes reachable from the roots."""
-        # reachable() may include structural EMPTY-padding digests that
-        # are never stored; compaction keeps only stored live nodes.
-        live = self.reachable(live_roots) & set(self._offsets)
-        dead = len(self._offsets) - len(live)
-        if dead == 0:
-            return 0
-        if obs.ACTIVE:
-            obs.inc("store.compact")
-        temp_path = self._path + ".compact"
-        with open(temp_path, "wb") as out:
-            offsets: Dict[Digest, int] = {}
-            for digest in live:
-                node = self.get(digest)
-                kind, payload = _encode_node(node)
-                offsets[digest] = out.tell()
-                out.write(_HEADER.pack(digest, kind, len(payload)))
-                out.write(payload)
-            out.flush()
-            os.fsync(out.fileno())
-        if faults.ACTIVE:
-            faults.fire("store.compact.pre_replace", path=self._path)
-        self._log.close()
-        os.replace(temp_path, self._path)
-        if faults.ACTIVE:
-            faults.fire("store.compact.post_replace", path=self._path)
-        _fsync_directory(self._path)
-        self._log = open(self._path, "r+b")
-        self._offsets = offsets
-        self._cache.clear()
-        self._durable_size = self._end_offset()
-        return dead
+        """Compact the log, keeping only nodes reachable from the roots.
+
+        Runs entirely under the store lock: handler threads serving
+        ``get`` block for the duration instead of reading through a
+        handle that is about to be closed and swapped.
+        """
+        with self._lock:
+            # reachable() may include structural EMPTY-padding digests
+            # never stored; compaction keeps only stored live nodes.
+            live = self._reachable(live_roots) & set(self._offsets)
+            dead = len(self._offsets) - len(live)
+            if dead == 0:
+                return 0
+            if obs.ACTIVE:
+                obs.inc("store.compact")
+            temp_path = self._path + ".compact"
+            with open(temp_path, "wb") as out:
+                offsets: Dict[Digest, int] = {}
+                for digest in live:
+                    node = self.get(digest)
+                    kind, payload = _encode_node(node)
+                    offsets[digest] = out.tell()
+                    out.write(_HEADER.pack(digest, kind, len(payload)))
+                    out.write(payload)
+                out.flush()
+                os.fsync(out.fileno())
+            if faults.ACTIVE:
+                faults.fire("store.compact.pre_replace", path=self._path)
+            self._log.close()
+            os.replace(temp_path, self._path)
+            if faults.ACTIVE:
+                faults.fire("store.compact.post_replace", path=self._path)
+            _fsync_directory(self._path)
+            self._log = open(self._path, "r+b")
+            if san.ACTIVE:
+                san.track_write(self, "_offsets")
+            self._offsets = offsets
+            self._cache.clear()
+            self._durable_size = self._end_offset()
+            return dead

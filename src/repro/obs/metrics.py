@@ -22,9 +22,15 @@ Usage mirrors the failpoint registry::
 Hot paths guard with ``if obs.ACTIVE:`` exactly like ``faults.ACTIVE``;
 with the registry disabled every entry point returns before allocating
 anything, so instrumentation left in place costs one attribute load and
-one branch.  Increments are not locked: CPython's GIL makes the races
-benign (a lost increment under heavy threading, never a crash), and the
-experiment harness is single-threaded where exact counts matter.
+one branch.  Counter and histogram updates take a per-instrument
+``threading.Lock``: RPC handler threads and ``sync_update`` ingestion
+record into the same instruments concurrently (Fig. 13b), and a
+read-modify-write under the GIL can still lose increments between
+bytecodes.  The instrument *map* is guarded by the registry's
+:class:`~repro.sanitize.runtime.SanLock` for writes only — steady-state
+lookups are lock-free dict reads, which is safe because instruments are
+created once and never replaced (see the ``guarded-by`` annotation the
+static analyzer enforces).
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import catalog
 from repro.obs.trace import TraceBuffer
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanLock
 
 #: Fast module-level gate mirroring the process-wide registry's enabled
 #: flag (kept in sync by :func:`enable`/:func:`disable`).
@@ -68,19 +76,28 @@ def _check_declared(name: str) -> None:
 class Counter:
     """A monotonically increasing count (float-valued for seconds)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = Lock()
 
     def inc(self, value: float = 1) -> None:
-        self.value += value
+        # += on a float attribute is LOAD/ADD/STORE — three bytecodes a
+        # preempting handler thread can interleave with, losing counts.
+        with self._lock:
+            self.value += value
 
 
 class Gauge:
-    """A last-value-wins measurement."""
+    """A last-value-wins measurement.
+
+    ``set`` is a single attribute store (one bytecode, atomic under the
+    GIL) and last-value-wins semantics make interleavings benign, so
+    gauges carry no lock.
+    """
 
     __slots__ = ("name", "value")
     kind = "gauge"
@@ -102,7 +119,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "boundaries", "buckets", "overflow",
-                 "count", "total")
+                 "count", "total", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str,
@@ -115,15 +132,30 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.total: float = 0.0
+        self._lock = Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        for i, bound in enumerate(self.boundaries):
-            if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.overflow += 1
+        # The lock keeps count/total/buckets mutually consistent; the
+        # bucket-sum == count invariant is what validate_payload checks.
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for i, bound in enumerate(self.boundaries):
+                if value <= bound:
+                    self.buckets[i] += 1
+                    return
+            self.overflow += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A mutually consistent copy for export."""
+        with self._lock:
+            return {
+                "boundaries": list(self.boundaries),
+                "buckets": list(self.buckets),
+                "overflow": self.overflow,
+                "count": self.count,
+                "total": self.total,
+            }
 
 
 class _Timed:
@@ -165,8 +197,8 @@ class MetricsRegistry:
                  trace_capacity: int = 4096) -> None:
         self.enabled = enabled
         self.trace = TraceBuffer(trace_capacity)
-        self._instruments: Dict[str, Any] = {}
-        self._lock = Lock()
+        self._lock = SanLock("obs.registry")
+        self._instruments: Dict[str, Any] = {}  # repro: guarded-by(_lock, writes)
 
     # -- instrument creation (locked; lookups are lock-free) -----------
 
@@ -178,6 +210,10 @@ class MetricsRegistry:
                 if instrument is None:
                     _check_declared(name)
                     instrument = cls(name, *args)
+                    if san.ACTIVE:
+                        san.track(self, "_instruments",
+                                  guard="obs.registry", writes_only=True)
+                        san.track_write(self, "_instruments")
                     self._instruments[name] = instrument
         if instrument.kind is not cls.kind:
             raise ValueError(
@@ -208,7 +244,7 @@ class MetricsRegistry:
         if self.enabled:
             instrument = self._instruments.get(name)
             if instrument is not None and instrument.kind == "counter":
-                instrument.value += value
+                instrument.inc(value)
             else:
                 self.counter(name).inc(value)
 
@@ -271,6 +307,8 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Zero every instrument and drop buffered trace events."""
         with self._lock:
+            if san.ACTIVE:
+                san.track_write(self, "_instruments")
             self._instruments.clear()
         self.trace.clear()
         self.trace.emitted = 0
@@ -288,13 +326,7 @@ class MetricsRegistry:
             elif instrument.kind == "gauge":
                 gauges[name] = instrument.value
             else:
-                histograms[name] = {
-                    "boundaries": list(instrument.boundaries),
-                    "buckets": list(instrument.buckets),
-                    "overflow": instrument.overflow,
-                    "count": instrument.count,
-                    "total": instrument.total,
-                }
+                histograms[name] = instrument.snapshot()
         return {
             "schema": SCHEMA,
             "enabled": self.enabled,

@@ -35,6 +35,8 @@ from repro.faults.registry import InjectedFault
 from repro.isp.server import IspServer
 from repro.obs import metrics as obs
 from repro.rpc import codec
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanLock, SanThread
 from repro.sgx.attestation import AttestationReport
 
 logger = logging.getLogger("repro.rpc")
@@ -77,14 +79,15 @@ class RpcIspServer:
         #: Guards every operation on the wrapped ISP.  Updates applied
         #: outside the RPC path (CI ingestion) must hold it too — see
         #: :func:`serve_system`.
-        self.lock = threading.RLock()
+        self.lock = SanLock("rpc.server", reentrant=True)
         self._host = host
         self._port = port
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._running = threading.Event()
-        self._conn_lock = threading.Lock()
-        self._connections: List[socket.socket] = []
+        self._conn_lock = SanLock("rpc.conns")
+        self._connections: List[socket.socket] = []  # repro: guarded-by(_conn_lock)
+        self._threads: List[threading.Thread] = []  # repro: guarded-by(_conn_lock)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -100,7 +103,7 @@ class RpcIspServer:
         listener.listen(64)
         self._listener = listener
         self._running.set()
-        self._accept_thread = threading.Thread(
+        self._accept_thread = SanThread(
             target=self._accept_loop, name="rpc-isp-accept", daemon=True
         )
         self._accept_thread.start()
@@ -114,16 +117,41 @@ class RpcIspServer:
         addr = self._listener.getsockname()
         return addr[0], addr[1]
 
+    #: How long :meth:`stop` waits for each handler thread.  A handler
+    #: blocked past this (e.g. wedged in a failpoint stall) is reported
+    #: and abandoned — it is a daemon thread, so it cannot outlive the
+    #: process — rather than wedging shutdown.
+    JOIN_TIMEOUT_S = 2.0
+
     def stop(self) -> None:
-        """Stop accepting, close every connection, join the accept loop."""
+        """Stop accepting, close every connection, join every thread.
+
+        A mid-request stop used to orphan the connection's handler
+        thread (and, if the accept loop had just handed the socket
+        over, leak the socket itself): the thread list and connection
+        list are swapped out under ``_conn_lock``, every socket is shut
+        down so blocked ``recv`` calls return, and each handler is
+        joined with :data:`JOIN_TIMEOUT_S`.
+        """
         self._running.clear()
         if self._listener is not None:
+            # shutdown() before close(): closing the fd does not wake a
+            # thread blocked in accept(2); shutting the socket down
+            # does (accept returns EINVAL), so the accept loop exits
+            # promptly instead of wedging until the join timeout.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
         with self._conn_lock:
+            if san.ACTIVE:
+                san.track_write(self, "_connections")
             connections, self._connections = self._connections, []
+            threads, self._threads = self._threads, []
         for conn in connections:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
@@ -133,6 +161,13 @@ class RpcIspServer:
                 conn.close()
             except OSError:
                 pass
+        for thread in threads:
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+            if thread.is_alive():  # pragma: no cover - wedged handler
+                logger.warning(
+                    "handler thread %s did not exit within %.1fs; "
+                    "abandoning it", thread.name, self.JOIN_TIMEOUT_S,
+                )
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
@@ -155,14 +190,22 @@ class RpcIspServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 break  # listener closed by stop()
-            with self._conn_lock:
-                self._connections.append(conn)
-            thread = threading.Thread(
+            thread = SanThread(
                 target=self._client_loop,
                 args=(conn,),
                 name="rpc-isp-conn",
                 daemon=True,
             )
+            with self._conn_lock:
+                if san.ACTIVE:
+                    san.track_write(self, "_connections")
+                self._connections.append(conn)
+                # Reap finished handlers so a long-lived server does
+                # not accumulate dead Thread objects.
+                self._threads = [
+                    t for t in self._threads if t.is_alive()
+                ]
+                self._threads.append(thread)
             thread.start()
 
     def _client_loop(self, conn: socket.socket) -> None:
@@ -188,6 +231,8 @@ class RpcIspServer:
                     return
         finally:
             with self._conn_lock:
+                if san.ACTIVE:
+                    san.track_write(self, "_connections")
                 if conn in self._connections:
                     self._connections.remove(conn)
             try:

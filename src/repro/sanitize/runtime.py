@@ -1,0 +1,588 @@
+"""Runtime race / deadlock sanitizer for the threaded serving path.
+
+The static side (:mod:`repro.analysis.concurrency`) proves lock
+discipline over the call graph; this module watches the same discipline
+*live*, Eraser-style, while the concurrent stress suite hammers the
+threaded serving path.  Three cooperating pieces:
+
+* :class:`SanLock` — an instrumented mutex.  While the sanitizer is
+  armed it maintains a per-thread held-lock stack, a global
+  lock-*order* graph (an edge ``A -> B`` whenever ``B`` is acquired
+  with ``A`` held), and happens-before edges from each release to the
+  next acquire of the same lock instance.  An acquisition that closes a
+  cycle in the order graph is reported as a potential deadlock — with
+  the stack of the current acquisition *and* the remembered stack of
+  the reversed edge — without actually deadlocking the test.
+* :class:`SanThread` — a ``threading.Thread`` that, while armed,
+  carries the parent's vector clock into the child at ``start`` and
+  merges the child's final clock back at ``join``, so fork/join
+  patterns never look like races.
+* The **lock-set tracker** — :func:`track_read` / :func:`track_write`
+  hooks compiled into the hot shared structures (ISP session table,
+  persistent-store page map, metrics instrument map, RPC connection
+  list).  For every tracked field it remembers the last write and the
+  last read per thread, each with the held lock-set and a vector-clock
+  snapshot.  A pair of accesses — at least one a write, from different
+  threads, not ordered by happens-before, with disjoint lock-sets — is
+  a data race, reported with both stacks.  A per-variable candidate
+  lock-set (classic Eraser ``C(v)``) is intersected across unordered
+  accesses as well, so a protecting lock that quietly stops being held
+  is caught even when the racy interleaving never materializes.
+
+Everything is **zero-cost when disarmed**: instrumented sites guard
+with ``if san.ACTIVE:`` (one module-attribute load and a branch, the
+same pattern as :mod:`repro.faults.registry` and
+:mod:`repro.obs.metrics`), and a disarmed :class:`SanLock` delegates
+straight to the underlying :class:`threading.Lock`.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SanitizerError
+
+#: Fast-path flag read by instrumented call sites (``if san.ACTIVE:``).
+#: True exactly while :func:`arm` is in effect.
+ACTIVE = False
+
+#: Frames kept per captured stack (innermost last, sanitizer frames
+#: trimmed).  Stacks are captured only while armed and only at
+#: bookkeeping points, never on the disarmed path.
+STACK_DEPTH = 12
+
+#: One internal mutex guards every sanitizer structure.  It is a plain
+#: ``threading.Lock`` (never a SanLock: the sanitizer does not watch
+#: itself) and is always the innermost lock — no sanitizer code calls
+#: out while holding it — so it can introduce no ordering cycle.
+_state_lock = threading.Lock()
+
+
+def _capture_stack() -> Tuple[str, ...]:
+    """A compact, trimmed stack for reports (outermost first)."""
+    frames = traceback.extract_stack()
+    trimmed = [
+        f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} "
+        f"in {frame.name}"
+        for frame in frames
+        if "repro/sanitize/runtime" not in frame.filename.replace("\\", "/")
+    ]
+    return tuple(trimmed[-STACK_DEPTH:])
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+class SanitizerReport:
+    """One race or lock-order finding, with every involved stack."""
+
+    KIND_RACE = "data-race"
+    KIND_LOCK_ORDER = "lock-order-inversion"
+
+    def __init__(self, kind: str, subject: str, detail: str,
+                 stacks: List[Tuple[str, Tuple[str, ...]]]) -> None:
+        self.kind = kind
+        #: What the report is about: a ``Class.field`` for races, a
+        #: ``A -> B -> A`` cycle rendering for inversions.
+        self.subject = subject
+        self.detail = detail
+        #: ``(label, frames)`` pairs — both sides of the conflict.
+        self.stacks = stacks
+
+    def render(self) -> str:
+        lines = [f"[{self.kind}] {self.subject}: {self.detail}"]
+        for label, frames in self.stacks:
+            lines.append(f"  {label}:")
+            lines.extend(f"    {frame}" for frame in frames)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizerReport({self.kind!r}, {self.subject!r})"
+
+
+_reports: List[SanitizerReport] = []
+#: Dedup keys so one hot site does not flood the report list.
+_reported_keys: Set[Tuple[str, str]] = set()
+
+
+def _report(kind: str, subject: str, detail: str,
+            stacks: List[Tuple[str, Tuple[str, ...]]]) -> None:
+    key = (kind, subject)
+    with _state_lock:
+        if key in _reported_keys:
+            return
+        _reported_keys.add(key)
+        _reports.append(SanitizerReport(kind, subject, detail, stacks))
+
+
+def reports() -> List[SanitizerReport]:
+    """Snapshot of every report accumulated since the last reset."""
+    with _state_lock:
+        return list(_reports)
+
+
+def assert_clean() -> None:
+    """Raise :class:`SanitizerError` rendering every report, if any."""
+    pending = reports()
+    if pending:
+        rendered = "\n\n".join(r.render() for r in pending)
+        raise SanitizerError(
+            f"{len(pending)} sanitizer report(s):\n{rendered}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Vector clocks and per-thread state
+# ----------------------------------------------------------------------
+
+Clock = Dict[int, int]
+
+
+class _ThreadState:
+    """Sanitizer view of one thread: vector clock + held SanLocks."""
+
+    __slots__ = ("tid", "clock", "held")
+
+    def __init__(self, tid: int, clock: Optional[Clock] = None) -> None:
+        self.tid = tid
+        self.clock: Clock = dict(clock) if clock else {}
+        self.clock.setdefault(tid, 1)
+        #: Acquisition-ordered stack of (SanLock, acquire-stack).
+        self.held: List[Tuple["SanLock", Tuple[str, ...]]] = []
+
+
+_threads: Dict[int, _ThreadState] = {}
+
+
+def _state(tid: Optional[int] = None) -> _ThreadState:
+    """The calling thread's state (created on first contact).
+
+    Callers hold :data:`_state_lock`.
+    """
+    if tid is None:
+        tid = threading.get_ident()
+    state = _threads.get(tid)
+    if state is None:
+        state = _ThreadState(tid)
+        _threads[tid] = state
+    return state
+
+
+def _merge_into(target: Clock, source: Clock) -> None:
+    for tid, tick in source.items():
+        if target.get(tid, 0) < tick:
+            target[tid] = tick
+
+
+def _happens_before(event: Tuple[int, int], clock: Clock) -> bool:
+    """Did the recorded event (tid, tick) happen-before ``clock``?"""
+    tid, tick = event
+    return clock.get(tid, 0) >= tick
+
+
+def _stamp(state: _ThreadState) -> Tuple[int, int]:
+    """Record an event on ``state``'s timeline; returns its (tid, tick)."""
+    tick = state.clock.get(state.tid, 0) + 1
+    state.clock[state.tid] = tick
+    return (state.tid, tick)
+
+
+# ----------------------------------------------------------------------
+# SanLock: the instrumented mutex
+# ----------------------------------------------------------------------
+
+#: Lock-order graph over lock *names*: edges[a] = {b: witness_stack}
+#: meaning b was acquired while a was held.  Name-level (not instance-
+#: level) so two store instances locked in opposite orders still count.
+_order_edges: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+
+
+def _path_exists(src: str, dst: str) -> bool:
+    """DFS reachability in the order graph (callers hold _state_lock)."""
+    stack, seen = [src], set()
+    while stack:
+        node = stack.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(_order_edges.get(node, ()))
+    return False
+
+
+def _witness_path(src: str, dst: str) -> List[str]:
+    """One concrete src -> ... -> dst path (callers hold _state_lock)."""
+    stack: List[Tuple[str, List[str]]] = [(src, [src])]
+    seen: Set[str] = set()
+    while stack:
+        node, path = stack.pop()
+        if node == dst:
+            return path
+        if node in seen:
+            continue
+        seen.add(node)
+        for succ in _order_edges.get(node, ()):
+            stack.append((succ, path + [succ]))
+    return [src, dst]  # pragma: no cover - only on racing graph edits
+
+
+class SanLock:
+    """A mutex that feeds the sanitizer while armed.
+
+    Disarmed, every entry point delegates to the wrapped
+    ``threading.Lock`` / ``RLock`` after one :data:`ACTIVE` check.  The
+    ``name`` identifies the lock *class* in reports and in the order
+    graph (e.g. ``"isp.sessions"``); instances of the same name share
+    ordering constraints, exactly like the static rule's lock ids.
+    """
+
+    __slots__ = ("name", "_inner", "_reentrant", "_release_clock")
+
+    def __init__(self, name: str, reentrant: bool = False) -> None:
+        self.name = name
+        self._reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        #: Vector clock at the last release (happens-before edge
+        #: release -> next acquire of this same instance).
+        self._release_clock: Optional[Clock] = None
+
+    def raw(self) -> Any:
+        """The wrapped stdlib lock (benchmark baselines swap this in)."""
+        return self._inner
+
+    # -- armed bookkeeping --------------------------------------------
+
+    def _note_acquired(self) -> None:
+        stack = _capture_stack()
+        with _state_lock:
+            state = _state()
+            held_names = [lock.name for lock, _ in state.held]
+            if not (self._reentrant and self.name in held_names):
+                for prior, prior_stack in state.held:
+                    if prior.name == self.name:
+                        continue
+                    self._note_order_edge(
+                        prior.name, prior_stack, stack
+                    )
+            state.held.append((self, stack))
+            if self._release_clock is not None:
+                _merge_into(state.clock, self._release_clock)
+
+    def _note_order_edge(
+        self,
+        held_name: str,
+        held_stack: Tuple[str, ...],
+        acquire_stack: Tuple[str, ...],
+    ) -> None:
+        """Insert edge held_name -> self.name; report a closed cycle.
+
+        Callers hold :data:`_state_lock`.
+        """
+        successors = _order_edges.setdefault(held_name, {})
+        is_new = self.name not in successors
+        if is_new:
+            successors[self.name] = acquire_stack
+        if is_new and _path_exists(self.name, held_name):
+            cycle = _witness_path(self.name, held_name) + [self.name]
+            reverse_witness = _order_edges.get(self.name, {}).get(
+                cycle[1], ()
+            )
+            report = SanitizerReport(
+                SanitizerReport.KIND_LOCK_ORDER,
+                " -> ".join(cycle),
+                f"lock {self.name!r} acquired while {held_name!r} is "
+                "held, but the opposite order also occurs",
+                [
+                    (f"acquiring {self.name!r} with {held_name!r} held",
+                     acquire_stack),
+                    (f"{held_name!r} acquisition", held_stack),
+                    (f"earlier {cycle[1]!r} after {self.name!r}",
+                     tuple(reverse_witness)),
+                ],
+            )
+            key = (report.kind, report.subject)
+            if key not in _reported_keys:
+                _reported_keys.add(key)
+                _reports.append(report)
+
+    def _note_released(self) -> None:
+        with _state_lock:
+            state = _state()
+            for index in range(len(state.held) - 1, -1, -1):
+                if state.held[index][0] is self:
+                    del state.held[index]
+                    break
+            still_held = any(
+                lock is self for lock, _ in state.held
+            )
+            if not still_held:
+                _stamp(state)
+                self._release_clock = dict(state.clock)
+
+    # -- lock protocol -------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and ACTIVE:
+            self._note_acquired()
+        return acquired
+
+    def release(self) -> None:
+        if ACTIVE:
+            self._note_released()
+        self._inner.release()
+
+    def __enter__(self) -> "SanLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanLock({self.name!r})"
+
+
+def held_locks() -> List[str]:
+    """Names of SanLocks the calling thread holds (armed only)."""
+    with _state_lock:
+        return [lock.name for lock, _ in _state().held]
+
+
+# ----------------------------------------------------------------------
+# SanThread: fork/join happens-before
+# ----------------------------------------------------------------------
+
+
+class SanThread(threading.Thread):
+    """A thread whose fork and join carry vector-clock edges.
+
+    Disarmed it is exactly ``threading.Thread``.  Armed, the child
+    starts with (a copy of) the parent's clock, so everything the
+    parent did before ``start()`` happens-before the child; ``join()``
+    merges the child's final clock back, so everything the child did
+    happens-before the parent's continuation.
+    """
+
+    _san_start_clock: Optional[Clock] = None
+    _san_final_clock: Optional[Clock] = None
+
+    def start(self) -> None:
+        if ACTIVE:
+            with _state_lock:
+                parent = _state()
+                _stamp(parent)
+                self._san_start_clock = dict(parent.clock)
+        super().start()
+
+    def run(self) -> None:
+        if ACTIVE and self._san_start_clock is not None:
+            with _state_lock:
+                state = _state()
+                _merge_into(state.clock, self._san_start_clock)
+        try:
+            super().run()
+        finally:
+            if ACTIVE:
+                with _state_lock:
+                    state = _state()
+                    _stamp(state)
+                    self._san_final_clock = dict(state.clock)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        super().join(timeout)
+        if ACTIVE and not self.is_alive():
+            final = self._san_final_clock
+            if final is not None:
+                with _state_lock:
+                    _merge_into(_state().clock, final)
+
+
+# ----------------------------------------------------------------------
+# The Eraser-style lock-set tracker
+# ----------------------------------------------------------------------
+
+
+class _Access:
+    """One remembered access to a tracked variable."""
+
+    __slots__ = ("event", "tid", "held", "stack", "is_write")
+
+    def __init__(self, event: Tuple[int, int], tid: int,
+                 held: Set[str], stack: Tuple[str, ...],
+                 is_write: bool) -> None:
+        self.event = event
+        self.tid = tid
+        self.held = held
+        self.stack = stack
+        self.is_write = is_write
+
+
+class _VarState:
+    """Tracker state for one (object, field) pair."""
+
+    __slots__ = ("label", "write_guarded", "candidate", "last_write",
+                 "last_reads", "guard")
+
+    def __init__(self, label: str, write_guarded: bool,
+                 guard: Optional[str]) -> None:
+        self.label = label
+        #: True for fields whose reads are deliberately lock-free
+        #: (guarded-by ``writes`` mode): only write/write pairs race.
+        self.write_guarded = write_guarded
+        #: Classic Eraser C(v): None until the second thread shows up.
+        self.candidate: Optional[Set[str]] = None
+        self.last_write: Optional[_Access] = None
+        #: Most recent read per thread id.
+        self.last_reads: Dict[int, _Access] = {}
+        #: Declared guarding lock name, for report detail only.
+        self.guard = guard
+
+
+_vars: Dict[Tuple[int, str], _VarState] = {}
+
+
+def track(obj: Any, field: str, *, guard: Optional[str] = None,
+          writes_only: bool = False) -> None:
+    """Register ``obj.field`` as a tracked shared variable.
+
+    Optional — :func:`track_read` / :func:`track_write` auto-register
+    on first contact — but declaring up front attaches the guarding
+    lock's name to reports and marks ``writes_only`` fields (reads are
+    lock-free by design; only write/write pairs are raceable).
+    """
+    if not ACTIVE:
+        return
+    with _state_lock:
+        _var_state(obj, field, writes_only, guard)
+
+
+def _var_state(obj: Any, field: str, write_guarded: bool = False,
+               guard: Optional[str] = None) -> _VarState:
+    key = (id(obj), field)
+    var = _vars.get(key)
+    if var is None:
+        label = f"{type(obj).__name__}.{field}"
+        var = _VarState(label, write_guarded, guard)
+        _vars[key] = var
+    return var
+
+
+def _conflicts(var: _VarState, access: _Access) -> List[_Access]:
+    """Prior accesses that can race with ``access``."""
+    prior: List[_Access] = []
+    if access.is_write:
+        if var.last_write is not None:
+            prior.append(var.last_write)
+        if not var.write_guarded:
+            prior.extend(var.last_reads.values())
+    elif not var.write_guarded and var.last_write is not None:
+        prior.append(var.last_write)
+    return [
+        p for p in prior
+        if p.tid != access.tid
+    ]
+
+
+def _note_access(obj: Any, field: str, is_write: bool) -> None:
+    stack = _capture_stack()
+    with _state_lock:
+        state = _state()
+        var = _var_state(obj, field)
+        held = {lock.name for lock, _ in state.held}
+        event = _stamp(state)
+        access = _Access(event, state.tid, held, stack, is_write)
+        for prior in _conflicts(var, access):
+            if _happens_before(prior.event, state.clock):
+                continue
+            # Unordered conflicting pair: Eraser refinement first ...
+            if var.candidate is None:
+                var.candidate = set(prior.held)
+            var.candidate &= held
+            # ... then the pairwise verdict: no common lock = race.
+            if prior.held & held:
+                continue
+            kinds = (
+                f"{'write' if prior.is_write else 'read'}/"
+                f"{'write' if is_write else 'read'}"
+            )
+            report = SanitizerReport(
+                SanitizerReport.KIND_RACE,
+                var.label,
+                f"unsynchronized {kinds} pair"
+                + (f" (declared guarded-by {var.guard!r})"
+                   if var.guard else "")
+                + f"; locks held: {sorted(prior.held) or '[]'} vs "
+                  f"{sorted(held) or '[]'}",
+                [
+                    ("previous access", prior.stack),
+                    ("current access", stack),
+                ],
+            )
+            key = (report.kind, report.subject)
+            if key not in _reported_keys:
+                _reported_keys.add(key)
+                _reports.append(report)
+        if is_write:
+            var.last_write = access
+            var.last_reads.pop(state.tid, None)
+        else:
+            var.last_reads[state.tid] = access
+
+
+def track_read(obj: Any, field: str) -> None:
+    """Record a read of a tracked field (armed callers only)."""
+    if ACTIVE:
+        _note_access(obj, field, is_write=False)
+
+
+def track_write(obj: Any, field: str) -> None:
+    """Record a write/mutation of a tracked field (armed callers only)."""
+    if ACTIVE:
+        _note_access(obj, field, is_write=True)
+
+
+def candidate_lockset(obj: Any, field: str) -> Optional[Set[str]]:
+    """The Eraser candidate set C(v) for a tracked field (tests)."""
+    with _state_lock:
+        var = _vars.get((id(obj), field))
+        return None if var is None else (
+            None if var.candidate is None else set(var.candidate)
+        )
+
+
+# ----------------------------------------------------------------------
+# Arming
+# ----------------------------------------------------------------------
+
+
+def arm() -> None:
+    """Start watching.  State from a previous run is cleared."""
+    global ACTIVE
+    reset()
+    with _state_lock:
+        pass  # reset() already synchronized; flag flip is last
+    ACTIVE = True
+
+
+def disarm() -> None:
+    """Stop watching.  Accumulated reports stay readable."""
+    global ACTIVE
+    ACTIVE = False
+
+
+def reset() -> None:
+    """Disarm and drop every report, clock, and tracked variable."""
+    global ACTIVE
+    ACTIVE = False
+    with _state_lock:
+        _reports.clear()
+        _reported_keys.clear()
+        _threads.clear()
+        _vars.clear()
+        _order_edges.clear()

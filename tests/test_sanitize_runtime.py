@@ -1,0 +1,327 @@
+"""Unit tests for the runtime sanitizer on synthetic histories.
+
+Deliberately-broken fixtures must produce exactly the expected race /
+deadlock-cycle reports; correctly-synchronized ones must stay silent.
+Threads run *sequentially* (start + join immediately) so every verdict
+is deterministic: plain ``threading.Thread`` leaves the two timelines
+unordered (no fork/join clock edges), while :class:`SanThread` orders
+them — which is itself one of the behaviours under test.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import SanitizerError
+from repro.sanitize import runtime as san
+from repro.sanitize.runtime import SanLock, SanThread
+
+
+@pytest.fixture(autouse=True)
+def _clean_sanitizer():
+    san.reset()
+    yield
+    san.reset()
+
+
+def run_plain(*bodies):
+    """Run each body in its own *plain* thread, sequenced by events.
+
+    All threads are alive concurrently (so each has a distinct thread
+    ident — a joined thread's ident can be recycled), but the bodies
+    execute strictly one after another.  ``threading.Event`` carries no
+    sanitizer happens-before edge, so the timelines stay unordered.
+    """
+    go = threading.Event()
+    done = [threading.Event() for _ in bodies]
+
+    def runner(index, body):
+        # Hold every thread at the gate until all are alive: a thread
+        # that finished before the next one bootstrapped would let the
+        # OS recycle its ident, silently merging the two timelines.
+        go.wait()
+        if index:
+            done[index - 1].wait()
+        try:
+            body()
+        finally:
+            done[index].set()
+
+    threads = [
+        threading.Thread(target=runner, args=(index, body))
+        for index, body in enumerate(bodies)
+    ]
+    for thread in threads:
+        thread.start()
+    go.set()
+    for thread in threads:
+        thread.join()
+
+
+class Shared:
+    """A bag with a distinct type name per field label."""
+
+
+# ----------------------------------------------------------------------
+# Lock-set races
+# ----------------------------------------------------------------------
+
+
+class TestLockSet:
+    def test_unsynchronized_writes_race(self):
+        san.arm()
+        obj = Shared()
+        run_plain(
+            lambda: san.track_write(obj, "table"),
+            lambda: san.track_write(obj, "table"),
+        )
+        kinds = [r.kind for r in san.reports()]
+        assert kinds == [san.SanitizerReport.KIND_RACE]
+        report = san.reports()[0]
+        assert report.subject == "Shared.table"
+        assert "write/write" in report.detail
+        assert len(report.stacks) == 2
+
+    def test_write_read_race(self):
+        san.arm()
+        obj = Shared()
+        run_plain(
+            lambda: san.track_write(obj, "field"),
+            lambda: san.track_read(obj, "field"),
+        )
+        assert [r.kind for r in san.reports()] == [
+            san.SanitizerReport.KIND_RACE
+        ]
+        assert "write/read" in san.reports()[0].detail
+
+    def test_common_lock_suppresses(self):
+        san.arm()
+        obj = Shared()
+        lock = SanLock("t.lock")
+
+        def access():
+            with lock:
+                san.track_write(obj, "table")
+
+        run_plain(access, access)
+        assert san.reports() == []
+
+    def test_candidate_lockset_refines_to_intersection(self):
+        # Two *instances* of the same lock name: the name-level lock
+        # sets overlap (no race) but there is no instance-level
+        # release -> acquire edge, so the accesses stay unordered and
+        # the Eraser refinement intersects C(v) down to {t.a}.
+        san.arm()
+        obj = Shared()
+        a1, a2 = SanLock("t.a"), SanLock("t.a")
+        b = SanLock("t.b")
+
+        def under_both():
+            with a1, b:
+                san.track_write(obj, "field")
+
+        def under_a():
+            with a2:
+                san.track_write(obj, "field")
+
+        run_plain(under_both, under_a)
+        assert san.candidate_lockset(obj, "field") == {"t.a"}
+        assert san.reports() == []
+
+    def test_writes_only_mode_exempts_reads_not_writes(self):
+        san.arm()
+        reads = Shared()
+        lock = SanLock("t.guard")
+        san.track(reads, "field", guard="t.guard", writes_only=True)
+
+        def locked_write():
+            with lock:
+                san.track_write(reads, "field")
+
+        run_plain(locked_write, lambda: san.track_read(reads, "field"))
+        assert san.reports() == []
+
+        writes = Shared()
+        san.track(writes, "other", guard="t.guard", writes_only=True)
+        run_plain(
+            lambda: san.track_write(writes, "other"),
+            lambda: san.track_write(writes, "other"),
+        )
+        assert [r.subject for r in san.reports()] == ["Shared.other"]
+        assert "guarded-by 't.guard'" in san.reports()[0].detail
+
+
+# ----------------------------------------------------------------------
+# Happens-before suppression
+# ----------------------------------------------------------------------
+
+
+class TestHappensBefore:
+    def test_fork_join_orders_accesses(self):
+        san.arm()
+        obj = Shared()
+        san.track_write(obj, "field")  # main thread, no lock
+        child = SanThread(target=lambda: san.track_write(obj, "field"))
+        child.start()
+        child.join()
+        san.track_write(obj, "field")
+        assert san.reports() == []
+
+    def test_release_acquire_edge_orders_accesses(self):
+        san.arm()
+        obj = Shared()
+        lock = SanLock("t.channel")
+
+        def writer():
+            with lock:
+                san.track_write(obj, "field")
+
+        def reader():
+            # Synchronize through the lock, then access *outside* it:
+            # disjoint lock-sets, but ordered by release -> acquire.
+            with lock:
+                pass
+            san.track_write(obj, "field")
+
+        run_plain(writer, reader)
+        assert san.reports() == []
+
+    def test_plain_threads_have_no_fork_join_edge(self):
+        # The control for the two tests above.
+        san.arm()
+        obj = Shared()
+        run_plain(
+            lambda: san.track_write(obj, "field"),
+            lambda: san.track_write(obj, "field"),
+        )
+        assert len(san.reports()) == 1
+
+
+# ----------------------------------------------------------------------
+# Lock-order inversions
+# ----------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_inversion_is_reported_with_three_stacks(self):
+        san.arm()
+        a, b = SanLock("t.A"), SanLock("t.B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        run_plain(forward, backward)
+        reports = san.reports()
+        assert [r.kind for r in reports] == [
+            san.SanitizerReport.KIND_LOCK_ORDER
+        ]
+        assert reports[0].subject == "t.A -> t.B -> t.A"
+        assert len(reports[0].stacks) == 3
+        rendered = reports[0].render()
+        assert "lock-order-inversion" in rendered
+
+    def test_consistent_order_is_clean(self):
+        san.arm()
+        a, b = SanLock("t.A"), SanLock("t.B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        run_plain(forward, forward)
+        assert san.reports() == []
+
+    def test_reentrant_reacquire_adds_no_self_edge(self):
+        san.arm()
+        lock = SanLock("t.R", reentrant=True)
+        with lock:
+            with lock:
+                pass
+        assert san.reports() == []
+
+    def test_three_lock_cycle(self):
+        san.arm()
+        a, b, c = SanLock("t.a3"), SanLock("t.b3"), SanLock("t.c3")
+
+        def leg(first, second):
+            def body():
+                with first:
+                    with second:
+                        pass
+            return body
+
+        run_plain(leg(a, b), leg(b, c), leg(c, a))
+        reports = san.reports()
+        assert [r.kind for r in reports] == [
+            san.SanitizerReport.KIND_LOCK_ORDER
+        ]
+        assert set("t.a3 t.b3 t.c3".split()) <= set(
+            reports[0].subject.split(" -> ")
+        )
+
+
+# ----------------------------------------------------------------------
+# Arming / disarming
+# ----------------------------------------------------------------------
+
+
+class TestArming:
+    def test_disarmed_is_silent(self):
+        obj = Shared()
+        a, b = SanLock("t.x"), SanLock("t.y")
+        run_plain(
+            lambda: san.track_write(obj, "field"),
+            lambda: san.track_write(obj, "field"),
+        )
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert san.reports() == []
+        san.assert_clean()
+
+    def test_disarmed_sanlock_still_locks(self):
+        lock = SanLock("t.plain")
+        assert lock.acquire(blocking=False)
+        assert not lock.raw().acquire(blocking=False)
+        lock.release()
+
+    def test_assert_clean_raises_typed_error(self):
+        san.arm()
+        obj = Shared()
+        run_plain(
+            lambda: san.track_write(obj, "boom"),
+            lambda: san.track_write(obj, "boom"),
+        )
+        with pytest.raises(SanitizerError) as excinfo:
+            san.assert_clean()
+        assert "Shared.boom" in str(excinfo.value)
+
+    def test_arm_clears_previous_run(self):
+        san.arm()
+        obj = Shared()
+        run_plain(
+            lambda: san.track_write(obj, "field"),
+            lambda: san.track_write(obj, "field"),
+        )
+        assert len(san.reports()) == 1
+        san.arm()
+        assert san.reports() == []
+
+    def test_held_locks_tracks_the_calling_thread(self):
+        san.arm()
+        lock = SanLock("t.held")
+        assert san.held_locks() == []
+        with lock:
+            assert san.held_locks() == ["t.held"]
+        assert san.held_locks() == []
