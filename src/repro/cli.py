@@ -9,6 +9,9 @@ Four commands cover the zero-to-aha path:
   default, or against a remote ISP with ``--connect host:port``;
 * ``serve`` — build a system and serve its ISP over TCP to remote
   verifying clients (the paper's separate-machine testbed topology);
+* ``fleet`` — serve the same system as a sharded, replicated fleet:
+  N shard primaries + R read replicas behind a proof-stitching router
+  (:mod:`repro.fleet`) that unmodified clients verify against;
 * ``experiment`` — regenerate one of the paper's tables/figures by name;
 * ``chaos`` — run the seeded fault-injection/recovery harness
   (:mod:`repro.faults.chaos`) and print its counters;
@@ -183,6 +186,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Launch N shards + R replicas + a proof-stitching router."""
+    from repro.fleet.lifecycle import Fleet
+
+    system = _build_system(args.hours, args.txs_per_block)
+    _arm_faults(args)
+    fleet = Fleet(
+        system,
+        shard_count=args.shards,
+        replicas=args.replicas,
+        strategy=args.strategy,
+        host=args.host,
+    )
+    _serve_shutdown.clear()
+    with fleet:
+        host, port = fleet.router_address
+        print(
+            f"fleet router at {host}:{port} — {args.shards} shard(s), "
+            f"{args.replicas} replica(s), {args.strategy} partitioning "
+            f"(query with: python -m repro query --connect {host}:{port})",
+            flush=True,
+        )
+        for shard_id in sorted(fleet.shards):
+            shard_host, shard_port = \
+                fleet._shard_servers[shard_id].address
+            labels = [label for label, _ in fleet.replicas[shard_id]]
+            extra = f" (+ replicas: {', '.join(labels)})" if labels else ""
+            print(f"  shard {shard_id}: {shard_host}:{shard_port}{extra}",
+                  file=sys.stderr)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host}:{port}\n")
+        try:
+            _serve_shutdown.wait(timeout=args.serve_for)
+        except KeyboardInterrupt:
+            print("shutting down fleet", file=sys.stderr)
+    _write_metrics(args)
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(EXPERIMENTS[args.name])
     results = module.run()
@@ -194,6 +237,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import (
         run_concurrent_chaos,
+        run_fleet_chaos,
         run_pager_chaos,
         run_system_chaos,
     )
@@ -213,6 +257,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if args.layer in ("pager", "all"):
                 stats = run_pager_chaos(seed, steps=args.steps)
                 print(f"  pager:  {stats.as_dict()}")
+            if args.layer in ("fleet", "all"):
+                stats = run_fleet_chaos(
+                    seed,
+                    steps=min(args.steps, 60),
+                    schedule=args.fault_schedule,
+                )
+                print(f"  fleet:  {stats.as_dict()}")
             if args.layer in ("concurrent", "all"):
                 res = run_concurrent_chaos(seed)
                 print(f"  concurrent: queries_ok={res['queries_ok']} "
@@ -362,6 +413,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the metrics registry as JSON on exit")
     serve.set_defaults(handler=cmd_serve)
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="serve a sharded, replicated ISP fleet behind a router",
+        description=(
+            "Build a system, split it across N shard primaries (each "
+            "storing only its partition's pages while reproducing the "
+            "full certified root), seed R read replicas through the "
+            "replication log, and front everything with a "
+            "proof-stitching router speaking the standard wire "
+            "protocol.  Unmodified clients verify exactly as against "
+            "a single ISP."
+        ),
+    )
+    fleet.add_argument("--hours", type=int, default=6,
+                       help="hours of chain history to ingest")
+    fleet.add_argument("--txs-per-block", type=int, default=8)
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="shard primaries (default: 4)")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="read replicas, round-robin across shards")
+    fleet.add_argument("--strategy", default="hash",
+                       choices=["hash", "range"],
+                       help="partitioning strategy")
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument("--port-file", default=None,
+                       help="write the router's host:port to this file")
+    fleet.add_argument("--serve-for", type=float, default=None,
+                       help="stop after this many seconds (default: "
+                            "serve until interrupted)")
+    fleet.add_argument("--fault-schedule", default=None,
+                       help="arm failpoints before serving, e.g. "
+                            "'fleet.replica.lag=raise@p:0.2'")
+    fleet.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for probabilistic fault triggers")
+    fleet.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics registry as JSON on exit")
+    fleet.set_defaults(handler=cmd_fleet)
+
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -379,7 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--steps", type=int, default=200,
                        help="steps per seed")
     chaos.add_argument("--layer", default="all",
-                       choices=["system", "pager", "concurrent", "all"],
+                       choices=["system", "pager", "fleet",
+                                "concurrent", "all"],
                        help="which harness to run")
     chaos.add_argument("--no-rpc", action="store_true",
                        help="skip the RPC transport in system chaos")

@@ -72,6 +72,13 @@ class NetworkError(ReproError):
     """A simulated network transport failure."""
 
 
+class FleetError(NetworkError):
+    """A sharded-fleet coordination failure (unroutable path, conflicting
+    per-shard proofs during VO stitching, partial ``sync_update`` fan-out).
+    A :class:`NetworkError` on the wire: clients treat it as a transient
+    service failure, never as verified data."""
+
+
 class RpcError(NetworkError):
     """A failure on the real (socket-backed) client-ISP RPC path."""
 

@@ -67,6 +67,16 @@ FAILPOINTS: Dict[str, str] = {
         "Stalls a request long enough to trip the client timeout.",
     "rpc.server.truncate":
         "Truncates a response frame mid-payload on the wire.",
+    # -- ISP fleet (repro/fleet/) --------------------------------------
+    "fleet.router.fanout":
+        "Severs the router's fan-out to one owning shard mid-query: a "
+        "network partition between router and shard.",
+    "fleet.replica.lag":
+        "Withholds a replication-log shipment to one replica, leaving "
+        "it one or more certified versions behind its primary.",
+    "fleet.shard.crash":
+        "Kills a shard primary at sync fan-out time: the fleet update "
+        "cannot fully ack until the shard is restarted and caught up.",
 }
 
 

@@ -631,6 +631,236 @@ def run_concurrent_chaos(
 
 
 # ---------------------------------------------------------------------------
+# Fleet chaos
+# ---------------------------------------------------------------------------
+
+#: The stock schedule for fleet chaos: sever router fan-out, hold back
+#: replica shipments, and kill shard primaries at sync fan-out time,
+#: with a sprinkle of plain wire drops on the shard servers.
+DEFAULT_FLEET_SCHEDULE = (
+    "fleet.router.fanout=raise@p:0.04;"
+    "fleet.replica.lag=raise@p:0.25;"
+    "fleet.shard.crash=raise@p:0.10;"
+    "rpc.server.drop=raise@p:0.02"
+)
+
+
+class FleetChaos:
+    """One seeded chaos run over a sharded, replicated fleet.
+
+    The invariants mirror :class:`SystemChaos`, lifted to the fleet:
+
+    - every query that completes through the router verifies against
+      ``pk_sgx`` and matches an in-memory single-node **oracle** fed
+      the same certified reports with faults suspended — a fleet of
+      shards must be observationally identical to one ISP;
+    - a publish interrupted by a shard crash never acks: the router
+      raises, the harness restarts the shard and retries, and the
+      per-shard idempotency completes exactly the stragglers;
+    - killed shards only ever cause *aborted* queries (typed errors),
+      never wrong or unverifiable-but-accepted results.
+    """
+
+    MAX_PUBLISH_ATTEMPTS = 10
+    QUERY_POOL = SystemChaos.QUERY_POOL
+
+    def __init__(
+        self,
+        seed: int,
+        shard_count: int = 3,
+        replicas: int = 2,
+        schedule: Optional[str] = None,
+        txs_per_block: int = 2,
+    ) -> None:
+        from repro.core.system import SystemConfig, V2FSSystem
+        from repro.fleet.lifecycle import Fleet
+        from repro.isp.server import IspServer
+        from repro.rpc.client import connect_client
+
+        self.rng = random.Random(seed)
+        self.stats = ChaosStats()
+        faults.reset()
+        faults.seed(seed)
+        self.schedule = schedule if schedule else DEFAULT_FLEET_SCHEDULE
+        apply_schedule(self.schedule)
+
+        with faults.suspended():
+            self.system = V2FSSystem(
+                SystemConfig(seed=seed, txs_per_block=txs_per_block)
+            )
+            self.system.advance_all(1)
+            self.oracle = IspServer()
+            for report in self.system.update_reports:
+                self.oracle.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+            self.fleet = Fleet(
+                self.system, shard_count=shard_count, replicas=replicas
+            )
+            self.fleet.start()
+            host, port = self.fleet.router_address
+            self._remote_client = connect_client(
+                host, port, timeout_s=2.0, max_retries=4
+            )
+        self.last_cert = self.system.update_reports[-1].certificate
+
+    def close(self) -> None:
+        _snapshot_fires(self.stats)
+        faults.reset()
+        self._remote_client.isp.close()
+        self.fleet.stop()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _make_client(self, isp, mode=None):
+        from repro.client.query_client import QueryClient
+        from repro.client.vfs import QueryMode
+
+        return QueryClient(
+            isp=isp,
+            chains=self.system.chains,
+            attestation_report=self.system.attestation_report,
+            attestation_root=self.system.attestation.root_public_key,
+            expected_measurement=self.system.ci.enclave.measurement,
+            mode=mode if mode is not None else QueryMode.INTER_VBF,
+            cost_model=self.system.config.network,
+        )
+
+    def _restart_down_shards(self) -> None:
+        for shard_id in self.fleet.down_shards():
+            with faults.suspended():
+                self.fleet.restart_shard(shard_id)
+            self.stats.recoveries += 1
+            if obs.ACTIVE:
+                obs.inc("chaos.recoveries")
+
+    # -- step implementations --------------------------------------------
+
+    def _publish(self, report) -> None:
+        """Fan one certified report out through the faulted router path.
+
+        The router's per-shard idempotency is what makes the retry loop
+        correct: an attempt that crashed one shard mid-fan-out left the
+        others acked, and the next attempt (after restarting the dead
+        primary) completes only the stragglers.
+        """
+        for _ in range(self.MAX_PUBLISH_ATTEMPTS):
+            self._restart_down_shards()
+            try:
+                self.system.isp.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+            except (InjectedFault, ReproError):
+                self.stats.injected_faults += 1
+                self.stats.publish_retries += 1
+                continue
+            break
+        else:
+            self._restart_down_shards()
+            with faults.suspended():
+                self.system.isp.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+        self.last_cert = report.certificate
+        self.stats.publishes += 1
+        with faults.suspended():
+            self.oracle.sync_update(
+                report.writes, report.new_sizes, report.certificate
+            )
+
+    def _ingest(self) -> None:
+        chain_id = self.rng.choice(sorted(self.system.chains))
+        isp = self.system.isp
+        with faults.suspended():
+            isp.sync_update = lambda writes, sizes, cert: None
+            try:
+                report = self.system.advance_block(chain_id)
+            finally:
+                del isp.sync_update
+        self._publish(report)
+        self.stats.ingests += 1
+
+    def _expected_rows(self, sql: str):
+        with faults.suspended():
+            return self._make_client(self.oracle).query(sql).rows
+
+    def _query(self) -> None:
+        sql = self.rng.choice(self.QUERY_POOL)
+        try:
+            result = self._remote_client.query(sql)
+        except ReproError as error:
+            # Aborted is acceptable under faults (severed fan-out, dead
+            # shard, dropped connection) — wrong never is.
+            logger.info(
+                "fleet chaos query aborted: %s", type(error).__name__
+            )
+            self.stats.remote_queries_failed += 1
+            return
+        assert result.rows == self._expected_rows(sql), (
+            f"fleet query diverged from oracle for {sql!r}"
+        )
+        self.stats.remote_queries_ok += 1
+
+    def _kill_and_query(self) -> None:
+        """Kill a random primary mid-load, query through the gap, then
+        restart it."""
+        shard_id = self.rng.randrange(self.fleet.shard_count)
+        self.fleet.kill_shard(shard_id)
+        self.stats.crashes += 1
+        if obs.ACTIVE:
+            obs.inc("chaos.crashes")
+        self._query()
+        self._restart_down_shards()
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self, steps: int) -> ChaosStats:
+        try:
+            for _ in range(steps):
+                self.stats.steps += 1
+                if obs.ACTIVE:
+                    obs.inc("chaos.steps")
+                roll = self.rng.random()
+                if roll < 0.30:
+                    self._ingest()
+                elif roll < 0.85:
+                    self._query()
+                else:
+                    self._kill_and_query()
+            # Closing sweep: faults off, every shard up, every pool
+            # query through the router must agree with the oracle.
+            self._restart_down_shards()
+            with faults.suspended():
+                for sql in self.QUERY_POOL:
+                    assert (
+                        self._remote_client.query(sql).rows
+                        == self._expected_rows(sql)
+                    ), f"closing sweep diverged for {sql!r}"
+        finally:
+            self.close()
+        return self.stats
+
+
+def run_fleet_chaos(
+    seed: int,
+    steps: int = 40,
+    shard_count: int = 3,
+    replicas: int = 2,
+    schedule: Optional[str] = None,
+    txs_per_block: int = 2,
+) -> ChaosStats:
+    """Run one seeded fleet chaos episode; returns its stats.
+
+    Raises ``AssertionError`` the moment an invariant breaks.
+    """
+    chaos = FleetChaos(
+        seed, shard_count=shard_count, replicas=replicas,
+        schedule=schedule, txs_per_block=txs_per_block,
+    )
+    return chaos.run(steps)
+
+
+# ---------------------------------------------------------------------------
 # Pager chaos
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,316 @@
+"""Fleet orchestration: N shards + replicas + one router, as processes.
+
+:class:`Fleet` turns a running single-node
+:class:`~repro.core.system.V2FSSystem` into a sharded deployment:
+
+1. plan the partition (hash, or range over the current file set);
+2. build each shard primary and replay the system's maintenance
+   history into it (every shard reproduces the certified root, storing
+   only its own pages — see :mod:`repro.fleet.shard`);
+3. seed each shard's replicas through its replication log;
+4. serve every primary and replica behind its own
+   :class:`~repro.rpc.server.RpcIspServer`, publish the bound ports as
+   a :class:`~repro.fleet.partition.ShardMap`, and front the fleet
+   with a :class:`~repro.fleet.router.FleetRouterServer`;
+5. rewire ``system.isp`` to the router's
+   :class:`~repro.fleet.router.FleetIsp`, so ``advance_block`` fans
+   each new batch to every primary and ships deltas to replicas.
+
+Chaos hooks: :meth:`Fleet.kill_shard` stops a primary's server
+mid-fleet (clients see connection failures; the circuit breaker turns
+repeats into fast failures) and :meth:`Fleet.restart_shard` rebinds
+the same port.  The ``fleet.shard.crash`` failpoint does the kill at
+sync fan-out time, modelling a primary dying mid-update — the fleet
+refuses to ack the version until the shard is back and the retry
+completes the stragglers.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.certificate import V2fsCertificate
+from repro.errors import FleetError
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedFault
+from repro.fleet.partition import (
+    STRATEGY_HASH,
+    STRATEGY_RANGE,
+    Endpoint,
+    ShardDesc,
+    ShardMap,
+    make_partitioner,
+    plan_range_split,
+)
+from repro.fleet.replication import ReplicaIsp, ReplicationLog
+from repro.fleet.router import FleetIsp, FleetRouterServer, HandleFactory
+from repro.fleet.shard import ShardIsp
+from repro.rpc.client import RemoteIsp
+from repro.rpc.server import IspBootstrap, RpcIspServer
+
+logger = logging.getLogger("repro.fleet")
+
+
+def _fleet_handle(endpoint: Endpoint) -> RemoteIsp:
+    # Router-to-shard hops get a tighter budget than a WAN client: the
+    # shards are co-located, and a dead one should surface quickly.
+    return RemoteIsp(
+        endpoint[0], endpoint[1],
+        timeout_s=5.0, max_retries=2, backoff_s=0.05,
+    )
+
+
+class Fleet:
+    """A running sharded deployment over one :class:`V2FSSystem`."""
+
+    def __init__(
+        self,
+        system,
+        shard_count: int = 4,
+        replicas: int = 0,
+        strategy: str = STRATEGY_HASH,
+        host: str = "127.0.0.1",
+        service_delay_s: float = 0.0,
+        handle_factory: Optional[HandleFactory] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise FleetError("a fleet needs at least one shard")
+        self.system = system
+        self.shard_count = shard_count
+        self.strategy = strategy
+        self.host = host
+        self.service_delay_s = service_delay_s
+        self._handle_factory = handle_factory or _fleet_handle
+        self._original_isp = system.isp
+        self._started = False
+
+        bounds: Tuple[str, ...] = ()
+        if strategy == STRATEGY_RANGE:
+            source = system.isp.ads
+            bounds = plan_range_split(
+                source.list_files(system.isp.root), shard_count
+            )
+        self.bounds = bounds
+        self.partitioner = make_partitioner(
+            strategy, shard_count, bounds
+        )
+
+        self.shards: Dict[int, ShardIsp] = {
+            shard_id: ShardIsp(shard_id, self.partitioner)
+            for shard_id in range(shard_count)
+        }
+        #: replicas[shard_id] -> list of (label, ReplicaIsp)
+        self.replicas: Dict[int, List[Tuple[str, ReplicaIsp]]] = {
+            shard_id: [] for shard_id in range(shard_count)
+        }
+        for index in range(replicas):
+            shard_id = index % shard_count
+            label = f"shard{shard_id}-replica{index // shard_count}"
+            self.replicas[shard_id].append(
+                (label, ReplicaIsp(shard_id, self.partitioner))
+            )
+        self.logs: Dict[int, ReplicationLog] = {
+            shard_id: ReplicationLog(shard_id)
+            for shard_id in range(shard_count)
+        }
+
+        self._shard_servers: Dict[int, Optional[RpcIspServer]] = {}
+        self._shard_ports: Dict[int, int] = {}
+        self._replica_servers: Dict[str, RpcIspServer] = {}
+        self.router_server: Optional[FleetRouterServer] = None
+        self.isp: Optional[FleetIsp] = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self) -> IspBootstrap:
+        system = self.system
+        return IspBootstrap(
+            report=system.attestation_report,
+            attestation_root=system.attestation.root_public_key,
+            measurement=system.ci.enclave.measurement,
+            chain_heads=lambda: {
+                chain_id: chain.latest_header()
+                for chain_id, chain in system.chains.items()
+                if len(chain)
+            },
+        )
+
+    def _replay_history(self) -> None:
+        """Reproduce the system's maintenance history on every shard.
+
+        Each report re-applies on each shard (owned pages stored,
+        foreign pages folded as digests) and must land on the same
+        certified root the single-node ISP published — the shard's own
+        root check enforces it.  Deltas stream to the replicas through
+        the logs, so they finish caught up.
+        """
+        for shard_id, shard in self.shards.items():
+            log = self.logs[shard_id]
+            for label, replica in self.replicas[shard_id]:
+                log.attach(label, self._make_apply(label, replica))
+            for report in self.system.update_reports:
+                shard.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+                log.append(shard.take_delta(), report.certificate)
+            log.ship()
+
+    def _make_apply(self, label: str, replica: ReplicaIsp):
+        def apply(delta, certificate: V2fsCertificate) -> None:
+            server = self._replica_servers.get(label)
+            if server is None:
+                replica.apply_delta(delta, certificate)
+                return
+            with server.lock:
+                replica.apply_delta(delta, certificate)
+
+        return apply
+
+    def _make_sync(self, shard_id: int):
+        """One shard's slice of the router's ``sync_update`` fan-out."""
+
+        def sync(writes, new_sizes, certificate) -> None:
+            if faults.ACTIVE:
+                try:
+                    faults.fire(
+                        "fleet.shard.crash",
+                        shard=shard_id, version=certificate.version,
+                    )
+                except InjectedFault:
+                    logger.warning(
+                        "failpoint fleet.shard.crash: killing shard %d "
+                        "at sync fan-out", shard_id,
+                    )
+                    self.kill_shard(shard_id)
+                    raise
+            server = self._shard_servers.get(shard_id)
+            if server is None:
+                raise FleetError(f"shard {shard_id} is down")
+            shard = self.shards[shard_id]
+            with server.lock:
+                shard.sync_update(writes, new_sizes, certificate)
+                delta = shard.take_delta()
+            log = self.logs[shard_id]
+            log.append(delta, certificate)
+            log.ship()
+
+        return sync
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Fleet":
+        if self._started:
+            raise FleetError("fleet already started")
+        self._replay_history()
+        bootstrap = self._bootstrap()
+        for shard_id, shard in self.shards.items():
+            server = RpcIspServer(shard, self.host, 0)
+            server.service_delay_s = self.service_delay_s
+            server.start()
+            self._shard_servers[shard_id] = server
+            self._shard_ports[shard_id] = server.address[1]
+        for shard_id, pairs in self.replicas.items():
+            for label, replica in pairs:
+                server = RpcIspServer(replica, self.host, 0)
+                server.service_delay_s = self.service_delay_s
+                server.start()
+                self._replica_servers[label] = server
+        shard_map = ShardMap(
+            version=1,
+            strategy=self.strategy,
+            shards=tuple(
+                ShardDesc(
+                    shard_id=shard_id,
+                    primary=(self.host, self._shard_ports[shard_id]),
+                    replicas=tuple(
+                        self._replica_servers[label].address
+                        for label, _ in self.replicas[shard_id]
+                    ),
+                )
+                for shard_id in sorted(self.shards)
+            ),
+            bounds=self.bounds,
+        )
+        self.isp = FleetIsp(
+            shard_map,
+            handle_factory=self._handle_factory,
+            sync_fns={
+                shard_id: self._make_sync(shard_id)
+                for shard_id in self.shards
+            },
+        )
+        self.router_server = FleetRouterServer(
+            self.isp, self.host, 0, bootstrap=bootstrap
+        )
+        self.router_server.start()
+        # From here on, `advance_block` fans out to the fleet.
+        self.system.isp = self.isp
+        self._started = True
+        return self
+
+    @property
+    def router_address(self) -> Endpoint:
+        if self.router_server is None:
+            raise FleetError("fleet is not started")
+        return self.router_server.address
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Stop one primary's server (its state survives for restart)."""
+        server = self._shard_servers.get(shard_id)
+        if server is None:
+            return
+        self._shard_servers[shard_id] = None
+        server.stop()
+        logger.warning("shard %d killed", shard_id)
+
+    def down_shards(self) -> List[int]:
+        """Shard ids whose primary server is currently stopped."""
+        return [
+            shard_id
+            for shard_id, server in sorted(self._shard_servers.items())
+            if server is None
+        ]
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Rebind a killed primary on its original port."""
+        if self._shard_servers.get(shard_id) is not None:
+            return
+        shard = self.shards[shard_id]
+        server = RpcIspServer(
+            shard, self.host, self._shard_ports[shard_id]
+        )
+        server.service_delay_s = self.service_delay_s
+        server.start()
+        self._shard_servers[shard_id] = server
+        logger.warning("shard %d restarted", shard_id)
+
+    def stop(self) -> None:
+        if self.router_server is not None:
+            self.router_server.stop()
+            self.router_server = None
+        if self.isp is not None:
+            self.isp.close()
+            self.isp = None
+        for shard_id, server in list(self._shard_servers.items()):
+            if server is not None:
+                server.stop()
+            self._shard_servers[shard_id] = None
+        for server in self._replica_servers.values():
+            server.stop()
+        self._replica_servers.clear()
+        self.system.isp = self._original_isp
+        self._started = False
+
+    def __enter__(self) -> "Fleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["Fleet"]

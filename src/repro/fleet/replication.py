@@ -1,0 +1,206 @@
+"""MVCC read replicas and the replication log that feeds them.
+
+A replica serves the same partition as its shard primary, one
+content-addressed delta behind at worst.  The primary's recording
+store captures each sync's new nodes as a
+:class:`~repro.merkle.delta.NodeDelta`; the :class:`ReplicationLog`
+appends ``(delta, certificate)`` pairs and ships them to every
+attached replica, tracking a cursor per replica so a lagging or
+fault-injected replica simply stays behind — it never sees a partial
+version.
+
+Staleness is *detected, never trusted away*: the router compares a
+replica's certificate version against the session's pinned version
+before routing a read there, and a lagging replica falls back to the
+primary (``fleet.replica.stale``).  Even if the router misroutes, a
+stale replica can only produce proofs against an old root, which the
+client's certificate check rejects.
+
+The log is driven by the single fleet-lifecycle thread (sync fan-out
+and shipment happen in sequence); replica *application* synchronizes
+against the replica's RPC server lock via the ``apply_fn`` the
+lifecycle attaches, so in-flight replica reads keep their pinned
+snapshots (the same MVCC the single-node ISP provides).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.certificate import V2fsCertificate
+from repro.errors import FleetError, ReproError, StorageError
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedFault
+from repro.fleet.partition import Partitioner
+from repro.fleet.shard import ShardIsp
+from repro.merkle.ads import V2fsAds
+from repro.merkle.delta import NodeDelta
+from repro.merkle.node_store import NodeStore
+from repro.obs import metrics as obs
+
+logger = logging.getLogger("repro.fleet")
+
+#: How a delta reaches one replica (wraps the replica server's lock).
+ApplyFn = Callable[[NodeDelta, V2fsCertificate], None]
+
+
+class ReplicaIsp(ShardIsp):
+    """A read-only copy of one shard, advanced by applying deltas."""
+
+    def __init__(self, shard_id: int, partitioner: Partitioner) -> None:
+        super().__init__(shard_id, partitioner)
+        # Replicas replay deltas instead of recording them.
+        self.ads = V2fsAds(NodeStore())
+        self.root = self.ads.root
+
+    def sync_update(self, writes, new_sizes, certificate) -> None:
+        raise FleetError(
+            "replica is read-only; it advances via apply_delta"
+        )
+
+    def take_delta(self) -> NodeDelta:
+        raise FleetError("replicas do not record deltas")
+
+    def apply_delta(
+        self, delta: NodeDelta, certificate: V2fsCertificate
+    ) -> None:
+        """Insert one version transition and publish its root.
+
+        Mirrors the primary's *stage -> verify -> sync -> publish ->
+        prune* ordering: nodes land in the content-addressed store
+        first (failures leave only unreferenced garbage), the root is
+        cross-checked against the certificate, and only then does the
+        served snapshot advance.  Prior roots stay readable for
+        in-flight replica sessions — the replica inherits the
+        single-node MVCC for free.
+        """
+        if delta.version != certificate.version:
+            raise FleetError(
+                f"delta version {delta.version} does not match "
+                f"certificate version {certificate.version}"
+            )
+        if delta.root != certificate.ads_root:
+            raise FleetError(
+                "delta root does not match the certified root"
+            )
+        for node in delta.nodes:
+            self.ads.store.put(node)
+        if delta.nodes and delta.root not in self.ads.store:
+            raise FleetError(
+                "delta does not contain its own root node"
+            )
+        self.ads.store.sync()
+        self._previous_root = self.root
+        self.root = delta.root
+        self.certificate = certificate
+        if obs.ACTIVE:
+            obs.inc("fleet.replica.apply")
+        live = [self.root]
+        if self._previous_root is not None:
+            live.append(self._previous_root)
+        live.extend(self.sessions.live_roots())
+        try:
+            self.ads.prune(live)
+        except (StorageError, OSError):
+            logger.exception(
+                "replica post-publish prune failed; "
+                "superseded nodes retained"
+            )
+
+
+class ReplicationLog:
+    """Ordered deltas from one shard primary, with per-replica cursors.
+
+    ``attach`` registers a replica's apply callback; ``append`` adds
+    one sync's delta; ``ship`` pushes every pending delta to every
+    replica that is neither fault-lagged nor failing, then truncates
+    entries all replicas have consumed.  Cursors are absolute delta
+    indices, so truncation never loses track of who is where.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._entries: List[Tuple[NodeDelta, V2fsCertificate]] = []
+        self._base = 0
+        self._cursors: Dict[str, int] = {}
+        self._appliers: Dict[str, ApplyFn] = {}
+
+    def attach(self, label: str, apply_fn: ApplyFn) -> None:
+        """Register a replica starting from the full history."""
+        self._cursors.setdefault(label, 0)
+        self._appliers[label] = apply_fn
+
+    def detach(self, label: str) -> None:
+        self._appliers.pop(label, None)
+        self._cursors.pop(label, None)
+
+    @property
+    def length(self) -> int:
+        """Total deltas ever appended (absolute head position)."""
+        return self._base + len(self._entries)
+
+    def lag_of(self, label: str) -> int:
+        """How many deltas ``label`` is behind the head."""
+        return self.length - self._cursors.get(label, 0)
+
+    def append(
+        self, delta: NodeDelta, certificate: V2fsCertificate
+    ) -> None:
+        self._entries.append((delta, certificate))
+
+    def ship(self) -> int:
+        """Push pending deltas to every attached replica.
+
+        Returns the number of (replica, delta) shipments performed.
+        The ``fleet.replica.lag`` failpoint withholds one replica's
+        shipment for this round (chaos: force a replica to fall
+        behind); an apply failure leaves that replica's cursor so the
+        next round retries from the same delta.
+        """
+        shipped = 0
+        for label, apply_fn in self._appliers.items():
+            if faults.ACTIVE:
+                try:
+                    faults.fire(
+                        "fleet.replica.lag",
+                        shard=self.shard_id, replica=label,
+                    )
+                except InjectedFault:
+                    logger.warning(
+                        "failpoint fleet.replica.lag: withholding "
+                        "shipment to %s", label,
+                    )
+                    if obs.ACTIVE:
+                        obs.inc("fleet.replication.lag")
+                    continue
+            cursor = self._cursors[label]
+            while cursor < self.length:
+                delta, certificate = self._entries[cursor - self._base]
+                try:
+                    apply_fn(delta, certificate)
+                except ReproError:
+                    logger.exception(
+                        "replica %s failed to apply delta %d; "
+                        "will retry", label, cursor,
+                    )
+                    break
+                cursor += 1
+                shipped += 1
+                if obs.ACTIVE:
+                    obs.inc("fleet.replication.ship")
+            self._cursors[label] = cursor
+        self._truncate()
+        return shipped
+
+    def _truncate(self) -> None:
+        if not self._cursors:
+            return
+        floor = min(self._cursors.values())
+        drop = floor - self._base
+        if drop > 0:
+            del self._entries[:drop]
+            self._base = floor
+
+
+__all__ = ["ApplyFn", "ReplicaIsp", "ReplicationLog"]

@@ -1,0 +1,367 @@
+"""The stateless fan-out router: one ISP surface over many shards.
+
+:class:`FleetIsp` exposes the exact client-facing surface of
+:class:`~repro.isp.server.IspServer`, so the unmodified
+:class:`~repro.client.query_client.QueryClient` (and the unmodified
+wire protocol, via :class:`FleetRouterServer`) work against a sharded
+fleet without knowing it is one:
+
+* ``open_session`` pins a *fleet* session to one certificate version;
+  per-shard sessions open lazily underneath, each forced to the same
+  version (``open_session(expected_version=...)``), so every shard
+  serves the same snapshot;
+* reads route to the owning shard — a fresh replica when one is caught
+  up to the pinned version (read/write splitting), the primary
+  otherwise;
+* ``finalize_session`` collects every touched shard's consolidated VO
+  and stitches them (:mod:`repro.fleet.stitch`) into one proof the
+  client verifies against the certificate exactly as before;
+* ``sync_update`` fans the CI's batch to every shard primary and
+  merges the acks, retry-idempotent per shard.
+
+"Stateless" means *no authenticated state*: the router holds routing
+tables and session bookkeeping, but no ADS and no trust.  It is as
+untrusted as the ISP it fronts — the adversarial suite runs collusive
+routers, and the client catches them.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.certificate import V2fsCertificate
+from repro.errors import FleetError, NetworkError, ReproError
+from repro.faults import registry as faults
+from repro.fleet.partition import Endpoint, ShardMap, page_key
+from repro.fleet.stitch import stitch_proofs
+from repro.isp.sessions import SessionRegistry
+from repro.merkle.proof import AdsProof
+from repro.obs import metrics as obs
+from repro.rpc import codec
+from repro.rpc.client import RemoteIsp
+from repro.rpc.server import RpcIspServer
+
+logger = logging.getLogger("repro.fleet")
+
+#: Builds the proxy for one endpoint (swap for timeouts or test fakes).
+HandleFactory = Callable[[Endpoint], RemoteIsp]
+
+#: One shard's share of a ``sync_update`` fan-out (provided by the
+#: lifecycle: wraps the shard server's lock, the shard sync, and the
+#: replication shipment).
+SyncFn = Callable[[dict, dict, V2fsCertificate], None]
+
+
+def _default_handle(endpoint: Endpoint) -> RemoteIsp:
+    return RemoteIsp(endpoint[0], endpoint[1])
+
+
+class RouterSession:
+    """Router-side state of one fleet query session."""
+
+    def __init__(self, session_id: int, version: int) -> None:
+        self.session_id = session_id
+        #: The certificate version every shard session must pin.
+        self.version = version
+        #: shard_id -> (handle, remote session id), opened lazily.
+        self.shard_sessions: Dict[int, Tuple[RemoteIsp, int]] = {}
+        self.touched_s = time.monotonic()
+
+    def touch(self) -> None:
+        self.touched_s = time.monotonic()
+
+
+class FleetIsp:
+    """The fan-out router behind the standard ISP surface."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        handle_factory: HandleFactory = _default_handle,
+        sync_fns: Optional[Dict[int, SyncFn]] = None,
+    ) -> None:
+        if not shard_map.shards:
+            raise FleetError("shard map lists no shards")
+        self.shard_map = shard_map
+        self.partitioner = shard_map.partitioner()
+        self.sessions = SessionRegistry("fleet.sessions", "fleet.router")
+        #: Direct per-shard sync callables (in-process fleets).  When
+        #: absent, ``sync_update`` refuses: the router never invents a
+        #: write path.
+        self.sync_fns = sync_fns or {}
+        self._synced: Dict[int, int] = {}  # shard_id -> last acked version
+        self._primaries: Dict[int, RemoteIsp] = {}
+        self._replicas: Dict[int, List[RemoteIsp]] = {}
+        for shard in shard_map.shards:
+            self._primaries[shard.shard_id] = handle_factory(shard.primary)
+            self._replicas[shard.shard_id] = [
+                handle_factory(endpoint) for endpoint in shard.replicas
+            ]
+
+    def close(self) -> None:
+        for handle in self._primaries.values():
+            handle.close()
+        for handles in self._replicas.values():
+            for handle in handles:
+                handle.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        shard_id = self.partitioner(key)
+        if shard_id not in self._primaries:
+            raise FleetError(
+                f"key {key!r} maps to unknown shard {shard_id}"
+            )
+        return shard_id
+
+    def shard_for_page(self, path: str, page_id: int) -> int:
+        """The shard owning one page's *content* (page-granular key)."""
+        return self.shard_for(page_key(path, page_id))
+
+    def _session(self, session_id: int) -> RouterSession:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise NetworkError(f"unknown session {session_id}")
+        session.touch()
+        return session
+
+    def _pick_endpoint(
+        self, shard_id: int, version: int
+    ) -> Tuple[RemoteIsp, bool]:
+        """The endpoint a read session on ``shard_id`` should use.
+
+        Prefers a replica that has caught up to the pinned ``version``
+        (offloading the primary); every lagging replica is counted as
+        ``fleet.replica.stale`` and the primary serves instead.  An
+        unreachable replica is treated the same as a stale one.
+        """
+        for replica in self._replicas.get(shard_id, ()):
+            try:
+                certificate = replica.get_certificate()
+            except (ReproError, OSError):
+                continue
+            if certificate.version >= version:
+                return replica, True
+            if obs.ACTIVE:
+                obs.inc("fleet.replica.stale")
+        return self._primaries[shard_id], False
+
+    def _shard_session(
+        self, session: RouterSession, shard_id: int
+    ) -> Tuple[RemoteIsp, int]:
+        """The (handle, remote session) for one shard, opened on first
+        touch and pinned to the fleet session's version."""
+        held = session.shard_sessions.get(shard_id)
+        if held is not None:
+            return held
+        if faults.ACTIVE:
+            # Severs fan-out to a shard mid-query: the injected fault
+            # travels to the client as a typed wire error and the query
+            # aborts — never a partial, unverifiable answer.
+            faults.fire(
+                "fleet.router.fanout",
+                shard=shard_id, session=session.session_id,
+            )
+        handle, is_replica = self._pick_endpoint(shard_id, session.version)
+        try:
+            remote_sid = handle.open_session(
+                expected_version=session.version
+            )
+        except NetworkError:
+            if not is_replica:
+                raise
+            # The replica raced past its certificate check (or died
+            # mid-open); the primary is authoritative.
+            handle = self._primaries[shard_id]
+            remote_sid = handle.open_session(
+                expected_version=session.version
+            )
+            is_replica = False
+        if obs.ACTIVE:
+            obs.inc("fleet.router.fanout")
+            if is_replica:
+                obs.inc("fleet.replica.read")
+        session.shard_sessions[shard_id] = (handle, remote_sid)
+        return handle, remote_sid
+
+    # ------------------------------------------------------------------
+    # The ISP client-facing surface
+    # ------------------------------------------------------------------
+
+    def get_certificate(self) -> V2fsCertificate:
+        # Shard 0's primary is the canonical certificate source; all
+        # primaries adopt each certificate in the same fan-out, and the
+        # client verifies the signature regardless of who served it.
+        return self._primaries[0].get_certificate()
+
+    def open_session(self, expected_version: Optional[int] = None) -> int:
+        certificate = self.get_certificate()
+        if (
+            expected_version is not None
+            and certificate.version != expected_version
+        ):
+            raise NetworkError(
+                f"certificate superseded (now version "
+                f"{certificate.version}, client validated "
+                f"{expected_version}); refetch and retry"
+            )
+        session = RouterSession(
+            self.sessions.next_id(), certificate.version
+        )
+        self.sessions.insert(session)
+        return session.session_id
+
+    def get_file_meta(
+        self, session_id: int, path: str
+    ) -> Tuple[bool, int, int]:
+        session = self._session(session_id)
+        handle, sid = self._shard_session(session, self.shard_for(path))
+        return handle.get_file_meta(sid, path)
+
+    def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
+        session = self._session(session_id)
+        shard_id = self.shard_for_page(path, page_id)
+        handle, sid = self._shard_session(session, shard_id)
+        return handle.get_page(sid, path, page_id)
+
+    def validate_path(self, session_id, path, page_id, digs_path):
+        # The fallback answer serves page bytes, so this routes by the
+        # page key like ``get_page`` (the skeleton part could be served
+        # anywhere — every shard folds the full digest tree).
+        session = self._session(session_id)
+        shard_id = self.shard_for_page(path, page_id)
+        handle, sid = self._shard_session(session, shard_id)
+        return handle.validate_path(sid, path, page_id, digs_path)
+
+    def finalize_session(self, session_id: int) -> AdsProof:
+        session = self.sessions.remove(session_id)
+        if session is None:
+            raise NetworkError(f"unknown session {session_id}")
+        if not session.shard_sessions:
+            # A query that touched nothing still needs a proof anchored
+            # at the pinned root; any shard's empty VO is exactly that.
+            self._shard_session(session, 0)
+        proofs = []
+        for shard_id in sorted(session.shard_sessions):
+            handle, sid = session.shard_sessions[shard_id]
+            proofs.append(handle.finalize_session(sid))
+        stitched = self._stitch(proofs)
+        if obs.ACTIVE:
+            obs.observe("fleet.router.stitch.shards", len(proofs))
+            obs.observe(
+                "fleet.router.stitch.bytes", stitched.byte_size()
+            )
+        return stitched
+
+    def _stitch(self, proofs: List[AdsProof]) -> AdsProof:
+        """Merge the per-shard VOs (overridden by collusive routers in
+        the adversarial suite; the honest router cross-checks)."""
+        return stitch_proofs(proofs, verify=True)
+
+    # ------------------------------------------------------------------
+    # Write path: fan the CI batch to every shard primary
+    # ------------------------------------------------------------------
+
+    def sync_update(
+        self,
+        writes: Dict[str, Dict[int, bytes]],
+        new_sizes: Dict[str, int],
+        certificate: V2fsCertificate,
+    ) -> None:
+        """Apply one certified batch on every shard primary.
+
+        Per-shard idempotent: a shard that already acked this version
+        is skipped, so retrying after a partial failure completes the
+        stragglers instead of double-applying.  Any shard still failing
+        raises :class:`FleetError` — the fleet never silently serves a
+        mixed-version snapshot (each shard refuses a batch that does
+        not reproduce the certified root, so a partial fan-out can only
+        lag, not diverge).
+        """
+        if not self.sync_fns:
+            raise FleetError(
+                "router has no write path to the shard primaries"
+            )
+        failures: List[str] = []
+        acked = 0
+        for shard_id in sorted(self.sync_fns):
+            if self._synced.get(shard_id) == certificate.version:
+                acked += 1
+                continue
+            try:
+                self.sync_fns[shard_id](writes, new_sizes, certificate)
+            except ReproError as error:
+                logger.warning(
+                    "shard %d failed sync to version %d: %s",
+                    shard_id, certificate.version, error,
+                )
+                failures.append(f"shard {shard_id}: {error}")
+                continue
+            self._synced[shard_id] = certificate.version
+            acked += 1
+        if obs.ACTIVE:
+            obs.observe("fleet.sync.shards", acked)
+        if failures:
+            raise FleetError(
+                f"sync_update to version {certificate.version} failed "
+                f"on {len(failures)} shard(s): " + "; ".join(failures)
+            )
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def prune_sessions(self, idle_ttl_s: float) -> int:
+        """Sweep fleet sessions idle past ``idle_ttl_s``.
+
+        A vanished client strands its per-shard sessions, which pin
+        snapshots on every touched shard; the sweep finalizes them
+        best-effort to release those roots.
+        """
+        cutoff = time.monotonic() - idle_ttl_s
+        doomed: List[RouterSession] = []
+
+        def stale(session) -> bool:
+            if session.touched_s <= cutoff:
+                doomed.append(session)
+                return True
+            return False
+
+        count = self.sessions.prune(stale)
+        for session in doomed:
+            for handle, sid in session.shard_sessions.values():
+                try:
+                    handle.finalize_session(sid)
+                except (ReproError, OSError):
+                    pass  # best-effort release
+        return count
+
+
+class FleetRouterServer(RpcIspServer):
+    """The router behind the unmodified wire protocol.
+
+    Dispatch is **lock-free**: every handler call performs remote I/O
+    to shards, and holding the coarse server lock across a remote call
+    would serialize the whole fleet behind one slow shard (and
+    deadlock a router that ever called itself).  The FleetIsp's shared
+    state is confined to the session registry (internally locked) and
+    per-session dicts touched by one client at a time.
+    """
+
+    def _serve(self, kind: int, args: tuple) -> bytes:
+        if kind == codec.REQ_SHARD_MAP:
+            return codec.encode_shard_map(self.isp.shard_map)
+        return self._dispatch(kind, args)
+
+
+__all__ = [
+    "FleetIsp",
+    "FleetRouterServer",
+    "RouterSession",
+    "SyncFn",
+]

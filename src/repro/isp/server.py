@@ -20,21 +20,19 @@ test suite override methods to model malicious behaviour.
 
 from __future__ import annotations
 
-import itertools
 import logging
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.certificate import V2fsCertificate
 from repro.crypto.hashing import Digest
 from repro.errors import NetworkError, StorageError
 from repro.faults import registry as faults
+from repro.isp.sessions import registry_for_isp
 from repro.isp.vo import VOBuilder
 from repro.merkle import page_tree
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
 from repro.obs import metrics as obs
-from repro.sanitize import runtime as san
-from repro.sanitize.runtime import SanLock
 
 logger = logging.getLogger("repro.isp")
 
@@ -62,17 +60,17 @@ class IspServer:
         self.ads = V2fsAds()
         self.root = self.ads.root
         self.certificate: Optional[V2fsCertificate] = None
-        # Guards *mutation and iteration* of the session table.  Reads
-        # by session id stay lock-free on purpose (``writes`` mode): a
-        # single-key dict lookup is atomic under the GIL, sessions are
-        # pinned to their snapshot root at open (MVCC), and the worst
-        # a stale lookup can observe is a just-finalized id — which is
-        # the same NetworkError the client gets for any unknown
-        # session.  See DESIGN.md "Concurrency model".
-        self._lock = SanLock("isp.sessions")
-        self._sessions: Dict[int, IspSession] = {}  # repro: guarded-by(_lock, writes)
-        self._session_ids = itertools.count(1)
+        # The session table (lock discipline, prune sweep, and the
+        # open/finalize metrics) lives in a SessionRegistry shared with
+        # the fleet router.  See DESIGN.md "Concurrency model".
+        self.sessions = registry_for_isp()
         self._previous_root: Optional[Digest] = None
+
+    @property
+    def _sessions(self) -> Dict[int, "IspSession"]:
+        """Raw session table (kept as a seam for adversarial subclasses
+        in the test suite; production code goes through ``sessions``)."""
+        return self.sessions.table  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Synchronization from the CI (step 3 / footnote 1)
@@ -101,7 +99,7 @@ class IspServer:
         if faults.ACTIVE:
             faults.fire("isp.sync_update.pre", version=certificate.version)
         if writes:
-            new_root = self.ads.apply_writes(self.root, writes, new_sizes)
+            new_root = self._apply_writes(writes, new_sizes)
         else:
             new_root = self.root
         if new_root != certificate.ads_root:
@@ -128,11 +126,7 @@ class IspServer:
         live = [self.root]
         if self._previous_root is not None:
             live.append(self._previous_root)
-        # Iterating the session table is not a single atomic lookup —
-        # a handler thread inserting mid-iteration would blow up with
-        # "dict changed size" — so the sweep runs under the lock.
-        with self._lock:
-            live.extend(s.root for s in self._sessions.values())
+        live.extend(self.sessions.live_roots())
         try:
             self.ads.prune(live)
         except (StorageError, OSError):
@@ -141,6 +135,15 @@ class IspServer:
             logger.exception(
                 "post-publish prune failed; superseded nodes retained"
             )
+
+    def _apply_writes(
+        self,
+        writes: Mapping[str, Mapping[int, bytes]],
+        new_sizes: Mapping[str, int],
+    ) -> Digest:
+        """Fold one write batch into the ADS (overridden by fleet shards
+        to store page data for owned paths only)."""
+        return self.ads.apply_writes(self.root, writes, new_sizes)
 
     # ------------------------------------------------------------------
     # Client-facing service
@@ -172,16 +175,9 @@ class IspServer:
                 f"{expected_version}); refetch and retry"
             )
         session = IspSession(
-            next(self._session_ids), self.ads, self.root, certificate
+            self.sessions.next_id(), self.ads, self.root, certificate
         )
-        with self._lock:
-            if san.ACTIVE:
-                san.track(self, "_sessions", guard="isp.sessions",
-                          writes_only=True)
-                san.track_write(self, "_sessions")
-            self._sessions[session.session_id] = session
-        if obs.ACTIVE:
-            obs.inc("isp.session.open")
+        self.sessions.insert(session)
         return session.session_id
 
     def _session(self, session_id: int) -> IspSession:
@@ -248,16 +244,12 @@ class IspServer:
 
     def finalize_session(self, session_id: int) -> AdsProof:
         """Build and return the consolidated VO; closes the session."""
-        with self._lock:
-            if san.ACTIVE:
-                san.track_write(self, "_sessions")
-            session = self._sessions.pop(session_id, None)
+        session = self.sessions.remove(session_id)
         if session is None:
             # E.g. a client retrying a finalize whose first reply was
             # lost in transit: the session is already closed.
             raise NetworkError(f"unknown session {session_id}")
         vo = session.vo.build()
         if obs.ACTIVE:
-            obs.inc("isp.session.finalize")
             obs.observe("isp.vo.bytes", vo.byte_size())
         return vo

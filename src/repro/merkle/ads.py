@@ -17,7 +17,16 @@ of the system needs:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.crypto.hashing import Digest, hash_bytes
 from repro.errors import (
@@ -100,6 +109,7 @@ class V2fsAds:
         root: Digest,
         writes: Mapping[str, Mapping[int, bytes]],
         new_sizes: Mapping[str, int],
+        own: Optional[Callable[[str, int], bool]] = None,
     ) -> Digest:
         """Apply page writes and return the new ADS root.
 
@@ -107,6 +117,15 @@ class V2fsAds:
         gives the post-write byte size of every written file.  Files are
         created on first write.  The previous root remains a readable
         snapshot until pruned.
+
+        ``own`` enables the sharded-storage mode: for ``(path,
+        page_id)`` pairs it rejects, the page *digest* is folded into
+        the tree without storing the :class:`PageData` itself.  The
+        resulting root is byte-identical to a full apply — digests
+        commit to content, not to presence — so a shard holding only
+        its partition's pages still anchors at the fleet-wide
+        certified root; reads of non-owned pages fail with a typed
+        :class:`~repro.errors.StorageError`.
         """
         if obs.ACTIVE:
             obs.inc("ads.apply_writes")
@@ -123,10 +142,20 @@ class V2fsAds:
                 # tree.  Anything else (corrupt trie, unknown digest)
                 # must propagate — it is not a missing file.
                 old_tree, old_count = page_tree.EMPTY[0], 0
-            leaf_writes = {
-                pid: self.store.put(PageData(bytes(data)))
-                for pid, data in page_writes.items()
-            }
+            if own is None:
+                leaf_writes = {
+                    pid: self.store.put(PageData(bytes(data)))
+                    for pid, data in page_writes.items()
+                }
+            else:
+                leaf_writes = {
+                    pid: (
+                        self.store.put(PageData(bytes(data)))
+                        if own(path, pid)
+                        else hash_bytes(bytes(data))
+                    )
+                    for pid, data in page_writes.items()
+                }
             new_count = max(
                 old_count, max(leaf_writes, default=-1) + 1
             )

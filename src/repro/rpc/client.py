@@ -22,7 +22,14 @@ Reliability model:
   are *never* retried: they raise a typed
   :class:`~repro.errors.WireFormatError` immediately, because a peer
   that sends garbage is either broken or hostile, and the caller must
-  see that.
+  see that;
+* a per-endpoint **circuit breaker** fails calls fast once an endpoint
+  has produced enough *consecutive* connection-level failures: without
+  it, every request routed to a dead shard burns the full retry/backoff
+  budget before erroring, which turns one dead shard into fleet-wide
+  latency.  The breaker only gates the *start* of a call — a call
+  already inside its retry loop runs its full budget, so the documented
+  retry contract is unchanged.
 """
 
 from __future__ import annotations
@@ -107,6 +114,75 @@ def _close_quietly(conn: socket.socket) -> None:
         pass
 
 
+class CircuitBreaker:
+    """Per-endpoint connection-failure breaker (closed → open → half-open).
+
+    Counts *consecutive* connection-level failures (attempt granularity);
+    at ``threshold`` the circuit opens and :meth:`check` rejects calls
+    immediately with :class:`~repro.errors.RpcConnectionError`.  After
+    ``cooldown_s`` one probe call is let through (half-open): success
+    closes the circuit, failure re-opens it for another cooldown.
+    ``threshold=0`` disables the breaker entirely.
+
+    The breaker is consulted only *between* calls, never between the
+    retry attempts inside one call, so retry counts and backoff timing
+    stay exactly as documented for the first call that finds an endpoint
+    dead.
+    """
+
+    def __init__(self, threshold: int = 4, cooldown_s: float = 0.25) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    def check(self) -> None:
+        """Raise if the circuit is open (called at the start of a call)."""
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            if self._opened_at is None:
+                return
+            elapsed = time.monotonic() - self._opened_at
+            if elapsed >= self.cooldown_s and not self._probing:
+                # Half-open: admit exactly one probe call.
+                self._probing = True
+                return
+            failures = self._failures
+        if obs.ACTIVE:
+            obs.inc("rpc.client.breaker.fastfail")
+        raise RpcConnectionError(
+            f"circuit open after {failures} consecutive connection "
+            f"failures; retrying after {self.cooldown_s}s cooldown"
+        )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        if self.threshold <= 0:
+            return
+        opened = False
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._failures >= self.threshold:
+                opened = self._opened_at is None
+                self._opened_at = time.monotonic()
+        if opened and obs.ACTIVE:
+            obs.inc("rpc.client.breaker.open")
+
+    @property
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+
 class RemoteIsp:
     """A connected ISP proxy; drop-in for the in-process ISP."""
 
@@ -119,6 +195,8 @@ class RemoteIsp:
         backoff_s: float = 0.05,
         max_backoff_s: float = 1.0,
         pool_size: int = 8,
+        breaker_threshold: int = 4,
+        breaker_cooldown_s: float = 0.25,
     ) -> None:
         self.host = host
         self.port = port
@@ -127,6 +205,10 @@ class RemoteIsp:
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
         self._pool = _ConnectionPool(host, port, pool_size, timeout_s)
+        #: Per-endpoint breaker: the default threshold equals one fully
+        #: failed default call (max_retries + 1 attempts), so the second
+        #: call to a dead endpoint fails fast instead of backing off.
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_s)
 
     # ------------------------------------------------------------------
     # Request machinery
@@ -136,6 +218,7 @@ class RemoteIsp:
         """One RPC round trip with pooled connections and retries."""
         attempts = self.max_retries + 1
         last_error: Optional[Exception] = None
+        self.breaker.check()
         if obs.ACTIVE:
             obs.inc("rpc.client.requests")
         for attempt in range(attempts):
@@ -150,6 +233,7 @@ class RemoteIsp:
             try:
                 conn = self._pool.acquire()
             except RpcConnectionError as error:
+                self.breaker.record_failure()
                 last_error = error
                 continue
             try:
@@ -158,6 +242,7 @@ class RemoteIsp:
                 payload = codec.recv_frame(conn)
             except socket.timeout as error:
                 self._pool.discard(conn)
+                self.breaker.record_failure()
                 last_error = RpcTimeoutError(
                     f"request timed out after {self.timeout_s}s"
                 )
@@ -168,6 +253,7 @@ class RemoteIsp:
                 raise  # corrupt data is not transient: no retry
             except OSError as error:
                 self._pool.discard(conn)
+                self.breaker.record_failure()
                 last_error = RpcConnectionError(
                     f"connection to {self.host}:{self.port} failed: {error}"
                 )
@@ -178,11 +264,13 @@ class RemoteIsp:
                 # mid-pool): the connection is dead, the request may be
                 # retried on a fresh one.
                 self._pool.discard(conn)
+                self.breaker.record_failure()
                 last_error = RpcConnectionError(
                     "server closed the connection before replying"
                 )
                 continue
             self._pool.release(conn)
+            self.breaker.record_success()
             kind, value = codec.decode_response(payload)
             if kind == codec.RESP_ERROR:
                 assert isinstance(value, ReproError)
@@ -270,6 +358,13 @@ class RemoteIsp:
     def fetch_chain_heads(self) -> Dict[str, BlockHeader]:
         return self._call(
             codec.encode_chain_heads_request(), codec.RESP_CHAIN_HEADS
+        )
+
+    def fetch_shard_map(self):
+        """The fleet router's :class:`~repro.fleet.partition.ShardMap`
+        (single-node servers answer with a typed error)."""
+        return self._call(
+            codec.encode_shard_map_request(), codec.RESP_SHARD_MAP
         )
 
 

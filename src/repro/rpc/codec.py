@@ -254,6 +254,7 @@ REQ_FINALIZE_SESSION = 0x06
 REQ_BOOTSTRAP = 0x07
 REQ_CHAIN_HEADS = 0x08
 REQ_PING = 0x09
+REQ_SHARD_MAP = 0x0A
 
 RESP_CERTIFICATE = 0x81
 RESP_SESSION = 0x82
@@ -264,7 +265,11 @@ RESP_VO = 0x86
 RESP_BOOTSTRAP = 0x87
 RESP_CHAIN_HEADS = 0x88
 RESP_PONG = 0x89
+RESP_SHARD_MAP = 0x8A
 RESP_ERROR = 0xFF
+
+#: Bound on one shard map's encoded body (see repro.fleet.partition).
+MAX_SHARD_MAP_BYTES = 1 << 20
 
 _VALIDATION_FRESH = 0
 _VALIDATION_PAGE = 1
@@ -363,6 +368,10 @@ def encode_ping() -> bytes:
     return Writer().u8(REQ_PING).payload()
 
 
+def encode_shard_map_request() -> bytes:
+    return Writer().u8(REQ_SHARD_MAP).payload()
+
+
 #: Decoded request: (kind, args tuple).
 DecodedRequest = Tuple[int, tuple]
 
@@ -372,7 +381,8 @@ def decode_request(payload: bytes) -> DecodedRequest:
     reader = Reader(payload)
     kind = reader.u8()
     if kind in (
-        REQ_GET_CERTIFICATE, REQ_BOOTSTRAP, REQ_CHAIN_HEADS, REQ_PING
+        REQ_GET_CERTIFICATE, REQ_BOOTSTRAP, REQ_CHAIN_HEADS, REQ_PING,
+        REQ_SHARD_MAP,
     ):
         args: tuple = ()
     elif kind == REQ_OPEN_SESSION:
@@ -553,6 +563,11 @@ def encode_pong() -> bytes:
     return Writer().u8(RESP_PONG).payload()
 
 
+def encode_shard_map(shard_map) -> bytes:
+    """Encode a :class:`repro.fleet.partition.ShardMap` response."""
+    return Writer().u8(RESP_SHARD_MAP).blob(shard_map.encode()).payload()
+
+
 def encode_error(error: BaseException) -> bytes:
     message = str(error)[:MAX_ERROR_BYTES]
     return (
@@ -626,6 +641,13 @@ def decode_response(payload: bytes) -> DecodedResponse:
         }
     elif kind == RESP_PONG:
         value = None
+    elif kind == RESP_SHARD_MAP:
+        # Local import: repro.fleet sits above the rpc layer (the fleet
+        # router *uses* this codec), so the module level must not
+        # depend on it.
+        from repro.fleet.partition import ShardMap
+
+        value = ShardMap.decode(reader.blob(MAX_SHARD_MAP_BYTES))
     elif kind == RESP_ERROR:
         code = reader.u16()
         message = reader.text(MAX_ERROR_BYTES)

@@ -76,6 +76,13 @@ class RpcIspServer:
         #: Chaos runs pair it with a short client ``timeout_s`` so a
         #: stalled read surfaces as a timeout, not a stuck test.
         self.fault_stall_s = 0.5
+        #: Modeled storage service time per data-service request
+        #: (seconds).  Zero in normal operation; the fleet scaling
+        #: benchmark sets it so each shard charges realistic per-page
+        #: I/O time — the sleep runs *inside* the dispatch lock, so one
+        #: server serializes its service time while independent shard
+        #: servers overlap theirs (sleeping threads release the GIL).
+        self.service_delay_s = 0.0
         #: Guards every operation on the wrapped ISP.  Updates applied
         #: outside the RPC path (CI ingestion) must hold it too — see
         #: :func:`serve_system`.
@@ -311,8 +318,7 @@ class RpcIspServer:
                 obs.inc("rpc.server.errors")
             return codec.encode_error(error)
         try:
-            with self.lock:
-                return self._dispatch(kind, args)
+            return self._serve(kind, args)
         except ReproError as error:
             logger.debug(
                 "request 0x%02x failed: %s", kind, error
@@ -332,6 +338,28 @@ class RpcIspServer:
             return codec.encode_error(
                 NetworkError(f"internal server error: {type(error).__name__}")
             )
+
+    #: Request kinds that model storage service time (page and proof
+    #: service — the data-plane operations a real shard spends I/O on).
+    _DATA_SERVICE_KINDS = frozenset({
+        codec.REQ_GET_FILE_META,
+        codec.REQ_GET_PAGE,
+        codec.REQ_VALIDATE_PATH,
+        codec.REQ_FINALIZE_SESSION,
+    })
+
+    def _serve(self, kind: int, args: tuple) -> bytes:
+        """Run one decoded request to an encoded reply.
+
+        The base server serializes against :attr:`lock` (one ISP, one
+        coarse lock); the fleet router overrides this to dispatch
+        lock-free, since its handlers perform remote I/O and must never
+        hold a lock across it.
+        """
+        with self.lock:
+            if self.service_delay_s and kind in self._DATA_SERVICE_KINDS:
+                time.sleep(self.service_delay_s)
+            return self._dispatch(kind, args)
 
     def _dispatch(self, kind: int, args: tuple) -> bytes:
         isp = self.isp

@@ -1,0 +1,541 @@
+"""The sharded fleet (:mod:`repro.fleet`), end to end.
+
+The load-bearing claims under test:
+
+- a shard stores only its partition's pages yet reproduces the
+  fleet-wide certified root byte-identically, so the unmodified client
+  verifier accepts fleet answers in every query mode, in-process and
+  over the wire;
+- replicas advance only through certified deltas and the router falls
+  back to the primary the moment one lags;
+- ``sync_update`` fan-out is per-shard idempotent: a partial failure
+  raises, and the retry after restart completes exactly the
+  stragglers;
+- every malformed wire artifact (shard maps, deltas) dies with a typed
+  :class:`~repro.errors.WireFormatError`, never a crash.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.client.query_client import QueryClient
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.errors import (
+    FleetError,
+    NetworkError,
+    RpcConnectionError,
+    WireFormatError,
+)
+from repro.faults.chaos import apply_schedule, run_fleet_chaos
+from repro.fleet.lifecycle import Fleet
+from repro.fleet.partition import (
+    STRATEGY_RANGE,
+    HashPartitioner,
+    RangePartitioner,
+    ShardDesc,
+    ShardMap,
+    page_key,
+    plan_range_split,
+)
+from repro.fleet.replication import ReplicaIsp
+from repro.fleet.shard import ShardIsp
+from repro.fleet.stitch import stitch_proofs
+from repro.merkle.delta import NodeDelta
+from repro.rpc.client import CircuitBreaker, connect_client
+
+SQL = "SELECT COUNT(*) FROM eth_transactions"
+
+
+def build_system(hours=1, txs_per_block=4):
+    system = V2FSSystem(SystemConfig(txs_per_block=txs_per_block))
+    system.advance_all(hours)
+    return system
+
+
+def make_client(system, isp, mode=QueryMode.INTER_VBF):
+    return QueryClient(
+        isp=isp,
+        chains=system.chains,
+        attestation_report=system.attestation_report,
+        attestation_root=system.attestation.root_public_key,
+        expected_measurement=system.ci.enclave.measurement,
+        mode=mode,
+    )
+
+
+def publish_via_fleet(system, chain_id="eth"):
+    """Advance one block, fanning the report out through the fleet."""
+    isp = system.isp
+    isp.sync_update = lambda writes, sizes, cert: None
+    try:
+        report = system.advance_block(chain_id)
+    finally:
+        del isp.sync_update
+    isp.sync_update(report.writes, report.new_sizes, report.certificate)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Partitioners and the shard map
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioning:
+    def test_hash_partitioner_is_total_and_deterministic(self):
+        part = HashPartitioner(4).shard_for
+        paths = [f"/db/table{i}.tbl" for i in range(64)]
+        first = [part(p) for p in paths]
+        assert [part(p) for p in paths] == first  # deterministic
+        assert set(first) == {0, 1, 2, 3}  # all shards get work
+        assert all(0 <= s < 4 for s in first)
+
+    def test_range_partitioner_respects_planned_bounds(self):
+        paths = sorted(f"/db/{c}.tbl" for c in "abcdefgh")
+        bounds = plan_range_split(paths, 3)
+        assert len(bounds) == 2
+        part = RangePartitioner(3, bounds).shard_for
+        shards = [part(p) for p in paths]
+        assert shards == sorted(shards)  # order-preserving
+        assert set(shards) == {0, 1, 2}
+
+    def test_hash_spreads_pages_where_range_keeps_them_together(self):
+        # Ownership keys are page-granular: under hash, one hot table
+        # file loads every shard; under range, page keys sort right
+        # after their path so the file stays whole.
+        keys = [page_key("/db/tables/huge.tbl", pid) for pid in range(64)]
+        part = HashPartitioner(4).shard_for
+        assert {part(k) for k in keys} == {0, 1, 2, 3}
+        rng = RangePartitioner(2, ("/db/tables/m",)).shard_for
+        assert {rng(k) for k in keys} == {rng("/db/tables/huge.tbl")}
+
+    def test_range_partitioner_rejects_bad_bounds(self):
+        with pytest.raises(FleetError):
+            RangePartitioner(3, ("/b", "/a"))  # not increasing
+        with pytest.raises(FleetError):
+            RangePartitioner(3, ("/a",))  # wrong count
+
+    def test_shard_map_roundtrip(self):
+        shard_map = ShardMap(
+            version=7,
+            strategy=STRATEGY_RANGE,
+            shards=(
+                ShardDesc(0, ("127.0.0.1", 9001), (("127.0.0.1", 9101),)),
+                ShardDesc(1, ("127.0.0.1", 9002), ()),
+            ),
+            bounds=("/db/m",),
+        )
+        assert ShardMap.decode(shard_map.encode()) == shard_map
+
+    def test_shard_map_hostile_decode(self):
+        encoded = ShardMap(
+            version=1,
+            strategy="hash",
+            shards=(ShardDesc(0, ("h", 1), ()),),
+        ).encode()
+        for blob in (
+            b"",
+            b"\x00" * 4,
+            encoded[:-3],  # truncated
+            encoded + b"\xff",  # trailing bytes
+            b"\xff" * len(encoded),  # garbage throughout
+        ):
+            with pytest.raises(WireFormatError):
+                ShardMap.decode(blob)
+
+
+# ---------------------------------------------------------------------------
+# Shards, deltas, replicas
+# ---------------------------------------------------------------------------
+
+
+class TestShardAndReplica:
+    def test_shard_reproduces_certified_root_with_partial_storage(self):
+        system = build_system()
+        part = HashPartitioner(4).shard_for
+        shard = ShardIsp(2, part)
+        for report in system.update_reports:
+            shard.sync_update(
+                report.writes, report.new_sizes, report.certificate
+            )
+            shard.take_delta()
+        # The partial store lands on the very root the CI certified.
+        assert shard.root == system.update_reports[-1].certificate.ads_root
+        paths = system.isp.ads.list_files(system.isp.root)
+        owned = [p for p in paths if part(page_key(p, 0)) == 2]
+        foreign = [p for p in paths if part(page_key(p, 0)) != 2]
+        assert owned and foreign  # the partition is real
+        sid = shard.open_session()
+        assert shard.get_page(sid, owned[0], 0)
+        with pytest.raises(FleetError):
+            shard.get_page(sid, foreign[0], 0)
+
+    def test_delta_roundtrip_and_replica_follows(self):
+        system = build_system()
+        own_all = HashPartitioner(1).shard_for
+        primary = ShardIsp(0, own_all)
+        replica = ReplicaIsp(0, own_all)
+        for report in system.update_reports:
+            primary.sync_update(
+                report.writes, report.new_sizes, report.certificate
+            )
+            delta = primary.take_delta()
+            decoded = NodeDelta.decode(delta.encode())
+            assert decoded.version == delta.version
+            assert decoded.root == delta.root
+            assert {n for n in decoded.nodes} == {n for n in delta.nodes}
+            replica.apply_delta(decoded, report.certificate)
+        assert replica.root == primary.root
+        # The replica serves verified queries at the replicated root.
+        rows = make_client(system, replica).query(SQL).rows
+        assert rows == make_client(system, system.isp).query(SQL).rows
+
+    def test_replica_rejects_mismatched_delta(self):
+        system = build_system()
+        own_all = HashPartitioner(1).shard_for
+        primary = ShardIsp(0, own_all)
+        replica = ReplicaIsp(0, own_all)
+        reports = system.update_reports
+        primary.sync_update(
+            reports[0].writes, reports[0].new_sizes, reports[0].certificate
+        )
+        delta = primary.take_delta()
+        with pytest.raises(FleetError):
+            # Certificate from a different version than the delta.
+            replica.apply_delta(delta, reports[-1].certificate)
+        with pytest.raises(FleetError):
+            replica.sync_update(
+                reports[0].writes, reports[0].new_sizes,
+                reports[0].certificate,
+            )
+
+    def test_delta_hostile_decode(self):
+        system = build_system()
+        primary = ShardIsp(0, HashPartitioner(1).shard_for)
+        report = system.update_reports[0]
+        primary.sync_update(
+            report.writes, report.new_sizes, report.certificate
+        )
+        encoded = primary.take_delta().encode()
+        for blob in (
+            b"",
+            encoded[:10],
+            encoded[:-1],
+            encoded + b"\x00",
+            b"\xff" * 64,
+        ):
+            with pytest.raises(WireFormatError):
+                NodeDelta.decode(blob)
+
+
+# ---------------------------------------------------------------------------
+# Stitching
+# ---------------------------------------------------------------------------
+
+
+class TestStitch:
+    def test_stitch_unions_views_of_one_tree(self):
+        system = build_system()
+        isp = system.isp
+        paths = isp.ads.list_files(isp.root)
+        assert len(paths) >= 2
+        proofs = []
+        for path in (paths[0], paths[-1]):
+            sid = isp.open_session()
+            isp.get_file_meta(sid, path)
+            proofs.append(isp.finalize_session(sid))
+        stitched = stitch_proofs(proofs)
+        certificate = isp.get_certificate()
+        assert stitched.trie.digest() == certificate.ads_root
+        covered = set(proofs[0].files) | set(proofs[1].files)
+        assert set(stitched.files) == covered
+
+    def test_stitch_rejects_cross_version_views(self):
+        system = build_system()
+        isp = system.isp
+        path = isp.ads.list_files(isp.root)[0]
+
+        def proof_for(path):
+            sid = isp.open_session()
+            isp.get_file_meta(sid, path)
+            return isp.finalize_session(sid)
+
+        old = proof_for(path)
+        system.advance_block("eth")
+        new = proof_for(path)
+        with pytest.raises(FleetError):
+            stitch_proofs([old, new])
+        # Collusive mode forwards the inconsistency instead of raising
+        # (the client is the one that must catch it).
+        stitch_proofs([old, new], verify=False)
+
+    def test_stitch_requires_at_least_one_proof(self):
+        with pytest.raises(FleetError):
+            stitch_proofs([])
+
+
+# ---------------------------------------------------------------------------
+# The full fleet behind the router
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def running_fleet():
+    """A 4-shard, 2-replica fleet over 2h of history (read-mostly)."""
+    system = build_system(hours=2)
+    fleet = Fleet(system, shard_count=4, replicas=2)
+    fleet.start()
+    yield system, fleet
+    fleet.stop()
+
+
+class TestFleetEndToEnd:
+    def test_all_query_modes_verify_through_the_router(
+        self, running_fleet
+    ):
+        system, fleet = running_fleet
+        reference = make_client(
+            system, fleet._original_isp, QueryMode.BASELINE
+        ).query(SQL).rows
+        for mode in QueryMode:
+            rows = make_client(system, fleet.isp, mode).query(SQL).rows
+            assert rows == reference, mode
+
+    def test_remote_client_and_shard_map_over_the_wire(
+        self, running_fleet
+    ):
+        system, fleet = running_fleet
+        host, port = fleet.router_address
+        client = connect_client(host, port)
+        try:
+            rows = client.query(SQL).rows
+            assert rows == make_client(system, fleet.isp).query(SQL).rows
+            shard_map = client.isp.fetch_shard_map()
+            assert isinstance(shard_map, ShardMap)
+            assert len(shard_map.shards) == 4
+            assert shard_map.partitioner()("/any/path") in range(4)
+        finally:
+            client.isp.close()
+
+    def test_replicas_are_caught_up_after_bootstrap(self, running_fleet):
+        _, fleet = running_fleet
+        version = fleet.isp.get_certificate().version
+        for shard_id, pairs in fleet.replicas.items():
+            for label, replica in pairs:
+                assert fleet.logs[shard_id].lag_of(label) == 0
+                assert replica.certificate.version == version
+
+    def test_empty_touch_query_still_returns_anchored_proof(
+        self, running_fleet
+    ):
+        _, fleet = running_fleet
+        sid = fleet.isp.open_session()
+        proof = fleet.isp.finalize_session(sid)
+        certificate = fleet.isp.get_certificate()
+        assert proof.trie.digest() == certificate.ads_root
+
+
+class TestFleetUpdatesAndFailures:
+    def test_update_fans_out_and_replicas_ship(self):
+        system = build_system()
+        with Fleet(system, shard_count=2, replicas=2) as fleet:
+            before = fleet.isp.get_certificate().version
+            report = publish_via_fleet(system)
+            assert report.certificate.version > before
+            assert (
+                fleet.isp.get_certificate().version
+                == report.certificate.version
+            )
+            for shard_id, pairs in fleet.replicas.items():
+                for label, replica in pairs:
+                    assert fleet.logs[shard_id].lag_of(label) == 0
+                    assert (
+                        replica.certificate.version
+                        == report.certificate.version
+                    )
+            rows = make_client(system, fleet.isp).query(SQL).rows
+            assert rows  # verifies at the new version
+
+    def test_partial_sync_raises_and_retry_completes_stragglers(self):
+        system = build_system()
+        with Fleet(system, shard_count=2) as fleet:
+            isp = fleet.isp
+            isp.sync_update = lambda writes, sizes, cert: None
+            try:
+                report = system.advance_block("eth")
+            finally:
+                del isp.sync_update
+            fleet.kill_shard(1)
+            with pytest.raises(FleetError):
+                isp.sync_update(
+                    report.writes, report.new_sizes, report.certificate
+                )
+            # Shard 0 acked; shard 1 is the straggler.
+            assert isp._synced[0] == report.certificate.version
+            assert isp._synced.get(1) != report.certificate.version
+            fleet.restart_shard(1)
+            isp.sync_update(
+                report.writes, report.new_sizes, report.certificate
+            )
+            assert isp._synced[1] == report.certificate.version
+            assert (
+                fleet.shards[1].root == report.certificate.ads_root
+            )
+
+    def test_dead_shard_aborts_queries_typed_then_recovers(self):
+        system = build_system()
+        with Fleet(system, shard_count=2) as fleet:
+            shard = fleet.shards[0]
+            table_paths = [
+                p for p in shard.ads.list_files(shard.root)
+                if "eth_transactions" in p
+            ]
+            assert table_paths
+            # Page 0 of the table is read by every COUNT(*) scan, so
+            # killing its owner guarantees the query hits the hole.
+            victim = fleet.isp.shard_for_page(table_paths[0], 0)
+            host, port = fleet.router_address
+            client = connect_client(
+                host, port, timeout_s=0.5, max_retries=1
+            )
+            try:
+                assert client.query(SQL).rows
+                fleet.kill_shard(victim)
+                # Aborted with a typed error — never wrong rows.
+                with pytest.raises(NetworkError):
+                    client.query(SQL)
+                fleet.restart_shard(victim)
+                assert client.query(SQL).rows
+            finally:
+                client.isp.close()
+
+    def test_replica_lag_falls_back_to_primary(self):
+        system = build_system()
+        with Fleet(system, shard_count=2, replicas=2) as fleet:
+            from repro.faults import registry as faults
+
+            faults.seed(0)
+            apply_schedule("fleet.replica.lag=raise@p:1")
+            report = publish_via_fleet(system)
+            faults.reset()
+            # Every replica was withheld: all lag behind the head.
+            lags = [
+                fleet.logs[shard_id].lag_of(label)
+                for shard_id, pairs in fleet.replicas.items()
+                for label, _ in pairs
+            ]
+            assert lags and all(lag > 0 for lag in lags)
+            # Reads still verify — the router detects staleness and
+            # serves from the primaries.
+            rows = make_client(system, fleet.isp).query(SQL).rows
+            assert rows
+            # The next shipment drains the backlog.
+            for shard_id in fleet.logs:
+                fleet.logs[shard_id].ship()
+                for label, replica in fleet.replicas[shard_id]:
+                    assert fleet.logs[shard_id].lag_of(label) == 0
+                    assert (
+                        replica.certificate.version
+                        == report.certificate.version
+                    )
+
+
+class TestBreaker:
+    def test_breaker_opens_after_threshold_and_probes_after_cooldown(
+        self,
+    ):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=0.05)
+        breaker.check()  # closed: no-op
+        breaker.record_failure()
+        breaker.check()  # still closed below threshold
+        breaker.record_failure()
+        assert breaker.is_open
+        with pytest.raises(RpcConnectionError):
+            breaker.check()
+        time.sleep(0.06)
+        breaker.check()  # half-open: one probe admitted
+        with pytest.raises(RpcConnectionError):
+            breaker.check()  # ...but only one
+        breaker.record_success()
+        assert not breaker.is_open
+        breaker.check()
+
+    def test_dead_endpoint_fails_fast_once_open(self):
+        system = build_system()
+        with Fleet(system, shard_count=2) as fleet:
+            host, port = fleet.router_address
+            client = connect_client(
+                host, port, timeout_s=0.5, max_retries=1
+            )
+            try:
+                assert client.query(SQL).rows
+                fleet.router_server.stop()
+                fleet.router_server = None
+                # Each failed query records 2 connection failures
+                # (initial attempt + 1 retry); the default threshold
+                # of 4 opens the circuit after the second query.
+                for _ in range(2):
+                    with pytest.raises(NetworkError):
+                        client.query(SQL)
+                # The breaker is open now: failure is immediate, with
+                # no connection attempts (hence near-zero latency).
+                assert client.isp.breaker.is_open
+                started = time.perf_counter()
+                with pytest.raises(RpcConnectionError):
+                    client.query(SQL)
+                assert time.perf_counter() - started < 0.05
+            finally:
+                client.isp.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI and chaos entry points
+# ---------------------------------------------------------------------------
+
+
+class TestFleetCli:
+    def test_fleet_serve_and_query_connect(self, capsys, tmp_path):
+        port_file = tmp_path / "port"
+        result = {}
+
+        def run_fleet():
+            result["code"] = cli.main([
+                "fleet", "--hours", "1", "--txs-per-block", "2",
+                "--shards", "2", "--replicas", "1",
+                "--port-file", str(port_file), "--serve-for", "120",
+            ])
+
+        thread = threading.Thread(target=run_fleet, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 90
+            while not port_file.exists():
+                assert time.monotonic() < deadline, "fleet never bound"
+                time.sleep(0.05)
+            address = port_file.read_text().strip()
+            capsys.readouterr()  # drain the fleet banner
+            code = cli.main([
+                "query", "SELECT COUNT(*) AS n FROM btc_blocks",
+                "--connect", address, "--mode", "baseline",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert out.splitlines()[0] == "n"
+            assert out.splitlines()[1] == "1"
+        finally:
+            cli._serve_shutdown.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+
+class TestFleetChaosSmoke:
+    def test_short_fleet_chaos_run_holds_invariants(self):
+        stats = run_fleet_chaos(3, steps=8, shard_count=2, replicas=1)
+        assert stats.steps == 8
+        # Either path proves liveness: queries completed, or every
+        # abort was a typed error (the harness asserts on divergence).
+        assert stats.remote_queries_ok + stats.remote_queries_failed > 0
