@@ -1,0 +1,196 @@
+"""Fault-free cost of the failure-domain machinery on the fleet path.
+
+The resilience layer (deadline frames on every RPC, the adaptive
+hedging policy around page reads, the background heartbeat tracker)
+must be cheap when nothing is failing — a fleet that pays double-digit
+overhead for insurance would never ship with it armed.  This benchmark
+runs the paper's Mixed workload in BASELINE mode (no client cache: the
+maximum page-request pressure, so per-RPC bookkeeping is maximally
+visible) through a healthy 2-shard + replica fleet twice per repeat,
+interleaved:
+
+* **plain** — hedging disabled, no deadline budget, no health tracker:
+  the PR-6 wire behavior (V2 frames, no per-call deadline objects);
+* **armed** — hedging enabled (adaptive p99 tied-request trigger), a
+  30s end-to-end deadline on every client RPC (V3 frames, budget
+  checked at every hop), and a live traffic-aware heartbeat loop
+  covering every endpoint at a production ~1Hz backstop cadence.
+
+Every answer is client-verified and must be identical in both modes on
+every repeat.  The two modes run as adjacent *pairs* (order
+alternating) and the gate is the **median of the paired armed/plain
+ratios**: a small box swings whole-run times by several percent
+between runs, but adjacent runs share that state, so one pair's ratio
+is far more stable than a ratio of independent minima.  Emits
+``benchmarks/results/BENCH_resilience.json``; the run fails if the
+armed fleet costs more than 5% over plain.
+"""
+
+import json
+import statistics
+import time
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.client.query_client import QueryClient
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.fleet.lifecycle import Fleet
+from repro.rpc.client import RemoteIsp
+from repro.workloads.generator import WorkloadGenerator
+
+HOURS = 4
+TXS_PER_BLOCK = 5
+WINDOW_HOURS = 3
+SHARDS = 2
+REPLICAS = 2
+REPEATS = 9  # paired repeats; the gate is the median paired ratio
+#: Workload passes per timed slice.  The host's scheduler stalls are
+#: roughly fixed-size (tens of ms); a longer slice dilutes one stall
+#: from ~15% of the reading to ~4%, which is what makes the paired
+#: ratios stable enough to gate on.
+SLICE_PASSES = 4
+#: Active-probe cadence.  With traffic-aware probing the TCP connect
+#: is a backstop for *quiet* endpoints, not the liveness signal for
+#: busy ones, so a production fleet runs it at ~1Hz; detection latency
+#: for a dead idle endpoint is miss_threshold x this.
+HEARTBEAT_S = 1.0
+DEADLINE_S = 30.0
+MAX_OVERHEAD = 1.05
+
+
+def _setup():
+    system = V2FSSystem(SystemConfig(txs_per_block=TXS_PER_BLOCK))
+    system.advance_all(HOURS)
+    generator = WorkloadGenerator(
+        system.universe,
+        system.config.start_time,
+        system.latest_time,
+        queries_per_workload=1,
+    )
+    return system, generator.mixed(WINDOW_HOURS, per_type=1).queries
+
+
+def _client(system, host, port, deadline_s=None):
+    return QueryClient(
+        isp=RemoteIsp(host, port, default_deadline_s=deadline_s),
+        chains=system.chains,
+        attestation_report=system.attestation_report,
+        attestation_root=system.attestation.root_public_key,
+        expected_measurement=system.ci.enclave.measurement,
+        mode=QueryMode.BASELINE,  # no cache: every page crosses the wire
+    )
+
+
+def _arm(fleet):
+    fleet.config.hedge_enabled = True
+    fleet.watch_health(interval_s=HEARTBEAT_S)
+
+
+def _disarm(fleet):
+    fleet.config.hedge_enabled = False
+    if fleet.health is not None:
+        fleet.health.stop()
+        fleet.health = None
+        fleet.isp.health = None
+
+
+def _run_workload(client, queries, passes=1):
+    started = time.perf_counter()
+    rows = 0
+    for _ in range(passes):
+        rows = 0
+        for sql in queries:
+            rows += len(client.query(sql))
+    return time.perf_counter() - started, rows
+
+
+def _run_plain(fleet, client, queries):
+    _disarm(fleet)
+    return _run_workload(client, queries, passes=SLICE_PASSES)
+
+
+def _run_armed(fleet, client, queries):
+    _arm(fleet)
+    try:
+        return _run_workload(client, queries, passes=SLICE_PASSES)
+    finally:
+        _disarm(fleet)
+
+
+def _measure_paired(fleet, plain_client, armed_client, queries):
+    """Paired per-repeat ratios; within-pair order alternates so any
+    slow drift (frequency scaling, page-cache warmth) cancels instead
+    of biasing whichever mode consistently runs second."""
+    ratios, plain, armed = [], [], []
+    rows = set()
+    for repeat in range(REPEATS):
+        first_plain = repeat % 2 == 0
+        order = ("plain", "armed") if first_plain else ("armed", "plain")
+        for mode in order:
+            if mode == "plain":
+                elapsed, got = _run_plain(fleet, plain_client, queries)
+                plain.append(elapsed)
+            else:
+                elapsed, got = _run_armed(fleet, armed_client, queries)
+                armed.append(elapsed)
+            rows.add(got)
+        ratios.append(armed[-1] / plain[-1])
+    assert len(rows) == 1  # same verified answers, every repeat
+    return ratios, plain, armed, rows.pop()
+
+
+def test_resilience_overhead(benchmark, save_result):
+    system, queries = _setup()
+    with Fleet(system, shard_count=SHARDS, replicas=REPLICAS) as fleet:
+        host, port = fleet.router_address
+        plain_client = _client(system, host, port)
+        armed_client = _client(system, host, port, deadline_s=DEADLINE_S)
+        try:
+            _run_workload(plain_client, queries)  # warm both paths
+            _run_workload(armed_client, queries)
+            ratios, plain, armed, rows = run_once(
+                benchmark,
+                lambda: _measure_paired(
+                    fleet, plain_client, armed_client, queries
+                ),
+            )
+        finally:
+            plain_client.isp.close()
+            armed_client.isp.close()
+
+    overhead = statistics.median(ratios)
+    plain_s = min(plain)
+    armed_s = min(armed)
+    result = {
+        "workload": "Mixed",
+        "mode": "baseline",
+        "hours": HOURS,
+        "shards": SHARDS,
+        "replicas": REPLICAS,
+        "queries": len(queries),
+        "repeats": REPEATS,
+        "slice_passes": SLICE_PASSES,
+        "rows": rows,
+        "deadline_s": DEADLINE_S,
+        "heartbeat_s": HEARTBEAT_S,
+        "plain_total_s": round(plain_s, 6),
+        "armed_total_s": round(armed_s, 6),
+        "plain_per_query_ms": round(
+            plain_s / (len(queries) * SLICE_PASSES) * 1e3, 3
+        ),
+        "armed_per_query_ms": round(
+            armed_s / (len(queries) * SLICE_PASSES) * 1e3, 3
+        ),
+        "paired_ratios": [round(r, 4) for r in ratios],
+        "resilience_overhead_x": round(overhead, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_resilience.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\n{json.dumps(result, indent=2)}\n[saved to {path}]")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"armed resilience overhead {overhead:.3f}x exceeds "
+        f"{MAX_OVERHEAD}x fault-free budget"
+    )

@@ -190,6 +190,35 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     """Launch N shards + R replicas + a proof-stitching router."""
     from repro.fleet.lifecycle import Fleet
 
+    if args.chaos is not None:
+        # Failure-domain mode: run the named chaos scenario against a
+        # freshly built fleet instead of serving one.
+        from repro.faults.chaos import run_fleet_chaos
+
+        scenario = None if args.chaos == "default" else args.chaos
+        print(
+            f"fleet chaos scenario {args.chaos!r}: "
+            f"{args.shards} shard(s), {args.replicas} replica(s), "
+            f"{args.chaos_steps} step(s), seed {args.fault_seed}",
+            flush=True,
+        )
+        try:
+            stats = run_fleet_chaos(
+                args.fault_seed,
+                steps=args.chaos_steps,
+                shard_count=args.shards,
+                replicas=args.replicas,
+                schedule=args.fault_schedule,
+                scenario=scenario,
+            )
+        except AssertionError as error:
+            print(f"INVARIANT VIOLATED: {error}", file=sys.stderr)
+            return 1
+        print(f"  {stats.as_dict()}")
+        print("all invariants held")
+        _write_metrics(args)
+        return 0
+
     system = _build_system(args.hours, args.txs_per_block)
     _arm_faults(args)
     fleet = Fleet(
@@ -262,6 +291,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     seed,
                     steps=min(args.steps, 60),
                     schedule=args.fault_schedule,
+                    scenario=args.scenario,
                 )
                 print(f"  fleet:  {stats.as_dict()}")
             if args.layer in ("concurrent", "all"):
@@ -445,6 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--fault-schedule", default=None,
                        help="arm failpoints before serving, e.g. "
                             "'fleet.replica.lag=raise@p:0.2'")
+    fleet.add_argument("--chaos", metavar="SCENARIO", default=None,
+                       choices=["default", "netsplit", "kill-primary",
+                                "promote-lag"],
+                       help="instead of serving, run the named "
+                            "failure-domain chaos scenario against a "
+                            "fresh fleet and report its invariants")
+    fleet.add_argument("--chaos-steps", type=int, default=40,
+                       help="steps for --chaos runs")
     fleet.add_argument("--fault-seed", type=int, default=0,
                        help="seed for probabilistic fault triggers")
     fleet.add_argument("--metrics-out", metavar="FILE", default=None,
@@ -475,6 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the RPC transport in system chaos")
     chaos.add_argument("--fault-schedule", default=None,
                        help="override the default fault schedule")
+    chaos.add_argument("--scenario", default=None,
+                       choices=["netsplit", "kill-primary",
+                                "promote-lag"],
+                       help="focus the fleet layer on one named "
+                            "failure-domain scenario")
     chaos.add_argument("--fault-seed", type=int, default=0,
                        help="unused by chaos (the chaos seed reseeds "
                             "the registry); kept for flag symmetry")

@@ -97,6 +97,36 @@ class RpcTimeoutError(RpcError):
     """An RPC did not complete within its per-request timeout."""
 
 
+class DeadlineExceededError(RpcTimeoutError):
+    """A request's end-to-end deadline budget ran out before it completed.
+
+    Distinct from :class:`RpcTimeoutError` (one socket round trip took
+    too long): the *whole call* — retries, backoff, router fan-out —
+    spent its budget.  A deadline abort is always a typed refusal,
+    never a partial or unverified answer."""
+
+
+class OverloadedError(RpcError):
+    """The server shed this request at admission (bounded-queue
+    overload).  Carries ``retry_after_s``, the server's backpressure
+    hint; clients honor it instead of hammering a saturated endpoint.
+    Shedding never counts against the endpoint's circuit breaker — an
+    overloaded server is alive, not dead."""
+
+    def __init__(
+        self, message: str, retry_after_s: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class EpochError(FleetError):
+    """The fleet's shard map changed epoch (a failover promotion)
+    while this session was in flight.  The routing the session pinned
+    is no longer valid, so it aborts typed rather than stitch a proof
+    across two fleet topologies; the client reopens and retries."""
+
+
 class SanitizerError(ReproError):
     """The runtime concurrency sanitizer accumulated reports (data races
     or lock-order inversions) that the caller asserted could not occur."""

@@ -77,6 +77,10 @@ FAILPOINTS: Dict[str, str] = {
     "fleet.shard.crash":
         "Kills a shard primary at sync fan-out time: the fleet update "
         "cannot fully ack until the shard is restarted and caught up.",
+    "fleet.health.miss":
+        "Drops one heartbeat probe before it reaches the endpoint: "
+        "models lost heartbeats (and, sustained, a false death "
+        "verdict) without touching the endpoint itself.",
 }
 
 

@@ -66,6 +66,7 @@ from repro.errors import (
     StorageError,
     TornPageError,
 )
+from repro.faults import netsplit
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault, SimulatedCrash
 from repro.faults.shadowfs import ShadowFilesystem
@@ -157,6 +158,9 @@ class ChaosStats:
     injected_faults: int = 0
     torn_detected: int = 0
     corruption_detected: int = 0
+    netsplits: int = 0
+    promotions: int = 0
+    promotions_refused: int = 0
     fires: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -167,7 +171,8 @@ class ChaosStats:
                 "queries_ok", "queries_failed", "remote_queries_ok",
                 "remote_queries_failed", "crashes", "recoveries",
                 "clean_restarts", "injected_faults", "torn_detected",
-                "corruption_detected",
+                "corruption_detected", "netsplits", "promotions",
+                "promotions_refused",
             )
         } | {"fires": dict(self.fires)}
 
@@ -644,6 +649,31 @@ DEFAULT_FLEET_SCHEDULE = (
     "rpc.server.drop=raise@p:0.02"
 )
 
+#: Named failure-domain scenarios for :class:`FleetChaos` (and the
+#: ``repro fleet --chaos NAME`` CLI).  Each pairs a fault schedule with
+#: a step mix exercising one failure domain; ``None``/``"default"`` is
+#: the stock mixed run above.
+FLEET_SCENARIOS: Dict[str, str] = {
+    # Blackholed router<->primary links: reads survive via replicas or
+    # abort typed; heals between steps, so the fleet always recovers.
+    "netsplit": (
+        "fleet.replica.lag=raise@p:0.10;"
+        "rpc.server.drop=raise@p:0.02"
+    ),
+    # Primaries die mid-load and caught-up replicas take over
+    # (certificate-gated promotion + shard-map epoch bump).
+    "kill-primary": (
+        "fleet.replica.lag=raise@p:0.10;"
+        "rpc.server.drop=raise@p:0.02"
+    ),
+    # Replication shipments are mostly withheld, so promotions land on
+    # *stale* replicas — which must refuse.
+    "promote-lag": (
+        "fleet.replica.lag=raise@p:0.60;"
+        "rpc.server.drop=raise@p:0.02"
+    ),
+}
+
 
 class FleetChaos:
     """One seeded chaos run over a sharded, replicated fleet.
@@ -657,8 +687,17 @@ class FleetChaos:
     - a publish interrupted by a shard crash never acks: the router
       raises, the harness restarts the shard and retries, and the
       per-shard idempotency completes exactly the stragglers;
-    - killed shards only ever cause *aborted* queries (typed errors),
-      never wrong or unverifiable-but-accepted results.
+    - killed shards, netsplits, and promotions only ever cause
+      *aborted* queries (typed errors), never wrong or
+      unverifiable-but-accepted results — and every query, verified or
+      aborted, lands inside its wall-clock envelope (deadlines
+      propagate, so nothing hangs).
+
+    The named :data:`FLEET_SCENARIOS` focus the step mix on one failure
+    domain: ``netsplit`` blackholes router↔primary links mid-query,
+    ``kill-primary`` kills primaries and promotes caught-up replicas,
+    ``promote-lag`` withholds replication and checks stale replicas
+    refuse promotion.
     """
 
     MAX_PUBLISH_ATTEMPTS = 10
@@ -671,17 +710,39 @@ class FleetChaos:
         replicas: int = 2,
         schedule: Optional[str] = None,
         txs_per_block: int = 2,
+        scenario: Optional[str] = None,
+        deadline_s: float = 8.0,
     ) -> None:
         from repro.core.system import SystemConfig, V2FSSystem
         from repro.fleet.lifecycle import Fleet
         from repro.isp.server import IspServer
         from repro.rpc.client import connect_client
 
+        if scenario in ("", "default"):
+            scenario = None
+        if scenario is not None and scenario not in FLEET_SCENARIOS:
+            raise ValueError(
+                f"unknown fleet scenario {scenario!r}; pick one of "
+                + ", ".join(sorted(FLEET_SCENARIOS))
+            )
+        self.scenario = scenario
+        self.deadline_s = deadline_s
+        #: The no-hang envelope for one client query.  A query is many
+        #: RPCs (session, metas, pages, finalize), each with its own
+        #: ``deadline_s`` budget plus retry backoff — the envelope is a
+        #: generous multiple, and a hang blows through any multiple.
+        self.query_envelope_s = max(30.0, deadline_s * 8)
         self.rng = random.Random(seed)
         self.stats = ChaosStats()
         faults.reset()
         faults.seed(seed)
-        self.schedule = schedule if schedule else DEFAULT_FLEET_SCHEDULE
+        netsplit.heal()
+        if schedule:
+            self.schedule = schedule
+        elif scenario is not None:
+            self.schedule = FLEET_SCENARIOS[scenario]
+        else:
+            self.schedule = DEFAULT_FLEET_SCHEDULE
         apply_schedule(self.schedule)
 
         with faults.suspended():
@@ -700,13 +761,15 @@ class FleetChaos:
             self.fleet.start()
             host, port = self.fleet.router_address
             self._remote_client = connect_client(
-                host, port, timeout_s=2.0, max_retries=4
+                host, port, timeout_s=2.0, max_retries=4,
+                deadline_s=deadline_s,
             )
         self.last_cert = self.system.update_reports[-1].certificate
 
     def close(self) -> None:
         _snapshot_fires(self.stats)
         faults.reset()
+        netsplit.heal()
         self._remote_client.isp.close()
         self.fleet.stop()
 
@@ -785,17 +848,32 @@ class FleetChaos:
             return self._make_client(self.oracle).query(sql).rows
 
     def _query(self) -> None:
+        """One client query under faults: verified-or-typed-abort,
+        always inside the no-hang envelope."""
         sql = self.rng.choice(self.QUERY_POOL)
+        start = time.monotonic()
         try:
             result = self._remote_client.query(sql)
         except ReproError as error:
             # Aborted is acceptable under faults (severed fan-out, dead
-            # shard, dropped connection) — wrong never is.
+            # shard, dropped connection, epoch bump) — wrong never is,
+            # and the typed abort must land within the envelope.
+            elapsed = time.monotonic() - start
             logger.info(
-                "fleet chaos query aborted: %s", type(error).__name__
+                "fleet chaos query aborted after %.2fs: %s",
+                elapsed, type(error).__name__,
+            )
+            assert elapsed <= self.query_envelope_s, (
+                f"aborting query hung for {elapsed:.1f}s "
+                f"(envelope {self.query_envelope_s:.1f}s)"
             )
             self.stats.remote_queries_failed += 1
             return
+        elapsed = time.monotonic() - start
+        assert elapsed <= self.query_envelope_s, (
+            f"query hung for {elapsed:.1f}s "
+            f"(envelope {self.query_envelope_s:.1f}s)"
+        )
         assert result.rows == self._expected_rows(sql), (
             f"fleet query diverged from oracle for {sql!r}"
         )
@@ -812,7 +890,119 @@ class FleetChaos:
         self._query()
         self._restart_down_shards()
 
+    def _netsplit_and_query(self) -> None:
+        """Blackhole the router↔primary link of one shard mid-query.
+
+        The router's retries burn into the partition and fail typed
+        (never hang: the client deadline caps every attempt); reads of
+        that shard either ride a caught-up replica or abort.  The split
+        heals afterward — partitions end, and the closing sweep proves
+        the healed fleet converged with the oracle.
+        """
+        shard_id = self.rng.randrange(self.fleet.shard_count)
+        endpoint = (
+            self.fleet.host, self.fleet._shard_ports[shard_id]
+        )
+        netsplit.sever_pair("router", endpoint)
+        self.stats.netsplits += 1
+        if obs.ACTIVE:
+            obs.inc("chaos.netsplits")
+        try:
+            self._query()
+        finally:
+            netsplit.heal(endpoint)
+
+    def _kill_primary_and_promote(self) -> None:
+        """Kill one primary, query through the gap, then fail over.
+
+        Promotion is certificate-gated, so it can *refuse* when the
+        replication-lag failpoint left every replica behind — then the
+        old primary restarts instead (both outcomes are legitimate
+        recoveries; the sweep checks convergence either way).
+        """
+        shard_id = self.rng.randrange(self.fleet.shard_count)
+        self.fleet.kill_shard(shard_id)
+        self.stats.crashes += 1
+        if obs.ACTIVE:
+            obs.inc("chaos.crashes")
+        self._query()
+        with faults.suspended():
+            if self.fleet.replicas.get(shard_id):
+                try:
+                    self.fleet.promote_replica(shard_id)
+                    self.stats.promotions += 1
+                except ReproError:
+                    self.stats.promotions_refused += 1
+                    self.fleet.restart_shard(shard_id)
+            else:
+                self.fleet.restart_shard(shard_id)
+        self._query()
+
+    def _promote_under_lag(self) -> None:
+        """Attempt promotion while replication is withheld.
+
+        The invariant is exact: a replica with pending log entries must
+        refuse (it would serve a rolled-back snapshot as authority),
+        and a fully-shipped replica must accept.
+        """
+        candidates = [
+            shard_id
+            for shard_id, pairs in sorted(self.fleet.replicas.items())
+            if pairs
+        ]
+        if not candidates:
+            self._query()
+            return
+        shard_id = self.rng.choice(candidates)
+        label, _ = self.fleet.replicas[shard_id][0]
+        lag = self.fleet.logs[shard_id].lag_of(label)
+        with faults.suspended():
+            try:
+                self.fleet.promote_replica(shard_id, label=label)
+            except ReproError:
+                self.stats.promotions_refused += 1
+                assert lag > 0, (
+                    f"caught-up replica {label} refused promotion"
+                )
+            else:
+                self.stats.promotions += 1
+                assert lag == 0, (
+                    f"replica {label} accepted promotion while "
+                    f"{lag} deltas behind"
+                )
+        self._query()
+
     # -- driver -----------------------------------------------------------
+
+    def _step(self) -> None:
+        roll = self.rng.random()
+        if self.scenario == "netsplit":
+            if roll < 0.25:
+                self._ingest()
+            elif roll < 0.60:
+                self._query()
+            else:
+                self._netsplit_and_query()
+        elif self.scenario == "kill-primary":
+            if roll < 0.25:
+                self._ingest()
+            elif roll < 0.65:
+                self._query()
+            else:
+                self._kill_primary_and_promote()
+        elif self.scenario == "promote-lag":
+            if roll < 0.30:
+                self._ingest()
+            elif roll < 0.70:
+                self._query()
+            else:
+                self._promote_under_lag()
+        elif roll < 0.30:
+            self._ingest()
+        elif roll < 0.85:
+            self._query()
+        else:
+            self._kill_and_query()
 
     def run(self, steps: int) -> ChaosStats:
         try:
@@ -820,22 +1010,32 @@ class FleetChaos:
                 self.stats.steps += 1
                 if obs.ACTIVE:
                     obs.inc("chaos.steps")
-                roll = self.rng.random()
-                if roll < 0.30:
-                    self._ingest()
-                elif roll < 0.85:
-                    self._query()
-                else:
-                    self._kill_and_query()
-            # Closing sweep: faults off, every shard up, every pool
-            # query through the router must agree with the oracle.
+                self._step()
+            # Closing sweep: faults off, partitions healed, every shard
+            # up — every pool query through the router must agree with
+            # the fault-free oracle (post-recovery convergence).  A
+            # *fresh* client connection: the chaos client's circuit
+            # breaker may still be cooling down from the fault phase,
+            # and residual router-side breakers get retried through.
+            from repro.rpc.client import connect_client
+
+            netsplit.heal()
             self._restart_down_shards()
             with faults.suspended():
-                for sql in self.QUERY_POOL:
-                    assert (
-                        self._remote_client.query(sql).rows
-                        == self._expected_rows(sql)
-                    ), f"closing sweep diverged for {sql!r}"
+                host, port = self.fleet.router_address
+                sweep = connect_client(
+                    host, port, timeout_s=2.0, max_retries=4
+                )
+                try:
+                    for sql in self.QUERY_POOL:
+                        rows = _query_with_retries(
+                            sweep, sql, deadline_s=30.0
+                        ).rows
+                        assert rows == self._expected_rows(sql), (
+                            f"closing sweep diverged for {sql!r}"
+                        )
+                finally:
+                    sweep.isp.close()
         finally:
             self.close()
         return self.stats
@@ -848,14 +1048,20 @@ def run_fleet_chaos(
     replicas: int = 2,
     schedule: Optional[str] = None,
     txs_per_block: int = 2,
+    scenario: Optional[str] = None,
+    deadline_s: float = 8.0,
 ) -> ChaosStats:
     """Run one seeded fleet chaos episode; returns its stats.
 
-    Raises ``AssertionError`` the moment an invariant breaks.
+    ``scenario`` picks a named failure domain from
+    :data:`FLEET_SCENARIOS` (``netsplit`` / ``kill-primary`` /
+    ``promote-lag``); ``None`` runs the stock mixed schedule.  Raises
+    ``AssertionError`` the moment an invariant breaks.
     """
     chaos = FleetChaos(
         seed, shard_count=shard_count, replicas=replicas,
         schedule=schedule, txs_per_block=txs_per_block,
+        scenario=scenario, deadline_s=deadline_s,
     )
     return chaos.run(steps)
 

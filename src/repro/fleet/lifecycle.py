@@ -28,12 +28,15 @@ completes the stragglers.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, List, Optional, Tuple
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.certificate import V2fsCertificate
 from repro.errors import FleetError
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault
+from repro.fleet.health import HealthTracker
 from repro.fleet.partition import (
     STRATEGY_HASH,
     STRATEGY_RANGE,
@@ -44,21 +47,28 @@ from repro.fleet.partition import (
     plan_range_split,
 )
 from repro.fleet.replication import ReplicaIsp, ReplicationLog
+from repro.fleet.resilience import ResilienceConfig
 from repro.fleet.router import FleetIsp, FleetRouterServer, HandleFactory
 from repro.fleet.shard import ShardIsp
-from repro.rpc.client import RemoteIsp
 from repro.rpc.server import IspBootstrap, RpcIspServer
 
 logger = logging.getLogger("repro.fleet")
 
 
-def _fleet_handle(endpoint: Endpoint) -> RemoteIsp:
-    # Router-to-shard hops get a tighter budget than a WAN client: the
-    # shards are co-located, and a dead one should surface quickly.
-    return RemoteIsp(
-        endpoint[0], endpoint[1],
-        timeout_s=5.0, max_retries=2, backoff_s=0.05,
-    )
+def _tcp_probe(endpoint: Endpoint, timeout_s: float = 0.5):
+    """A heartbeat for one endpoint: can we still open a connection?
+
+    Deliberately *not* an RPC through the router's pooled handles — a
+    heartbeat must not share circuit-breaker state with the data path,
+    or a breaker opened by data-plane timeouts would keep reporting a
+    recovered endpoint as dead.
+    """
+
+    def probe() -> None:
+        with socket.create_connection(endpoint, timeout=timeout_s):
+            pass
+
+    return probe
 
 
 class Fleet:
@@ -73,6 +83,7 @@ class Fleet:
         host: str = "127.0.0.1",
         service_delay_s: float = 0.0,
         handle_factory: Optional[HandleFactory] = None,
+        config: Optional[ResilienceConfig] = None,
     ) -> None:
         if shard_count < 1:
             raise FleetError("a fleet needs at least one shard")
@@ -81,9 +92,14 @@ class Fleet:
         self.strategy = strategy
         self.host = host
         self.service_delay_s = service_delay_s
-        self._handle_factory = handle_factory or _fleet_handle
+        #: One declarative bundle for every router-to-shard endpoint
+        #: handle; an explicit ``handle_factory`` still wins (tests).
+        self.config = config or ResilienceConfig()
+        self._handle_factory = handle_factory or self.config.make_handle
         self._original_isp = system.isp
         self._started = False
+        self.health: Optional[HealthTracker] = None
+        self._health_interval_s: Optional[float] = None
 
         bounds: Tuple[str, ...] = ()
         if strategy == STRATEGY_RANGE:
@@ -220,22 +236,7 @@ class Fleet:
                 server.service_delay_s = self.service_delay_s
                 server.start()
                 self._replica_servers[label] = server
-        shard_map = ShardMap(
-            version=1,
-            strategy=self.strategy,
-            shards=tuple(
-                ShardDesc(
-                    shard_id=shard_id,
-                    primary=(self.host, self._shard_ports[shard_id]),
-                    replicas=tuple(
-                        self._replica_servers[label].address
-                        for label, _ in self.replicas[shard_id]
-                    ),
-                )
-                for shard_id in sorted(self.shards)
-            ),
-            bounds=self.bounds,
-        )
+        shard_map = self._current_shard_map()
         self.isp = FleetIsp(
             shard_map,
             handle_factory=self._handle_factory,
@@ -243,6 +244,8 @@ class Fleet:
                 shard_id: self._make_sync(shard_id)
                 for shard_id in self.shards
             },
+            config=self.config,
+            health=self.health,
         )
         self.router_server = FleetRouterServer(
             self.isp, self.host, 0, bootstrap=bootstrap
@@ -289,7 +292,203 @@ class Fleet:
         self._shard_servers[shard_id] = server
         logger.warning("shard %d restarted", shard_id)
 
+    # ------------------------------------------------------------------
+    # Failure domains: health tracking and replica promotion
+    # ------------------------------------------------------------------
+
+    def watch_health(
+        self,
+        miss_threshold: int = 2,
+        auto_promote: bool = False,
+        interval_s: Optional[float] = None,
+    ) -> HealthTracker:
+        """Attach a :class:`HealthTracker` over every fleet endpoint.
+
+        The router starts skipping replicas declared down; with
+        ``auto_promote`` a primary's up→down transition triggers
+        :meth:`promote_replica` for its shard.  ``interval_s`` starts
+        the background heartbeat loop; leave it ``None`` to drive the
+        tracker by explicit ``probe_once()`` ticks (chaos schedules do,
+        for deterministic heartbeat timing).
+
+        With a background interval the probes are *traffic-aware*: an
+        endpoint whose data-path handle answered a real RPC within the
+        last interval is alive by construction and is not probed — the
+        TCP connect is reserved for quiet endpoints, where it is the
+        only liveness signal.  Manual-tick trackers always probe
+        (chaos schedules want every tick observable).
+        """
+        if self.isp is None:
+            raise FleetError("fleet is not started")
+        on_down = self._auto_promote if auto_promote else None
+        tracker = HealthTracker(
+            miss_threshold=miss_threshold, on_down=on_down
+        )
+        self.health = tracker
+        self.isp.health = tracker
+        self._health_interval_s = interval_s
+        self._sync_health()
+        if interval_s is not None:
+            tracker.start(interval_s)
+        return tracker
+
+    def _endpoint_roles(self) -> Dict[str, Tuple[str, int]]:
+        """Current ``"host:port" -> (role, shard_id)`` membership."""
+        roles: Dict[str, Tuple[str, int]] = {}
+        for shard_id, port in self._shard_ports.items():
+            roles[f"{self.host}:{port}"] = ("primary", shard_id)
+        for shard_id, pairs in self.replicas.items():
+            for label, _ in pairs:
+                server = self._replica_servers.get(label)
+                if server is None:
+                    continue
+                host, port = server.address
+                roles[f"{host}:{port}"] = ("replica", shard_id)
+        return roles
+
+    def _sync_health(self) -> None:
+        """Reconcile tracker membership with the current topology."""
+        tracker = self.health
+        if tracker is None:
+            return
+        roles = self._endpoint_roles()
+        with tracker._lock:
+            known = list(tracker._probes)
+        for key in known:
+            if key not in roles:
+                tracker.detach(key)
+        for key in roles:
+            host, port_text = key.rsplit(":", 1)
+            endpoint = (host, int(port_text))
+            if self._health_interval_s:
+                probe = self._traffic_probe(key, endpoint)
+            else:
+                probe = _tcp_probe(endpoint)
+            tracker.attach(key, probe)
+
+    def _traffic_probe(self, key: str, endpoint: Endpoint):
+        """A heartbeat that lets data-path traffic speak first.
+
+        A successful RPC within the probe interval proves the endpoint
+        alive with real work; an active connect would only steal
+        cycles from the requests it is busy serving (on a small host
+        the accept alone preempts the server).  Only a quiet endpoint
+        gets the TCP probe — there, it is the only liveness signal.
+        """
+        tcp = _tcp_probe(endpoint)
+        freshness_s = self._health_interval_s
+
+        def probe() -> None:
+            isp = self.isp
+            handle = isp.handle_for(key) if isp is not None else None
+            last_ok = getattr(handle, "last_ok_monotonic", None)
+            if (
+                last_ok is not None
+                and time.monotonic() - last_ok < freshness_s
+            ):
+                return
+            tcp()
+
+        return probe
+
+    def _auto_promote(self, key: str) -> None:
+        role_shard = self._endpoint_roles().get(key)
+        if role_shard is None or role_shard[0] != "primary":
+            return
+        shard_id = role_shard[1]
+        try:
+            self.promote_replica(shard_id)
+        except FleetError as error:
+            logger.warning(
+                "auto-promotion for shard %d failed: %s",
+                shard_id, error,
+            )
+
+    def promote_replica(
+        self, shard_id: int, label: Optional[str] = None
+    ) -> str:
+        """Fail a shard over to one of its caught-up replicas.
+
+        Picks ``label`` (or the first replica that accepts — each one
+        certificate-gates itself, see
+        :meth:`~repro.fleet.replication.ReplicaIsp.promote`), rewires
+        the shard's server/log/sync plumbing around it, and installs a
+        version-bumped :class:`ShardMap` on the router — bumping the
+        routing *epoch*, so fleet sessions opened against the old
+        topology abort typed instead of stitching across the failover.
+        Returns the promoted replica's label.
+        """
+        if self.isp is None:
+            raise FleetError("fleet is not started")
+        pairs = self.replicas.get(shard_id, [])
+        if not pairs:
+            raise FleetError(
+                f"shard {shard_id} has no replica to promote"
+            )
+        # The fleet-wide certified version gates promotion; the router
+        # can still serve it when this shard's primary is the casualty
+        # (any member's copy is signature-checked by callers anyway).
+        expected_version = self.isp.get_certificate().version
+        chosen: Optional[Tuple[str, ReplicaIsp]] = None
+        refusals: List[str] = []
+        for candidate_label, replica in pairs:
+            if label is not None and candidate_label != label:
+                continue
+            try:
+                replica.promote(expected_version)
+            except FleetError as error:
+                refusals.append(str(error))
+                continue
+            chosen = (candidate_label, replica)
+            break
+        if chosen is None:
+            raise FleetError(
+                f"no replica of shard {shard_id} accepted promotion: "
+                + ("; ".join(refusals) or f"label {label!r} not found")
+            )
+        new_label, new_primary = chosen
+        # Retire the old primary (its server may already be dead).
+        self.kill_shard(shard_id)
+        server = self._replica_servers.pop(new_label)
+        log = self.logs[shard_id]
+        log.detach(new_label)
+        self.replicas[shard_id] = [
+            pair for pair in pairs if pair[0] != new_label
+        ]
+        self.shards[shard_id] = new_primary  # _make_sync resolves late
+        self._shard_servers[shard_id] = server
+        self._shard_ports[shard_id] = server.address[1]
+        logger.warning(
+            "shard %d failed over to %s at %s:%d",
+            shard_id, new_label, server.address[0], server.address[1],
+        )
+        self._sync_health()
+        self.isp.adopt_shard_map(self._current_shard_map())
+        return new_label
+
+    def _current_shard_map(self) -> ShardMap:
+        version = 1 if self.isp is None else self.isp.shard_map.version + 1
+        return ShardMap(
+            version=version,
+            strategy=self.strategy,
+            shards=tuple(
+                ShardDesc(
+                    shard_id=shard_id,
+                    primary=(self.host, self._shard_ports[shard_id]),
+                    replicas=tuple(
+                        self._replica_servers[label].address
+                        for label, _ in self.replicas[shard_id]
+                    ),
+                )
+                for shard_id in sorted(self.shards)
+            ),
+            bounds=self.bounds,
+        )
+
     def stop(self) -> None:
+        if self.health is not None:
+            self.health.stop()
+            self.health = None
         if self.router_server is not None:
             self.router_server.stop()
             self.router_server = None

@@ -35,7 +35,7 @@ from repro.faults.registry import InjectedFault
 from repro.fleet.partition import Partitioner
 from repro.fleet.shard import ShardIsp
 from repro.merkle.ads import V2fsAds
-from repro.merkle.delta import NodeDelta
+from repro.merkle.delta import NodeDelta, RecordingNodeStore
 from repro.merkle.node_store import NodeStore
 from repro.obs import metrics as obs
 
@@ -53,14 +53,60 @@ class ReplicaIsp(ShardIsp):
         # Replicas replay deltas instead of recording them.
         self.ads = V2fsAds(NodeStore())
         self.root = self.ads.root
+        #: Flips at :meth:`promote`; re-enables the primary write path.
+        self._promoted = False
 
     def sync_update(self, writes, new_sizes, certificate) -> None:
+        if self._promoted:
+            return super().sync_update(writes, new_sizes, certificate)
         raise FleetError(
             "replica is read-only; it advances via apply_delta"
         )
 
     def take_delta(self) -> NodeDelta:
+        if self._promoted:
+            return super().take_delta()
         raise FleetError("replicas do not record deltas")
+
+    def promote(self, expected_version: int) -> "ReplicaIsp":
+        """Become this shard's primary — *only* if fully caught up.
+
+        Promotion is certificate-gated: the caller states the fleet's
+        current certified version and a replica that has not applied
+        that delta **refuses** (``fleet.promote.refused`` + typed
+        :class:`FleetError`) rather than serve a rolled-back snapshot
+        as the new authority.  A refused promotion is recoverable — the
+        lifecycle can ship the missing deltas and retry, or pick a
+        different replica.
+
+        On success the replica's plain node store is wrapped in a
+        :class:`~repro.merkle.delta.RecordingNodeStore`
+        (:meth:`~repro.merkle.delta.RecordingNodeStore.adopt`) so the
+        *next* sync's new nodes feed the replicas now following it, and
+        the primary-only surface (``sync_update``/``take_delta``)
+        unlocks.  Idempotent: promoting an already-promoted replica at
+        the same version is a no-op.
+        """
+        certificate = self.certificate
+        if certificate is None or certificate.version < expected_version:
+            have = "none" if certificate is None else certificate.version
+            if obs.ACTIVE:
+                obs.inc("fleet.promote.refused")
+            raise FleetError(
+                f"replica for shard {self.shard_id} refuses promotion: "
+                f"at version {have}, fleet is at {expected_version} "
+                f"(stale replicas must not become primaries)"
+            )
+        if not self._promoted:
+            self.ads.store = RecordingNodeStore.adopt(self.ads.store)
+            self._promoted = True
+            if obs.ACTIVE:
+                obs.inc("fleet.promote.ok")
+            logger.warning(
+                "replica for shard %d promoted to primary at "
+                "version %d", self.shard_id, certificate.version,
+            )
+        return self
 
     def apply_delta(
         self, delta: NodeDelta, certificate: V2fsCertificate

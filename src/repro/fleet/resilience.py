@@ -1,0 +1,292 @@
+"""Fleet resilience policies: endpoint config, hedging, deadline split.
+
+This module is the fleet's *degraded-modes* policy box — the knobs and
+mechanisms the router uses to keep serving when parts of the fleet are
+slow, dead, or partitioned:
+
+* :class:`ResilienceConfig` — one declarative bundle for every
+  router-to-shard endpoint handle (timeouts, retries, breaker, shared
+  retry budget, hedging, deadlines).  The router's default handle
+  factory reads it, so deployments tune failure behavior in one place
+  instead of editing hardcoded constructor defaults.
+* :class:`HedgePolicy` — an adaptive hedging trigger: it tracks a
+  sliding window of observed page-read latencies and fires a *hedge*
+  (a duplicate read to another endpoint) only when the primary has
+  been slower than the observed p99 — so hedges are rare (~1% of
+  reads) in a healthy fleet but fire quickly when a shard browns out.
+* :func:`hedged_call` — run a primary thunk, launch the hedge thunk
+  after a delay, return the first success.  Safe for V²FS reads by
+  construction: both answers came from sessions pinned to the same
+  certified version, and the client verifies whichever VO set arrives,
+  so a hedging mistake can only cost bytes, never correctness.  This
+  is the *thread-racing* variant — it spawns a worker per call, which
+  is too expensive for the router's per-page hot path; the router
+  instead runs a *tied request* (primary capped at the adaptive delay
+  via the deadline machinery, hedge issued inline on expiry, see
+  :meth:`~repro.fleet.router.FleetIsp.get_page`).
+* :func:`split_deadline` — deadline algebra for sequential fan-out:
+  hand each of ``n`` remaining shards an equal slice of the remaining
+  budget so one slow shard cannot starve the rest of the fan-out.
+
+Everything here fails typed (:mod:`repro.errors`) and within the
+caller's deadline; hedging never hides an error — if *both* arms fail,
+the primary's error propagates.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ReproError, RpcTimeoutError
+from repro.obs import metrics as obs
+from repro.rpc.client import RemoteIsp
+from repro.rpc.deadline import Deadline, RetryBudget, remaining_or
+from repro.sanitize.runtime import SanThread
+
+T = TypeVar("T")
+
+
+@dataclass
+class ResilienceConfig:
+    """Failure-behavior knobs for one fleet's router-to-shard plane."""
+
+    #: Per-attempt socket timeout for router-to-shard hops.  Tighter
+    #: than a WAN client's: shards are co-located and a dead one
+    #: should surface quickly.
+    timeout_s: float = 5.0
+    #: Per-call retry attempts beyond the first (connection-level
+    #: failures only; see :class:`~repro.rpc.client.RemoteIsp`).
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    max_backoff_s: float = 1.0
+    breaker_threshold: int = 4
+    breaker_cooldown_s: float = 0.25
+    #: Netsplit label for every handle this config builds: the fleet
+    #: router sits on its own side of simulated partitions.
+    label: str = "router"
+    #: Shared token bucket across every handle built from this config:
+    #: caps the *whole router's* retry rate during a fleet-wide
+    #: brownout, not just one endpoint's.
+    retry_budget_capacity: float = 32.0
+    retry_budget_refill_per_s: float = 8.0
+    #: Hedged reads: duplicate a slow page read to another endpoint of
+    #: the same shard after an adaptive delay.
+    hedge_enabled: bool = True
+    #: Floor under the adaptive hedge delay — never hedge faster than
+    #: this even when observed latencies are tiny, or a healthy fleet
+    #: would double its read traffic on noise.
+    hedge_floor_s: float = 0.010
+    #: Sliding-window size for the latency percentile estimate.
+    hedge_window: int = 128
+    #: Minimum observations before trusting the percentile (until
+    #: then, hedge at ``hedge_floor_s`` + ``timeout_s``/4 — effectively
+    #: only for pathological slowness).
+    hedge_min_samples: int = 16
+
+    _shared_budget: Optional[RetryBudget] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def retry_budget(self) -> RetryBudget:
+        """The config's process-wide shared retry bucket (lazy)."""
+        if self._shared_budget is None:
+            self._shared_budget = RetryBudget(
+                capacity=self.retry_budget_capacity,
+                refill_per_s=self.retry_budget_refill_per_s,
+            )
+        return self._shared_budget
+
+    def make_handle(self, endpoint: Tuple[str, int]) -> RemoteIsp:
+        """Build one endpoint proxy carrying this config's policies."""
+        return RemoteIsp(
+            endpoint[0],
+            endpoint[1],
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+            backoff_s=self.backoff_s,
+            max_backoff_s=self.max_backoff_s,
+            breaker_threshold=self.breaker_threshold,
+            breaker_cooldown_s=self.breaker_cooldown_s,
+            label=self.label,
+            retry_budget=self.retry_budget(),
+        )
+
+
+class HedgePolicy:
+    """Adaptive hedge trigger from a sliding latency window.
+
+    Not thread-synchronized: it is only ever touched from the router
+    handler thread serving one request at a time per session, and the
+    worst a racy append can do is perturb the percentile estimate by
+    one sample — the delay is a heuristic, not a correctness input.
+    """
+
+    def __init__(
+        self,
+        floor_s: float = 0.010,
+        window: int = 128,
+        min_samples: int = 16,
+        quantile: float = 0.99,
+        fallback_delay_s: float = 1.0,
+        recompute_every: int = 16,
+    ) -> None:
+        self.floor_s = floor_s
+        self.window = window
+        self.min_samples = min_samples
+        self.quantile = quantile
+        self.fallback_delay_s = fallback_delay_s
+        #: Sorting the window on every read would cost more than the
+        #: read's own bookkeeping; the percentile is re-derived at most
+        #: once per this many new observations.
+        self.recompute_every = max(1, recompute_every)
+        self._samples: List[float] = []
+        self._next = 0
+        self._cached_delay: Optional[float] = None
+        self._since_compute = 0
+
+    def observe(self, latency_s: float) -> None:
+        """Record one completed primary read's latency (ring buffer)."""
+        if len(self._samples) < self.window:
+            self._samples.append(latency_s)
+        else:
+            self._samples[self._next] = latency_s
+            self._next = (self._next + 1) % self.window
+        self._since_compute += 1
+
+    def delay_s(self) -> float:
+        """How long to wait for the primary before hedging."""
+        if len(self._samples) < self.min_samples:
+            return max(self.floor_s, self.fallback_delay_s)
+        if (
+            self._cached_delay is None
+            or self._since_compute >= self.recompute_every
+        ):
+            ordered = sorted(self._samples)
+            index = min(
+                len(ordered) - 1, int(len(ordered) * self.quantile)
+            )
+            self._cached_delay = max(self.floor_s, ordered[index])
+            self._since_compute = 0
+        return self._cached_delay
+
+
+def split_deadline(
+    deadline: Optional[Deadline], parts: int
+) -> Optional[Deadline]:
+    """An equal slice of the remaining budget for one of ``parts``
+    sequential sub-calls (``None`` passes through unconstrained)."""
+    if deadline is None:
+        return None
+    return Deadline.after(deadline.remaining() / max(1, parts))
+
+
+def hedged_call(
+    primary: Callable[[], T],
+    hedge: Callable[[], T],
+    delay_s: float,
+    timeout_s: float,
+    deadline: Optional[Deadline] = None,
+) -> Tuple[T, bool]:
+    """First verified-able answer of a primary/hedge pair.
+
+    Runs ``primary`` in a worker thread; if no answer lands within
+    ``delay_s``, launches ``hedge`` and returns whichever arm succeeds
+    first (``(value, won_by_hedge)``).  Failure handling is strict:
+
+    * one arm fails, the other succeeds → the success wins (that *is*
+      the point of hedging);
+    * both fail → the **primary's** error propagates (the hedge was a
+      bonus attempt, not the authority on what went wrong);
+    * nothing answers within ``timeout_s`` (capped by ``deadline``) →
+      :class:`~repro.errors.RpcTimeoutError` — a hedged read can never
+      out-hang an unhedged one.
+
+    The worker threads only touch thread-safe endpoint handles (pooled
+    sockets), and a losing arm's late result is simply dropped — its
+    side effect is one extra read claim on a session that still gets
+    finalized and stitched, which the VO union absorbs.
+    """
+    results: "queue.Queue[Tuple[str, bool, object]]" = queue.Queue()
+
+    def run(fn: Callable[[], T], tag: str) -> None:
+        try:
+            results.put((tag, True, fn()))
+        except ReproError as error:
+            results.put((tag, False, error))
+
+    SanThread(
+        target=run, args=(primary, "primary"),
+        name="fleet-hedge-primary", daemon=True,
+    ).start()
+    budget = remaining_or(deadline, timeout_s)
+    started_hedge = False
+    try:
+        tag, ok, value = results.get(timeout=min(delay_s, budget))
+    except queue.Empty:
+        if obs.ACTIVE:
+            obs.inc("fleet.hedge.fired")
+        SanThread(
+            target=run, args=(hedge, "hedge"),
+            name="fleet-hedge-secondary", daemon=True,
+        ).start()
+        started_hedge = True
+        try:
+            tag, ok, value = results.get(
+                timeout=remaining_or(deadline, timeout_s)
+            )
+        except queue.Empty:
+            raise RpcTimeoutError(
+                f"hedged read produced no answer within {timeout_s}s"
+            )
+    if ok:
+        if tag == "hedge" and obs.ACTIVE:
+            obs.inc("fleet.hedge.won")
+        return value, tag == "hedge"  # type: ignore[return-value]
+    first_failure = (tag, value)
+    # The first arm failed; if a second arm is running, give it the
+    # rest of the budget to succeed.
+    if not started_hedge:
+        if obs.ACTIVE:
+            obs.inc("fleet.hedge.fired")
+        SanThread(
+            target=run, args=(hedge, "hedge"),
+            name="fleet-hedge-secondary", daemon=True,
+        ).start()
+    try:
+        tag, ok, value = results.get(
+            timeout=remaining_or(deadline, timeout_s)
+        )
+    except queue.Empty:
+        raise RpcTimeoutError(
+            f"hedged read produced no answer within {timeout_s}s"
+        )
+    if ok:
+        if tag == "hedge" and obs.ACTIVE:
+            obs.inc("fleet.hedge.won")
+        return value, tag == "hedge"  # type: ignore[return-value]
+    # Both arms failed: surface the primary's error.
+    for failed_tag, error in (first_failure, (tag, value)):
+        if failed_tag == "primary":
+            assert isinstance(error, ReproError)
+            raise error
+    assert isinstance(first_failure[1], ReproError)
+    raise first_failure[1]
+
+
+#: Helper for the router: elapsed wall-clock of one thunk.
+def timed_call(fn: Callable[[], T]) -> Tuple[T, float]:
+    start = time.monotonic()
+    value = fn()
+    return value, time.monotonic() - start
+
+
+__all__ = [
+    "HedgePolicy",
+    "ResilienceConfig",
+    "hedged_call",
+    "split_deadline",
+    "timed_call",
+]

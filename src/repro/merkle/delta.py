@@ -204,5 +204,20 @@ class RecordingNodeStore(NodeStore):
         self._recorded.clear()
         return NodeDelta(version=version, root=root, nodes=nodes)
 
+    @classmethod
+    def adopt(cls, store: NodeStore) -> "RecordingNodeStore":
+        """Wrap an existing store's contents in a recording store.
+
+        Used at replica *promotion*: a replica keeps a plain
+        :class:`NodeStore` (it replays deltas, it does not produce
+        them), but the moment it becomes a primary it must start
+        recording each sync's new nodes for the replicas now following
+        *it*.  Adoption starts with an empty recording — history was
+        already shipped through the old primary's log.
+        """
+        adopted = cls()
+        adopted._nodes = dict(store._nodes)
+        return adopted
+
 
 __all__ = ["NodeDelta", "RecordingNodeStore"]

@@ -44,15 +44,19 @@ from repro.core.certificate import V2fsCertificate
 from repro.crypto.hashing import Digest
 from repro.crypto.signature import PublicKey
 from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
     ReproError,
     RpcConnectionError,
     RpcTimeoutError,
     WireFormatError,
 )
+from repro.faults import netsplit
 from repro.isp.server import FreshMatch, PageReply
 from repro.merkle.proof import AdsProof
 from repro.obs import metrics as obs
 from repro.rpc import codec
+from repro.rpc.deadline import MAX_DEADLINE_MS, Deadline, RetryBudget
 from repro.sgx.attestation import AttestationReport
 
 
@@ -186,6 +190,12 @@ class CircuitBreaker:
 class RemoteIsp:
     """A connected ISP proxy; drop-in for the in-process ISP."""
 
+    #: Every surface method accepts and enforces a per-call
+    #: ``deadline`` kwarg.  The fleet router checks this capability
+    #: before using deadline-capped tied-request hedging — bare
+    #: in-process handles (test fakes, raw shards) don't have it.
+    supports_deadline = True
+
     def __init__(
         self,
         host: str,
@@ -197,6 +207,9 @@ class RemoteIsp:
         pool_size: int = 8,
         breaker_threshold: int = 4,
         breaker_cooldown_s: float = 0.25,
+        label: str = "client",
+        retry_budget: Optional[RetryBudget] = None,
+        default_deadline_s: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -204,32 +217,112 @@ class RemoteIsp:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
+        #: Netsplit identity: which side of a simulated partition this
+        #: handle sits on (see :mod:`repro.faults.netsplit`).
+        self.label = label
+        #: Global retry throttle for this endpoint handle.  Generous at
+        #: rest (no effect on a handful of failing calls, so documented
+        #: per-call retry counts hold), but a storm of concurrent
+        #: failures drains it and further retries are refused instead
+        #: of amplifying the outage.  Share one instance across handles
+        #: to cap a whole process's retry rate.
+        self.retry_budget = retry_budget or RetryBudget(
+            capacity=32.0, refill_per_s=8.0
+        )
+        #: When set, every call without an explicit deadline gets
+        #: ``Deadline.after(default_deadline_s)`` — the lever that arms
+        #: end-to-end budgets for callers (QueryClient) that don't know
+        #: about deadlines.
+        self.default_deadline_s = default_deadline_s
+        #: The worst span one call can take with *no* deadline at all:
+        #: every attempt's full socket timeout plus every backoff
+        #: sleep.  A deadline with more budget than this is provably
+        #: non-binding — the attempt schedule finishes (or fails)
+        #: first — so the per-attempt deadline arithmetic and the wire
+        #: field are elided for it.  Tight budgets (sub-deadlines,
+        #: hedging caps, chaos schedules) still ride the wire.
+        self._deadline_bind_s = (max_retries + 1) * timeout_s + sum(
+            min(backoff_s * (2 ** i), max_backoff_s)
+            for i in range(max_retries)
+        )
         self._pool = _ConnectionPool(host, port, pool_size, timeout_s)
         #: Per-endpoint breaker: the default threshold equals one fully
         #: failed default call (max_retries + 1 attempts), so the second
         #: call to a dead endpoint fails fast instead of backing off.
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_s)
+        #: Monotonic stamp of the last successful round trip.  Health
+        #: probing reads it as an implicit heartbeat: an endpoint that
+        #: answered real traffic within the probe interval needs no
+        #: active probe.  Plain attribute, no lock — a stale read only
+        #: costs one redundant probe.
+        self.last_ok_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Request machinery
     # ------------------------------------------------------------------
 
-    def _call(self, request: bytes, expected_kind: int) -> object:
-        """One RPC round trip with pooled connections and retries."""
+    def _call(
+        self,
+        request: bytes,
+        expected_kind: int,
+        deadline: Optional[Deadline] = None,
+    ) -> object:
+        """One RPC round trip with pooled connections and retries.
+
+        ``deadline`` bounds the *whole call*: each backoff sleep and
+        per-attempt socket timeout is capped to the remaining budget,
+        and the budget rides the ``V3`` frame header so the server can
+        refuse work it cannot finish in time.  Retries beyond the first
+        attempt also spend from :attr:`retry_budget`; a dry bucket ends
+        the call with the error it already has.  A server ``Overloaded``
+        shed is honored — its retry-after hint stretches the next
+        backoff and the shed never counts against the circuit breaker.
+        """
         attempts = self.max_retries + 1
         last_error: Optional[Exception] = None
+        retry_after: Optional[float] = None
         self.breaker.check()
+        if deadline is not None:
+            deadline.check("rpc call")
+        elif self.default_deadline_s is not None:
+            # Freshly minted, so it cannot already be expired — no
+            # point reading the clock again to check it.
+            deadline = Deadline.after(self.default_deadline_s)
         if obs.ACTIVE:
             obs.inc("rpc.client.requests")
         for attempt in range(attempts):
             if attempt:
+                if not self.retry_budget.spend():
+                    if obs.ACTIVE:
+                        obs.inc("rpc.client.retry_budget.denied")
+                    break
                 if obs.ACTIVE:
                     obs.inc("rpc.client.retries")
                 delay = min(
                     self.backoff_s * (2 ** (attempt - 1)),
                     self.max_backoff_s,
                 )
+                if retry_after is not None:
+                    delay = max(delay, retry_after)
+                    retry_after = None
+                if deadline is not None:
+                    deadline.check("rpc retry")
+                    delay = min(delay, deadline.remaining())
                 time.sleep(delay)
+            if netsplit.ACTIVE and netsplit.is_blocked(
+                self.label, (self.host, self.port)
+            ):
+                # Blackholed by a simulated partition: fail this attempt
+                # before touching the socket.  Counts as a connection
+                # failure so the breaker opens and callers fail over.
+                self.breaker.record_failure()
+                if obs.ACTIVE:
+                    obs.inc("rpc.client.netsplit")
+                last_error = RpcConnectionError(
+                    f"network partition: {self.label!r} cannot reach "
+                    f"{self.host}:{self.port}"
+                )
+                continue
             try:
                 conn = self._pool.acquire()
             except RpcConnectionError as error:
@@ -237,8 +330,27 @@ class RemoteIsp:
                 last_error = error
                 continue
             try:
-                conn.settimeout(self.timeout_s)
-                codec.send_frame(conn, request)
+                if (
+                    deadline is None
+                    or (left_s := deadline.remaining())
+                    > self._deadline_bind_s
+                ):
+                    # No deadline, or one too generous to ever bind:
+                    # the plain wire format and the fixed attempt
+                    # timeout behave identically and cost nothing.
+                    conn.settimeout(self.timeout_s)
+                    codec.send_frame(conn, request)
+                else:
+                    # One clock read covers both the per-attempt socket
+                    # timeout and the wire budget (``cap()`` plus
+                    # ``to_wire_ms()`` would read it three times, and
+                    # this runs on every bound RPC).
+                    conn.settimeout(max(0.001, min(self.timeout_s, left_s)))
+                    codec.send_frame(
+                        conn,
+                        request,
+                        min(MAX_DEADLINE_MS, int(left_s * 1000)),
+                    )
                 payload = codec.recv_frame(conn)
             except socket.timeout as error:
                 self._pool.discard(conn)
@@ -271,9 +383,20 @@ class RemoteIsp:
                 continue
             self._pool.release(conn)
             self.breaker.record_success()
+            self.retry_budget.deposit()
+            self.last_ok_monotonic = time.monotonic()
             kind, value = codec.decode_response(payload)
             if kind == codec.RESP_ERROR:
                 assert isinstance(value, ReproError)
+                if (
+                    isinstance(value, OverloadedError)
+                    and attempt + 1 < attempts
+                ):
+                    if obs.ACTIVE:
+                        obs.inc("rpc.client.overloaded")
+                    last_error = value
+                    retry_after = value.retry_after_s
+                    continue
                 raise value
             if kind != expected_kind:
                 raise WireFormatError(
@@ -282,6 +405,15 @@ class RemoteIsp:
                 )
             return value
         assert last_error is not None
+        if deadline is not None and deadline.expired:
+            if obs.ACTIVE:
+                obs.inc("rpc.client.deadline.expired")
+            error = DeadlineExceededError(
+                "rpc call spent its whole deadline budget "
+                f"(last failure: {last_error})"
+            )
+            error.__cause__ = last_error
+            raise error
         raise last_error
 
     def close(self) -> None:
@@ -297,28 +429,47 @@ class RemoteIsp:
     # The ISP client-facing surface (see repro.isp.server.IspServer)
     # ------------------------------------------------------------------
 
-    def get_certificate(self) -> V2fsCertificate:
+    def get_certificate(
+        self, deadline: Optional[Deadline] = None
+    ) -> V2fsCertificate:
         return self._call(
-            codec.encode_get_certificate(), codec.RESP_CERTIFICATE
+            codec.encode_get_certificate(), codec.RESP_CERTIFICATE,
+            deadline=deadline,
         )
 
-    def open_session(self, expected_version: Optional[int] = None) -> int:
+    def open_session(
+        self,
+        expected_version: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> int:
         return self._call(
-            codec.encode_open_session(expected_version), codec.RESP_SESSION
+            codec.encode_open_session(expected_version), codec.RESP_SESSION,
+            deadline=deadline,
         )
 
     def get_file_meta(
-        self, session_id: int, path: str
+        self,
+        session_id: int,
+        path: str,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[bool, int, int]:
         return self._call(
             codec.encode_get_file_meta(session_id, path),
             codec.RESP_FILE_META,
+            deadline=deadline,
         )
 
-    def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
+    def get_page(
+        self,
+        session_id: int,
+        path: str,
+        page_id: int,
+        deadline: Optional[Deadline] = None,
+    ) -> bytes:
         return self._call(
             codec.encode_get_page(session_id, path, page_id),
             codec.RESP_PAGE,
+            deadline=deadline,
         )
 
     def validate_path(
@@ -327,17 +478,22 @@ class RemoteIsp:
         path: str,
         page_id: int,
         digs_path: codec.DigsPath,
+        deadline: Optional[Deadline] = None,
     ) -> Union[FreshMatch, PageReply]:
         return self._call(
             codec.encode_validate_path(
                 session_id, path, page_id, digs_path
             ),
             codec.RESP_VALIDATION,
+            deadline=deadline,
         )
 
-    def finalize_session(self, session_id: int) -> AdsProof:
+    def finalize_session(
+        self, session_id: int, deadline: Optional[Deadline] = None
+    ) -> AdsProof:
         return self._call(
-            codec.encode_finalize_session(session_id), codec.RESP_VO
+            codec.encode_finalize_session(session_id), codec.RESP_VO,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -398,16 +554,23 @@ def connect_client(
     cache_bytes: int = 1 << 30,
     timeout_s: float = 10.0,
     max_retries: int = 3,
+    deadline_s: Optional[float] = None,
 ):
     """Build a verifying :class:`~repro.client.query_client.QueryClient`
     against a remote ISP, bootstrapping attestation material and chain
     views over the wire (trust-on-first-use; see
-    :class:`~repro.rpc.server.IspBootstrap`)."""
+    :class:`~repro.rpc.server.IspBootstrap`).
+
+    ``deadline_s`` arms an end-to-end budget on every ISP RPC the
+    client issues (retries and backoff spend from it), so a query can
+    hang for at most a small multiple of it before a typed
+    :class:`~repro.errors.DeadlineExceededError` surfaces."""
     from repro.client.query_client import QueryClient
     from repro.client.vfs import QueryMode
 
     remote = RemoteIsp(
-        host, port, timeout_s=timeout_s, max_retries=max_retries
+        host, port, timeout_s=timeout_s, max_retries=max_retries,
+        default_deadline_s=deadline_s,
     )
     report, attestation_root, measurement = remote.fetch_bootstrap()
     chains = {

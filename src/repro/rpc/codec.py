@@ -38,9 +38,12 @@ from repro.crypto.signature import PublicKey, Signature
 from repro.errors import (
     CertificateError,
     ChainError,
+    DeadlineExceededError,
     EnclaveError,
+    EpochError,
     FileNotFoundInStoreError,
     NetworkError,
+    OverloadedError,
     ProofError,
     ReproError,
     StorageError,
@@ -59,6 +62,15 @@ from repro.sgx.attestation import AttestationReport
 MAGIC = b"V2"
 FRAME_HEADER = struct.Struct(">2sII")  # magic, payload length, crc32
 
+#: Deadline-carrying frame variant (backward-compatible codec bump):
+#: same header plus a trailing u32 — the sender's *remaining* deadline
+#: budget in milliseconds.  Relative, not absolute, so peers need no
+#: clock synchronization; the receiver rebases it onto its own
+#: monotonic clock.  A peer that has no deadline keeps sending plain
+#: ``V2`` frames, and every receiver accepts both magics.
+MAGIC_DEADLINE = b"V3"
+FRAME_HEADER_V3 = struct.Struct(">2sIII")  # + deadline budget (ms)
+
 #: Hard ceiling on one frame's payload.  Large enough for any realistic
 #: consolidated VO at our scale, small enough that a hostile length
 #: prefix cannot make the peer allocate unbounded memory.
@@ -76,8 +88,13 @@ MAX_VBF_BYTES = 16 * 1024 * 1024
 MAX_ERROR_BYTES = 4096
 
 
-def frame(payload: bytes) -> bytes:
-    """Wrap one message payload into a complete frame."""
+def frame(payload: bytes, deadline_ms: Optional[int] = None) -> bytes:
+    """Wrap one message payload into a complete frame.
+
+    With ``deadline_ms`` the frame uses the ``V3`` header variant and
+    carries the remaining budget on the wire; without it the original
+    ``V2`` layout is emitted byte-for-byte unchanged.
+    """
     if len(payload) > MAX_FRAME_BYTES:
         raise WireFormatError(
             f"refusing to send oversized frame ({len(payload)} bytes)"
@@ -85,14 +102,26 @@ def frame(payload: bytes) -> bytes:
     if obs.ACTIVE:
         obs.inc("rpc.frame.encode")
         obs.add("rpc.frame.encode.bytes", len(payload))
-    return FRAME_HEADER.pack(
-        MAGIC, len(payload), zlib.crc32(payload)
+    if deadline_ms is None:
+        return FRAME_HEADER.pack(
+            MAGIC, len(payload), zlib.crc32(payload)
+        ) + payload
+    if not 0 <= deadline_ms <= 0xFFFFFFFF:
+        raise WireFormatError(
+            f"deadline {deadline_ms} ms does not fit the u32 wire field"
+        )
+    return FRAME_HEADER_V3.pack(
+        MAGIC_DEADLINE, len(payload), zlib.crc32(payload), deadline_ms
     ) + payload
 
 
-def send_frame(sock: socket.socket, payload: bytes) -> None:
+def send_frame(
+    sock: socket.socket,
+    payload: bytes,
+    deadline_ms: Optional[int] = None,
+) -> None:
     """Send one framed message over a connected socket."""
-    sock.sendall(frame(payload))
+    sock.sendall(frame(payload, deadline_ms))
 
 
 def _recv_exact(sock: socket.socket, count: int, *, at_start: bool) -> bytes:
@@ -117,30 +146,56 @@ def _recv_exact(sock: socket.socket, count: int, *, at_start: bool) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[bytes]:
-    """Receive one frame; ``None`` on clean EOF between frames.
+def recv_frame_ex(
+    sock: socket.socket,
+) -> Optional[Tuple[bytes, Optional[int]]]:
+    """Receive one frame as ``(payload, deadline_ms)``.
 
-    Raises :class:`WireFormatError` on a bad magic, an oversized length
-    prefix (rejected before any payload allocation), a CRC mismatch, or
-    an EOF mid-frame.
+    ``deadline_ms`` is the peer's remaining budget from a ``V3`` header,
+    or ``None`` for a legacy ``V2`` frame.  Returns ``None`` on a clean
+    EOF between frames; raises :class:`WireFormatError` on a bad magic,
+    an oversized length prefix (rejected before any payload
+    allocation), a CRC mismatch, or an EOF mid-frame.
     """
     header = _recv_exact(sock, FRAME_HEADER.size, at_start=True)
     if not header:
         return None
     magic, length, crc = FRAME_HEADER.unpack(header)
-    if magic != MAGIC:
+    if magic != MAGIC and magic != MAGIC_DEADLINE:
         raise WireFormatError(f"bad frame magic {magic!r}")
     if length > MAX_FRAME_BYTES:
         raise WireFormatError(
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
-    payload = _recv_exact(sock, length, at_start=False) if length else b""
+    deadline_ms: Optional[int] = None
+    if magic == MAGIC_DEADLINE:
+        # The deadline field sits directly in front of the payload and
+        # both left the sender in one ``sendall``: one recv covers
+        # them, so the V3 variant costs no extra syscall over V2.
+        extra = FRAME_HEADER_V3.size - FRAME_HEADER.size
+        rest = _recv_exact(sock, extra + length, at_start=False)
+        deadline_ms = struct.unpack_from(">I", rest)[0]
+        payload = rest[extra:]
+    else:
+        payload = _recv_exact(sock, length, at_start=False) if length else b""
     if zlib.crc32(payload) != crc:
         raise WireFormatError("frame checksum mismatch (corrupt payload)")
     if obs.ACTIVE:
         obs.inc("rpc.frame.decode")
         obs.add("rpc.frame.decode.bytes", len(payload))
-    return payload
+    return payload, deadline_ms
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Receive one frame's payload; ``None`` on clean EOF between frames.
+
+    Accepts both ``V2`` and ``V3`` frames, discarding any deadline field
+    — callers that propagate deadlines use :func:`recv_frame_ex`.
+    """
+    received = recv_frame_ex(sock)
+    if received is None:
+        return None
+    return received[0]
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +249,9 @@ class Reader:
             return raw.decode("utf-8")
         except UnicodeDecodeError as error:
             raise WireFormatError(f"invalid UTF-8 in message: {error}")
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
 
     def expect_end(self) -> None:
         if self._pos != len(self._data):
@@ -286,7 +344,11 @@ _ERROR_CODE_TO_TYPE: Dict[int, type] = {
     7: ProofError,
     8: ChainError,
     9: EnclaveError,
+    10: DeadlineExceededError,
+    11: OverloadedError,
+    12: EpochError,
 }
+_ERROR_CODE_OVERLOADED = 11
 _TYPE_TO_ERROR_CODE = {t: c for c, t in _ERROR_CODE_TO_TYPE.items()}
 
 
@@ -569,14 +631,24 @@ def encode_shard_map(shard_map) -> bytes:
 
 
 def encode_error(error: BaseException) -> bytes:
+    """Encode an error frame: code u16 + message text.
+
+    An :class:`OverloadedError` carrying a retry-after hint appends one
+    trailing u32 (milliseconds).  Old decoders that stop at the message
+    never existed for code 11 — the code and the extension shipped
+    together — so the optional tail stays backward compatible.
+    """
     message = str(error)[:MAX_ERROR_BYTES]
-    return (
+    writer = (
         Writer()
         .u8(RESP_ERROR)
         .u16(error_code_for(error))
         .text(message)
-        .payload()
     )
+    retry_after_s = getattr(error, "retry_after_s", None)
+    if retry_after_s is not None:
+        writer.u32(min(0xFFFFFFFF, max(0, int(retry_after_s * 1000))))
+    return writer.payload()
 
 
 #: Decoded response: (kind, value).
@@ -652,7 +724,12 @@ def decode_response(payload: bytes) -> DecodedResponse:
         code = reader.u16()
         message = reader.text(MAX_ERROR_BYTES)
         error_type = _ERROR_CODE_TO_TYPE.get(code, ReproError)
-        value = error_type(message)
+        if code == _ERROR_CODE_OVERLOADED and reader.remaining() >= 4:
+            value = OverloadedError(
+                message, retry_after_s=reader.u32() / 1000.0
+            )
+        else:
+            value = error_type(message)
     else:
         raise WireFormatError(f"unknown response kind 0x{kind:02x}")
     reader.expect_end()
@@ -661,7 +738,9 @@ def decode_response(payload: bytes) -> DecodedResponse:
 
 __all__ = [
     "MAGIC",
+    "MAGIC_DEADLINE",
     "FRAME_HEADER",
+    "FRAME_HEADER_V3",
     "MAX_FRAME_BYTES",
     "MAX_PAGE_BYTES",
     "MAX_DIGS_PATH",
@@ -670,6 +749,7 @@ __all__ = [
     "frame",
     "send_frame",
     "recv_frame",
+    "recv_frame_ex",
     "decode_request",
     "decode_response",
     "encode_error",

@@ -29,12 +29,19 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.chain.block import BlockHeader
 from repro.crypto.hashing import Digest
 from repro.crypto.signature import PublicKey
-from repro.errors import NetworkError, ReproError, WireFormatError
+from repro.errors import (
+    DeadlineExceededError,
+    NetworkError,
+    OverloadedError,
+    ReproError,
+    WireFormatError,
+)
 from repro.faults import registry as faults
 from repro.faults.registry import InjectedFault
 from repro.isp.server import IspServer
 from repro.obs import metrics as obs
 from repro.rpc import codec
+from repro.rpc.deadline import Deadline
 from repro.sanitize import runtime as san
 from repro.sanitize.runtime import SanLock, SanThread
 from repro.sgx.attestation import AttestationReport
@@ -87,6 +94,17 @@ class RpcIspServer:
         #: outside the RPC path (CI ingestion) must hold it too — see
         #: :func:`serve_system`.
         self.lock = SanLock("rpc.server", reentrant=True)
+        #: Admission control: at most this many requests may be in
+        #: flight (decoded but not yet answered) at once.  Excess
+        #: requests are *shed* at the door with a typed
+        #: :class:`~repro.errors.OverloadedError` carrying a
+        #: retry-after hint — bounded queueing instead of unbounded
+        #: latency collapse.  ``0`` disables shedding.
+        self.max_pending = 64
+        #: Backpressure hint attached to shed responses (seconds).
+        self.shed_retry_after_s = 0.05
+        self._admission_lock = SanLock("rpc.admission")
+        self._pending = 0  # repro: guarded-by(_admission_lock)
         self._host = host
         self._port = port
         self._listener: Optional[socket.socket] = None
@@ -169,6 +187,12 @@ class RpcIspServer:
             except OSError:
                 pass
         for thread in threads:
+            if thread.ident is None:
+                # Registered by the accept loop but not yet started
+                # when the lists were swapped; its socket was already
+                # closed above, so once started it exits immediately.
+                # Joining an unstarted thread raises RuntimeError.
+                continue
             thread.join(timeout=self.JOIN_TIMEOUT_S)
             if thread.is_alive():  # pragma: no cover - wedged handler
                 logger.warning(
@@ -219,7 +243,7 @@ class RpcIspServer:
         try:
             while self._running.is_set():
                 try:
-                    payload = codec.recv_frame(conn)
+                    received = codec.recv_frame_ex(conn)
                 except WireFormatError as error:
                     # Protocol garbage from the client: answer with a
                     # typed error, then drop the connection.
@@ -227,11 +251,12 @@ class RpcIspServer:
                     return
                 except OSError:
                     return
-                if payload is None:
+                if received is None:
                     return  # clean EOF
+                payload, deadline_ms = received
                 if faults.ACTIVE and not self._wire_faults(conn):
                     return
-                response = self._handle(payload)
+                response = self._handle(payload, deadline_ms)
                 try:
                     self._send(conn, response)
                 except OSError:
@@ -307,10 +332,71 @@ class RpcIspServer:
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _handle(self, payload: bytes) -> bytes:
-        """Decode one request, run it against the ISP, encode the reply."""
+    def _admit(self) -> bool:
+        """Reserve one admission slot; False means shed this request."""
+        if self.max_pending <= 0:
+            return True
+        with self._admission_lock:
+            if self._pending >= self.max_pending:
+                return False
+            self._pending += 1
+            return True
+
+    def _release(self) -> None:
+        if self.max_pending <= 0:
+            return
+        with self._admission_lock:
+            self._pending -= 1
+
+    def _handle(
+        self, payload: bytes, deadline_ms: Optional[int] = None
+    ) -> bytes:
+        """Decode one request, run it against the ISP, encode the reply.
+
+        Two refusals happen *before* any dispatch work: a request whose
+        propagated deadline already expired is answered with
+        :class:`~repro.errors.DeadlineExceededError` (the client has
+        given up — serving it wastes a lock slot), and a request beyond
+        :attr:`max_pending` in-flight peers is shed with a typed
+        ``Overloaded`` + retry-after frame.
+        """
         if obs.ACTIVE:
             obs.inc("rpc.server.requests")
+        # A zero wire budget IS expiry: rebasing and asking ``expired``
+        # immediately after can only trip when the field was 0, so the
+        # comparison needs no clock read.
+        if deadline_ms is not None and deadline_ms <= 0:
+            if obs.ACTIVE:
+                obs.inc("rpc.server.deadline.expired")
+                obs.inc("rpc.server.errors")
+            return codec.encode_error(
+                DeadlineExceededError(
+                    "request arrived with its deadline already spent"
+                )
+            )
+        if not self._admit():
+            if obs.ACTIVE:
+                obs.inc("rpc.server.shed")
+                obs.inc("rpc.server.errors")
+            return codec.encode_error(
+                OverloadedError(
+                    f"server at max_pending={self.max_pending}; shed",
+                    retry_after_s=self.shed_retry_after_s,
+                )
+            )
+        deadline = (
+            Deadline.from_wire_ms(deadline_ms)
+            if deadline_ms is not None
+            else None
+        )
+        try:
+            return self._handle_admitted(payload, deadline)
+        finally:
+            self._release()
+
+    def _handle_admitted(
+        self, payload: bytes, deadline: Optional[Deadline]
+    ) -> bytes:
         try:
             kind, args = codec.decode_request(payload)
         except WireFormatError as error:
@@ -318,7 +404,7 @@ class RpcIspServer:
                 obs.inc("rpc.server.errors")
             return codec.encode_error(error)
         try:
-            return self._serve(kind, args)
+            return self._serve(kind, args, deadline)
         except ReproError as error:
             logger.debug(
                 "request 0x%02x failed: %s", kind, error
@@ -348,15 +434,27 @@ class RpcIspServer:
         codec.REQ_FINALIZE_SESSION,
     })
 
-    def _serve(self, kind: int, args: tuple) -> bytes:
+    def _serve(
+        self,
+        kind: int,
+        args: tuple,
+        deadline: Optional[Deadline] = None,
+    ) -> bytes:
         """Run one decoded request to an encoded reply.
 
         The base server serializes against :attr:`lock` (one ISP, one
         coarse lock); the fleet router overrides this to dispatch
         lock-free, since its handlers perform remote I/O and must never
-        hold a lock across it.
+        hold a lock across it.  A request whose deadline expired while
+        it queued for the lock is refused before any dispatch work.
         """
         with self.lock:
+            if deadline is not None and deadline.expired:
+                if obs.ACTIVE:
+                    obs.inc("rpc.server.deadline.expired")
+                raise DeadlineExceededError(
+                    "request deadline expired while queued for dispatch"
+                )
             if self.service_delay_s and kind in self._DATA_SERVICE_KINDS:
                 time.sleep(self.service_delay_s)
             return self._dispatch(kind, args)

@@ -141,13 +141,13 @@ class MisroutingFleetIsp(CollusiveFleetIsp):
         super().__init__(*args, **kwargs)
         self._lagging = lagging or {}
 
-    def _shard_session(self, session, shard_id):
+    def _shard_session(self, session, shard_id, deadline=None):
         held = session.shard_sessions.get(shard_id)
         if held is not None:
             return held
         replica = self._lagging.get(shard_id)
         if replica is None:
-            return super()._shard_session(session, shard_id)
+            return super()._shard_session(session, shard_id, deadline)
         remote_sid = replica.open_session()  # no expected_version
         session.shard_sessions[shard_id] = (replica, remote_sid)
         return replica, remote_sid

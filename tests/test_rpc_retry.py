@@ -10,6 +10,8 @@ verifying the reliability model documented in :mod:`repro.rpc.client`:
 * data-level failures (``WireFormatError``) are *never* retried.
 """
 
+import time
+
 import pytest
 
 from repro.errors import RpcConnectionError, WireFormatError
@@ -17,6 +19,7 @@ from repro.faults import registry
 from repro.isp.server import IspServer
 from repro.rpc import client as rpc_client
 from repro.rpc.client import RemoteIsp
+from repro.rpc.deadline import RetryBudget
 from repro.rpc.server import RpcIspServer
 
 
@@ -99,3 +102,84 @@ def test_connection_refused_is_a_typed_connection_error(sleeps):
     with pytest.raises(RpcConnectionError):
         remote.ping()
     assert len(sleeps) == 1
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker half-open probing vs. the retry contract
+# ---------------------------------------------------------------------------
+
+
+def wait_wall(seconds: float) -> None:
+    """Busy-wait on the monotonic clock: the ``sleeps`` fixture patches
+    ``time.sleep`` away, but the breaker cooldown is wall-clock."""
+    end = time.monotonic() + seconds
+    while time.monotonic() < end:
+        pass
+
+
+def test_half_open_probe_closes_breaker_without_double_spending(
+    server, sleeps
+):
+    # Two drops open the breaker during one call's retry sequence; the
+    # fault then heals.  The half-open probe after cooldown is ONE
+    # ordinary call — it succeeds on its first attempt, closes the
+    # breaker, and spends neither backoff sleeps nor retry tokens.
+    registry.arm("rpc.server.drop", "raise", times=2)
+    budget = RetryBudget(capacity=8.0, refill_per_s=0.0)
+    remote = make_remote(
+        server,
+        max_retries=1,
+        backoff_s=0.01,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.05,
+        retry_budget=budget,
+    )
+    with pytest.raises(RpcConnectionError):
+        remote.ping()  # drop, retry, drop -> threshold hit, circuit opens
+    assert registry.stats()["rpc.server.drop"].hits == 2
+    assert remote.breaker.is_open
+
+    # While open (cooldown not elapsed): fast-fail between calls, no
+    # socket traffic, no backoff, no retry-budget spend.
+    hits_before, sleeps_before = 2, len(sleeps)
+    tokens_before = budget.tokens
+    with pytest.raises(RpcConnectionError):
+        remote.ping()
+    assert registry.stats()["rpc.server.drop"].hits == hits_before
+    assert len(sleeps) == sleeps_before
+    assert budget.tokens == tokens_before
+
+    wait_wall(0.06)  # real wait: cooldown_s is wall-clock
+    remote.ping()  # the half-open probe: admitted, succeeds first try
+    assert registry.stats()["rpc.server.drop"].hits == 3
+    assert len(sleeps) == sleeps_before  # no extra backoff spent
+    assert budget.tokens >= tokens_before  # success deposits, not spends
+    assert not remote.breaker.is_open
+    remote.ping()  # closed for good: normal traffic resumes
+    assert registry.stats()["rpc.server.drop"].hits == 4
+
+
+def test_half_open_probe_failure_reopens_the_circuit(server, sleeps):
+    # The endpoint stays dead: the probe call gets the full retry
+    # contract (it is a normal call), fails, and re-opens the circuit —
+    # the very next call fast-fails without touching the server.
+    registry.arm("rpc.server.drop", "raise")  # every request, forever
+    remote = make_remote(
+        server,
+        max_retries=1,
+        backoff_s=0.01,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.05,
+    )
+    with pytest.raises(RpcConnectionError):
+        remote.ping()
+    assert registry.stats()["rpc.server.drop"].hits == 2
+    assert remote.breaker.is_open
+    wait_wall(0.06)
+    with pytest.raises(RpcConnectionError):
+        remote.ping()  # probe admitted, both attempts dropped
+    assert registry.stats()["rpc.server.drop"].hits == 4
+    assert remote.breaker.is_open  # failure refreshed the open state
+    with pytest.raises(RpcConnectionError):
+        remote.ping()  # immediately fast-failed, no server traffic
+    assert registry.stats()["rpc.server.drop"].hits == 4
