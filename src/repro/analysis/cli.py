@@ -16,10 +16,11 @@ from typing import List
 
 from repro.analysis.core import (
     SEVERITY_ERROR,
+    _run_rules,
     all_rules,
-    analyze_paths,
     baseline_entries,
     load_baseline,
+    parse_paths,
     subtract_baseline,
 )
 from repro.analysis.reporters import render_json, render_text
@@ -76,6 +77,19 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="report format; json is stable and sorted for diffing",
     )
     parser.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        dest="rules",
+        help="run only this rule (repeatable); suppressions belonging "
+             "to rules not selected are neither applied nor reported "
+             "unused",
+    )
+    parser.add_argument(
+        "--effect-table", default=None, metavar="FILE",
+        dest="effect_table",
+        help="also export the per-function blocking-effect table "
+             "(the ROADMAP async-refactor work-list) as JSON",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules with the invariant each protects",
     )
@@ -89,6 +103,21 @@ def run(args: argparse.Namespace) -> int:
             print(f"    invariant: {rule.invariant}")
         return 0
 
+    rules = all_rules()
+    if args.rules:
+        by_name = {rule.name: rule for rule in rules}
+        unknown = sorted(set(args.rules) - set(by_name))
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [
+            by_name[name] for name in sorted(set(args.rules))
+        ]
+
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -97,7 +126,24 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    findings = analyze_paths(paths)
+    # Parse once; the rule pass and the effect-table export reuse the
+    # same context objects so the interprocedural program cache hits.
+    contexts, findings = parse_paths(paths)
+    findings.extend(_run_rules(contexts, rules))
+    findings.sort()
+
+    if args.effect_table:
+        from repro.analysis.dataflow import build_effect_table
+
+        table = build_effect_table(contexts)
+        with open(args.effect_table, "w", encoding="utf-8") as handle:
+            json.dump(table, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote effect table for {len(table['functions'])} "
+            f"function(s) to {args.effect_table}",
+            file=sys.stderr,
+        )
 
     if args.write_baseline:
         payload = {"version": 1, "findings": baseline_entries(findings)}

@@ -188,10 +188,12 @@ class FunctionInfo:
     """The per-function summary both rules consume."""
 
     __slots__ = ("func_id", "class_id", "ctx", "name", "acquires",
-                 "calls", "accesses", "param_types", "local_types")
+                 "calls", "accesses", "param_types", "local_types",
+                 "node")
 
     def __init__(self, func_id: str, class_id: Optional[str],
-                 ctx: ModuleContext, name: str) -> None:
+                 ctx: ModuleContext, name: str,
+                 node: Optional[ast.AST] = None) -> None:
         self.func_id = func_id
         self.class_id = class_id
         self.ctx = ctx
@@ -201,6 +203,9 @@ class FunctionInfo:
         self.accesses: List[FieldAccess] = []
         self.param_types: Dict[str, str] = {}
         self.local_types: Dict[str, str] = {}
+        #: The function's own AST, for rules (dataflow) that need to
+        #: re-walk the body with a different abstraction.
+        self.node = node
 
 
 class Program:
@@ -211,6 +216,9 @@ class Program:
         self.functions: Dict[str, FunctionInfo] = {}
         #: lock id -> defining (path, line).
         self.locks: Dict[str, Tuple[str, int]] = {}
+        #: The subset of :attr:`locks` constructed via ``SanLock`` —
+        #: the DESIGN §8 inventory the blocking-effect policy guards.
+        self.san_locks: Set[str] = set()
         self.annotations: List[FieldAnnotation] = []
         #: Hygiene findings produced while indexing (bad annotations).
         self.index_findings: List[Finding] = []
@@ -315,14 +323,19 @@ def _module_symbols(ctx: ModuleContext) -> Dict[str, str]:
     return symbols
 
 
-def _is_lock_factory(call: ast.expr) -> bool:
+def _lock_factory_name(call: ast.expr) -> Optional[str]:
+    """``Lock``/``RLock``/``SanLock`` when ``call`` constructs a lock."""
     if not isinstance(call, ast.Call):
-        return False
+        return None
     dotted = _dotted(call.func)
-    return (
-        dotted is not None
-        and dotted.rsplit(".", 1)[-1] in _LOCK_FACTORIES
-    )
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    return last if last in _LOCK_FACTORIES else None
+
+
+def _is_lock_factory(call: ast.expr) -> bool:
+    return _lock_factory_name(call) is not None
 
 
 def _annotation_class_ref(node: Optional[ast.expr]) -> Optional[str]:
@@ -337,6 +350,13 @@ def _annotation_class_ref(node: Optional[ast.expr]) -> Optional[str]:
         candidate = node.value.strip()
         return candidate if candidate.replace(".", "").isidentifier() \
             else None
+    if isinstance(node, ast.Subscript):
+        # Peel Optional[X]: the wrapped class is what the attribute
+        # holds when it holds anything (other subscripted generics
+        # stay out of scope — a Dict[int, X] is not an X).
+        head = _dotted(node.value)
+        if head is not None and head.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_class_ref(node.slice)
     return _dotted(node)
 
 
@@ -345,10 +365,13 @@ def _index_module(program: Program, ctx: ModuleContext) -> None:
     program.symbols[ctx.module] = symbols
     for node in ctx.tree.body:
         if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+            factory = _lock_factory_name(node.value)
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     lock_id = f"{ctx.module}.{target.id}"
                     program.locks[lock_id] = (ctx.path, node.lineno)
+                    if factory == "SanLock":
+                        program.san_locks.add(lock_id)
         if not isinstance(node, ast.ClassDef):
             continue
         class_id = f"{ctx.module}.{node.name}"
@@ -409,6 +432,8 @@ def _index_class_bodies(program: Program, ctx: ModuleContext) -> None:
                         lock_id = f"{info.class_id}.{attr}"
                         info.lock_attrs[attr] = lock_id
                         program.locks[lock_id] = (ctx.path, stmt.lineno)
+                        if _lock_factory_name(value) == "SanLock":
+                            program.san_locks.add(lock_id)
                     elif isinstance(value, ast.Call):
                         ref = _dotted(value.func)
                         if ref is not None:
@@ -793,7 +818,7 @@ class _FunctionVisitor:
 def _collect_function(program: Program, ctx: ModuleContext,
                       node: ast.AST, func_id: str,
                       class_id: Optional[str]) -> None:
-    func = FunctionInfo(func_id, class_id, ctx, node.name)
+    func = FunctionInfo(func_id, class_id, ctx, node.name, node)
     symbols = program.symbols[ctx.module]
     for arg in node.args.args + node.args.kwonlyargs:
         ref = _annotation_class_ref(arg.annotation)
@@ -801,18 +826,29 @@ def _collect_function(program: Program, ctx: ModuleContext,
             resolved = symbols.get(ref, ref)
             if resolved in program.classes:
                 func.param_types[arg.arg] = resolved
+    resolver = _FunctionVisitor(program, ctx, func)
     for stmt in ast.walk(node):
-        if (
+        if not (
             isinstance(stmt, ast.Assign)
             and len(stmt.targets) == 1
             and isinstance(stmt.targets[0], ast.Name)
-            and isinstance(stmt.value, ast.Call)
         ):
+            continue
+        target = stmt.targets[0].id
+        if isinstance(stmt.value, ast.Call):
             ref = _dotted(stmt.value.func)
             if ref is not None:
                 resolved = symbols.get(ref, ref)
                 if resolved in program.classes:
-                    func.local_types[stmt.targets[0].id] = resolved
+                    func.local_types[target] = resolved
+        elif isinstance(stmt.value, (ast.Attribute, ast.Name)):
+            # Local alias of a typed attribute or parameter
+            # (``cache = self.inter_cache``) — a single pass suffices
+            # for the assign-then-use idiom; chained aliases that only
+            # resolve on a later sweep stay unresolved (conservative).
+            hit = resolver.resolve_receiver(stmt.value)
+            if hit is not None:
+                func.local_types.setdefault(target, hit)
     program.functions[func_id] = func
     _FunctionVisitor(program, ctx, func).visit_body(node.body)
 

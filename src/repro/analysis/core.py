@@ -160,6 +160,7 @@ def register(rule_cls: type) -> type:
 def all_rules() -> List[Rule]:
     # Importing the rule modules populates the registry on first use.
     from repro.analysis import concurrency as _concurrency  # noqa: F401
+    from repro.analysis import dataflow as _dataflow  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
     return [_RULES[name] for name in sorted(_RULES)]
@@ -231,10 +232,34 @@ def collect_suppressions(ctx: ModuleContext) -> List[Suppression]:
 
 
 def apply_suppressions(
-    ctx: ModuleContext, findings: List[Finding]
+    ctx: ModuleContext, findings: List[Finding],
+    active_rules: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Filter suppressed findings; report suppression hygiene issues."""
+    """Filter suppressed findings; report suppression hygiene issues.
+
+    ``active_rules`` names the rules this run actually executed (None
+    means all).  A suppression naming only inactive rules is skipped
+    entirely — neither applied nor reported unused — so a filtered
+    ``lint --rule`` pass does not flag allowances that belong to the
+    rules it deliberately did not run.
+    """
     suppressions = collect_suppressions(ctx)
+    # "Unknown rule" must mean unknown to the registry, not merely
+    # not-yet-imported: force every rule module in before judging.
+    all_rules()
+    known = set(_RULES) | {
+        RULE_PARSE, RULE_SUPPRESSION_RATIONALE, RULE_UNUSED_SUPPRESSION
+    }
+    if active_rules is not None:
+        active = set(active_rules)
+        # Keep suppressions that touch an active rule, plus any naming
+        # an unknown rule: a typo'd allowance is a hygiene error no
+        # matter which subset of rules this run executes.
+        suppressions = [
+            s for s in suppressions
+            if active.intersection(s.rules)
+            or any(r not in known for r in s.rules)
+        ]
     kept: List[Finding] = []
     for finding in findings:
         covering = next(
@@ -254,9 +279,6 @@ def apply_suppressions(
                     "'# repro: allow(rule) -- why this is sound'"
                 ),
             ))
-        known = set(_RULES) | {
-            RULE_PARSE, RULE_SUPPRESSION_RATIONALE, RULE_UNUSED_SUPPRESSION
-        }
         for rule_name in sup.rules:
             if rule_name not in known:
                 kept.append(Finding(
@@ -371,9 +393,15 @@ def _run_rules(
     by_path: Dict[str, List[Finding]] = {}
     for finding in findings:
         by_path.setdefault(finding.path, []).append(finding)
+    # A filtered run (lint --rule) must not flag suppressions that
+    # belong to rules it did not execute; an unfiltered run sees every
+    # registered rule, so the scoping is a no-op there.
+    active = {rule.name for rule in rules}
     kept: List[Finding] = []
     for ctx in contexts:
-        kept.extend(apply_suppressions(ctx, by_path.pop(ctx.path, [])))
+        kept.extend(apply_suppressions(
+            ctx, by_path.pop(ctx.path, []), active_rules=active
+        ))
     for stray in by_path.values():  # findings on unanalyzed paths
         kept.extend(stray)
     return sorted(kept)
@@ -390,16 +418,16 @@ def analyze_source(
     return analyze_sources([(module, path, source)], rules=rules)
 
 
-def analyze_sources(
+def parse_sources(
     named_sources: Sequence[Tuple[str, str, str]],
-    *,
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Analyze ``(module, path, source)`` triples as one program.
+) -> Tuple[List[ModuleContext], List[Finding]]:
+    """Parse ``(module, path, source)`` triples into contexts.
 
-    The multi-module entry point for interprocedural rule fixtures: a
-    test can hand the analyzer a whole miniature package and check
-    cross-module call-graph reasoning.
+    Returns the parsed contexts plus parse-failure findings.  Split out
+    from :func:`analyze_sources` so a caller (the CLI) can parse once
+    and reuse the same context objects for both the rule pass and the
+    effect-table export — identity reuse is what makes the program
+    cache in :mod:`repro.analysis.concurrency` hit.
     """
     contexts: List[ModuleContext] = []
     findings: List[Finding] = []
@@ -413,6 +441,21 @@ def analyze_sources(
             ))
             continue
         contexts.append(ModuleContext(path, module, tree, source))
+    return contexts, findings
+
+
+def analyze_sources(
+    named_sources: Sequence[Tuple[str, str, str]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze ``(module, path, source)`` triples as one program.
+
+    The multi-module entry point for interprocedural rule fixtures: a
+    test can hand the analyzer a whole miniature package and check
+    cross-module call-graph reasoning.
+    """
+    contexts, findings = parse_sources(named_sources)
     findings.extend(_run_rules(
         contexts, rules if rules is not None else all_rules()
     ))
@@ -427,19 +470,16 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             yield path
 
 
-def analyze_paths(
+def parse_paths(
     paths: Sequence[Path],
     *,
-    rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
-) -> List[Finding]:
-    """Analyze every ``*.py`` under ``paths``; returns sorted findings.
+) -> Tuple[List[ModuleContext], List[Finding]]:
+    """Read and parse every ``*.py`` under ``paths`` into contexts.
 
     Reported paths are made relative to ``root`` (default: the current
     directory) when possible, and always use ``/`` separators, so JSON
-    output is stable across checkouts and platforms.  All files are
-    parsed before any program rule runs, so interprocedural rules see
-    the complete call graph.
+    output is stable across checkouts and platforms.
     """
     base = root if root is not None else Path.cwd()
     named_sources: List[Tuple[str, str, str]] = []
@@ -460,5 +500,24 @@ def analyze_paths(
         named_sources.append(
             (module_name_for(file_path), rel.as_posix(), source)
         )
-    findings.extend(analyze_sources(named_sources, rules=rules))
+    contexts, parse_findings = parse_sources(named_sources)
+    findings.extend(parse_findings)
+    return contexts, findings
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Analyze every ``*.py`` under ``paths``; returns sorted findings.
+
+    All files are parsed before any program rule runs, so
+    interprocedural rules see the complete call graph.
+    """
+    contexts, findings = parse_paths(paths, root=root)
+    findings.extend(_run_rules(
+        contexts, rules if rules is not None else all_rules()
+    ))
     return sorted(findings)

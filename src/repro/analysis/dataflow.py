@@ -1,0 +1,845 @@
+"""Interprocedural dataflow rules: ``verify-before-use`` and
+``blocking-effect``.
+
+V2FS's security argument is a trust boundary: every byte that arrives
+from the untrusted ISP must pass a verification entry point before any
+downstream consumer (the query result, a page cache, the pager) may
+use it.  The tests exercise that discipline; this module makes the
+checker enforce it, the same way ``lock-order``/``guarded-by`` turned
+the concurrency conventions of DESIGN §8 into static guarantees.  Both
+rules reason over the :class:`~repro.analysis.concurrency.Program`
+index (call graph, attribute/parameter type inference, lock
+summaries) that PR 5 built.
+
+**verify-before-use** is a taint analysis.  The trust boundary is
+declared in the code it protects, with def-line annotations the same
+way ``guarded-by`` declares lock ownership:
+
+* ``# repro: taint-source`` — the function returns untrusted bytes
+  (socket reads, wire decoders, the ISP-facing interface);
+* ``# repro: taint-sanitizer`` — calling it verifies its arguments
+  (and, for method-style sanitizers, its receiver) against the
+  on-chain certificate, clearing their taint;
+* ``# repro: taint-sink`` — its arguments must be verified data
+  (cache inserts, pager writes).
+
+Taint propagates through assignments, tuple unpacking, arithmetic,
+attribute/subscript loads, and — interprocedurally — through call
+edges via per-function summaries (does ``f`` return taint? do any of
+its parameters flow to a sink?) iterated to a fixpoint.  A tainted
+value reaching a sink yields an error carrying the full witness chain
+(source function → intermediate calls → sink call site), mirroring the
+per-edge witnesses of the lock-order reports.
+
+Deliberate conservatism (documented misses, never false positives):
+object *fields* are not tracked (``self.x = tainted`` then later
+``self.x`` reads as clean), unresolvable callees launder taint, and
+the statement walk is flow-sensitive but path-insensitive — a
+sanitizer on one branch clears taint for the code after the join.
+
+**blocking-effect** infers each function's worst blocking effect —
+lock acquisition, ``sleep``, ``fsync``, socket I/O, subprocess —
+transitively over the call graph, and publishes the per-function
+table as a JSON artifact (:func:`build_effect_table`), the work-list
+for ROADMAP item 2's asyncio refactor of the serving path.  Two
+policies are enforced now:
+
+1. no blocking primitive may execute (directly or through any
+   resolvable call chain) while holding a lock from the DESIGN §8
+   ``SanLock`` inventory — a blocked holder stalls every thread
+   queued on that lock;
+2. on a deadline-carrying path (any function taking a ``deadline``
+   parameter, PR 7, plus everything it reaches), unbounded waits —
+   ``.join()``/``.wait()`` without a timeout, a bare lock
+   ``acquire()``, an uncapped ``create_connection``,
+   ``settimeout(None)`` — are errors: a deadline the transport cannot
+   enforce is decorative.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.concurrency import (
+    FunctionInfo,
+    Program,
+    _cached_program,
+    _entry_held,
+    _FunctionVisitor,
+    _short,
+    _transitive_acquires,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    ProgramRule,
+    register,
+)
+
+# ----------------------------------------------------------------------
+# Trust-boundary annotations
+# ----------------------------------------------------------------------
+
+ROLE_SOURCE = "source"
+ROLE_SANITIZER = "sanitizer"
+ROLE_SINK = "sink"
+
+_TAINT_RE = re.compile(r"#\s*repro:\s*taint-(source|sanitizer|sink)\b")
+
+
+def taint_roles(program: Program) -> Dict[str, str]:
+    """func id -> role, from ``# repro: taint-<role>`` annotations on
+    the ``def`` line or the line directly above it (which, for
+    decorated functions, is the line between decorator and ``def``)."""
+    roles: Dict[str, str] = {}
+    for func in program.functions.values():
+        node = func.node
+        if node is None:
+            continue
+        for lineno in (node.lineno, node.lineno - 1):
+            if not 1 <= lineno <= len(func.ctx.lines):
+                continue
+            match = _TAINT_RE.search(func.ctx.lines[lineno - 1])
+            if match is not None:
+                roles[func.func_id] = match.group(1)
+                break
+    return roles
+
+
+def _param_names(func: FunctionInfo) -> List[str]:
+    node = func.node
+    if node is None:
+        return []
+    names = [a.arg for a in node.args.args]
+    if func.class_id is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names + [a.arg for a in node.args.kwonlyargs]
+
+
+# ----------------------------------------------------------------------
+# Taint domain
+# ----------------------------------------------------------------------
+#
+# A taint token is a tuple:
+#   ("src", origin_func_id, chain)  -- real untrusted bytes; ``chain``
+#       is the call path from the function currently holding the value
+#       back to the source function, both inclusive;
+#   ("param", index)                -- symbolic taint seeded on the
+#       function's own parameters, used to derive the interprocedural
+#       summary (return/sink parameter flow) without false findings.
+
+Token = Tuple
+
+
+class _TaintSummary:
+    """What a caller needs to know about one callee."""
+
+    __slots__ = ("returns", "return_params", "sink_params")
+
+    def __init__(self) -> None:
+        #: origin func id -> call chain (this func ... origin).
+        self.returns: Dict[str, Tuple[str, ...]] = {}
+        #: parameter indices whose taint flows to the return value.
+        self.return_params: Set[int] = set()
+        #: parameter index -> call chain (this func ... sink) for
+        #: parameters that reach a sink un-sanitized.
+        self.sink_params: Dict[int, Tuple[str, ...]] = {}
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _TaintSummary)
+            and self.returns == other.returns
+            and self.return_params == other.return_params
+            and self.sink_params == other.sink_params
+        )
+
+
+class _SinkHit:
+    """One tainted value reaching a sink (pre-Finding form)."""
+
+    __slots__ = ("func", "line", "origin", "taint_chain", "sink_chain")
+
+    def __init__(self, func: FunctionInfo, line: int, origin: str,
+                 taint_chain: Tuple[str, ...],
+                 sink_chain: Tuple[str, ...]) -> None:
+        self.func = func
+        self.line = line
+        self.origin = origin
+        self.taint_chain = taint_chain
+        self.sink_chain = sink_chain
+
+
+class _TaintWalker:
+    """Flow-sensitive walk of one function body."""
+
+    def __init__(self, program: Program, roles: Dict[str, str],
+                 summaries: Dict[str, _TaintSummary],
+                 func: FunctionInfo) -> None:
+        self.program = program
+        self.roles = roles
+        self.summaries = summaries
+        self.func = func
+        self.resolver = _FunctionVisitor(program, func.ctx, func)
+        self.env: Dict[str, Set[Token]] = {}
+        self.summary = _TaintSummary()
+        self.hits: List[_SinkHit] = []
+        self.params = _param_names(func)
+
+    def run(self) -> None:
+        for index in range(len(self.params)):
+            self.env[self.params[index]] = {("param", index)}
+        if self.func.node is not None:
+            self.walk(self.func.node.body)
+
+    # -- statements -----------------------------------------------------
+
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, s: ast.stmt) -> None:
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef)):
+            return  # nested defs are separate (unsummarized) units
+        if isinstance(s, ast.Assign):
+            tokens = self.eval_expr(s.value)
+            for target in s.targets:
+                self.assign(target, tokens)
+        elif isinstance(s, ast.AnnAssign):
+            if s.value is not None:
+                self.assign(s.target, self.eval_expr(s.value))
+        elif isinstance(s, ast.AugAssign):
+            tokens = self.eval_expr(s.value)
+            if isinstance(s.target, ast.Name):
+                merged = self.env.get(s.target.id, set()) | tokens
+                self.env[s.target.id] = merged
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self.note_return(self.eval_expr(s.value))
+        elif isinstance(s, ast.Expr):
+            self.eval_expr(s.value)
+        elif isinstance(s, (ast.If, ast.While)):
+            self.eval_expr(s.test)
+            self.walk(s.body)
+            self.walk(s.orelse)
+        elif isinstance(s, (ast.For, ast.AsyncFor)):
+            self.assign(s.target, self.eval_expr(s.iter))
+            self.walk(s.body)
+            self.walk(s.orelse)
+        elif isinstance(s, (ast.With, ast.AsyncWith)):
+            for item in s.items:
+                tokens = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, tokens)
+            self.walk(s.body)
+        elif isinstance(s, ast.Try):
+            self.walk(s.body)
+            for handler in s.handlers:
+                self.walk(handler.body)
+            self.walk(s.orelse)
+            self.walk(s.finalbody)
+        elif isinstance(s, ast.Raise):
+            if s.exc is not None:
+                self.eval_expr(s.exc)
+        elif isinstance(s, ast.Assert):
+            self.eval_expr(s.test)
+        elif isinstance(s, ast.Delete):
+            for target in s.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do.
+
+    def assign(self, target: ast.expr, tokens: Set[Token]) -> None:
+        if isinstance(target, ast.Name):
+            # Strong update: reassignment replaces (and an untainted
+            # RHS therefore clears) the name's taint.
+            self.env[target.id] = set(tokens)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, tokens)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, tokens)
+        # Attribute/Subscript targets: field taint is out of scope.
+
+    def note_return(self, tokens: Set[Token]) -> None:
+        for token in tokens:
+            if token[0] == "src":
+                self.summary.returns.setdefault(token[1], token[2])
+            else:
+                self.summary.return_params.add(token[1])
+
+    # -- expressions ----------------------------------------------------
+
+    def eval_expr(self, expr: ast.expr) -> Set[Token]:
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            # A field or method of a tainted object is tainted.
+            return self.eval_expr(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self.eval_expr(expr.value) | self.eval_expr(expr.slice)
+        if isinstance(expr, ast.Compare):
+            for comparator in [expr.left] + list(expr.comparators):
+                self.eval_expr(comparator)
+            return set()  # a boolean verdict is not untrusted bytes
+        if isinstance(expr, ast.Lambda):
+            return set()
+        if isinstance(expr, ast.NamedExpr):
+            tokens = self.eval_expr(expr.value)
+            self.assign(expr.target, tokens)
+            return tokens
+        tokens: Set[Token] = set()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                tokens |= self.eval_expr(child)
+            elif isinstance(child, ast.comprehension):
+                self.assign(child.target, self.eval_expr(child.iter))
+                for cond in child.ifs:
+                    self.eval_expr(cond)
+        return tokens
+
+    def eval_call(self, call: ast.Call) -> Set[Token]:
+        callee = self.resolver.resolve_callable(call.func)
+        role = self.roles.get(callee) if callee is not None else None
+        if role == ROLE_SANITIZER:
+            # Verification: the arguments (and a method-style
+            # sanitizer's receiver) are authenticated from here on.
+            for arg in call.args:
+                self.clear(arg)
+            for keyword in call.keywords:
+                self.clear(keyword.value)
+            if isinstance(call.func, ast.Attribute):
+                self.clear(call.func.value)
+            return set()
+
+        arg_tokens = [self.eval_expr(arg) for arg in call.args]
+        kw_tokens = [
+            (keyword.arg, self.eval_expr(keyword.value))
+            for keyword in call.keywords
+        ]
+        line = call.lineno
+        result: Set[Token] = set()
+
+        if role == ROLE_SOURCE:
+            result.add(("src", callee, (self.func.func_id, callee)))
+
+        summary = (
+            self.summaries.get(callee) if callee is not None else None
+        )
+        callee_func = (
+            self.program.functions.get(callee)
+            if callee is not None else None
+        )
+        if summary is not None and callee_func is not None:
+            params = _param_names(callee_func)
+            mapping: List[Tuple[int, Set[Token]]] = [
+                (i, tokens) for i, tokens in enumerate(arg_tokens)
+                if i < len(params)
+            ]
+            mapping.extend(
+                (params.index(name), tokens)
+                for name, tokens in kw_tokens
+                if name is not None and name in params
+            )
+            for origin, chain in summary.returns.items():
+                result.add((
+                    "src", origin, (self.func.func_id,) + chain
+                ))
+            for index, tokens in mapping:
+                if index in summary.return_params:
+                    result |= tokens
+                chain = summary.sink_params.get(index)
+                if chain is not None:
+                    self.flow_to_sink(
+                        tokens, line, (self.func.func_id,) + chain
+                    )
+        if role == ROLE_SINK:
+            everything: Set[Token] = set()
+            for tokens in arg_tokens:
+                everything |= tokens
+            for _, tokens in kw_tokens:
+                everything |= tokens
+            self.flow_to_sink(
+                everything, line, (self.func.func_id, callee)
+            )
+        return result
+
+    def clear(self, expr: ast.expr) -> None:
+        if isinstance(expr, ast.Name):
+            self.env.pop(expr.id, None)
+        elif isinstance(expr, ast.Starred):
+            self.clear(expr.value)
+
+    def flow_to_sink(self, tokens: Set[Token], line: int,
+                     sink_chain: Tuple[str, ...]) -> None:
+        for token in sorted(tokens):
+            if token[0] == "src":
+                self.hits.append(_SinkHit(
+                    self.func, line, token[1], token[2], sink_chain
+                ))
+            else:
+                self.summary.sink_params.setdefault(token[1], sink_chain)
+
+
+def _taint_pass(
+    program: Program, roles: Dict[str, str],
+    summaries: Dict[str, _TaintSummary],
+) -> Tuple[Dict[str, _TaintSummary], List[_SinkHit]]:
+    next_summaries: Dict[str, _TaintSummary] = {}
+    hits: List[_SinkHit] = []
+    for func_id in sorted(program.functions):
+        func = program.functions[func_id]
+        walker = _TaintWalker(program, roles, summaries, func)
+        walker.run()
+        next_summaries[func_id] = walker.summary
+        hits.extend(walker.hits)
+    return next_summaries, hits
+
+
+def _taint_analysis(
+    program: Program, roles: Dict[str, str],
+) -> List[_SinkHit]:
+    summaries = {
+        func_id: _TaintSummary() for func_id in program.functions
+    }
+    hits: List[_SinkHit] = []
+    # The summaries grow monotonically (setdefault semantics), so the
+    # fixpoint terminates; the bound is paranoia, not policy.
+    for _ in range(12):
+        next_summaries, hits = _taint_pass(program, roles, summaries)
+        if all(
+            next_summaries[f] == summaries[f] for f in summaries
+        ):
+            break
+        summaries = next_summaries
+    return hits
+
+
+@register
+class VerifyBeforeUseRule(ProgramRule):
+    """Untrusted bytes must pass a sanitizer before reaching a sink.
+
+    The paper's Algorithm 4 puts ``verify()`` between every ISP
+    response and the query result; GlassDB-style deferred verification
+    makes it easy to cache or return bytes first and verify later —
+    which is sound only if the deferral is deliberate and paired with
+    rollback.  This rule finds every flow from a ``taint-source`` to a
+    ``taint-sink`` with no ``taint-sanitizer`` on the modeled path, so
+    the deliberate deferrals carry written suppressions and everything
+    else is an error.
+    """
+
+    name = "verify-before-use"
+    description = (
+        "values returned by '# repro: taint-source' functions must "
+        "pass a taint-sanitizer before any argument position of a "
+        "taint-sink, on every interprocedural path the call graph "
+        "resolves"
+    )
+    invariant = (
+        "query authentication soundness: nothing the ISP sent is "
+        "served, cached, or persisted without verification against "
+        "the on-chain certificate"
+    )
+
+    def check_program(
+        self, contexts: Sequence[ModuleContext]
+    ) -> Iterator[Finding]:
+        program = _cached_program(contexts)
+        roles = taint_roles(program)
+        if not roles:
+            return
+        # One finding per (site, origin): a sink that forwards to an
+        # inner sink (update -> insert) is still one decision point.
+        seen: Set[Tuple[str, int, str]] = set()
+        for hit in _taint_analysis(program, roles):
+            sink = hit.sink_chain[-1]
+            key = (hit.func.ctx.path, hit.line, hit.origin)
+            if key in seen:
+                continue
+            seen.add(key)
+            taint = " -> ".join(_short(f) for f in hit.taint_chain)
+            reach = " -> ".join(_short(f) for f in hit.sink_chain)
+            yield Finding(
+                path=hit.func.ctx.path, line=hit.line, rule=self.name,
+                message=(
+                    f"untrusted bytes from {_short(hit.origin)} reach "
+                    f"sink {_short(sink)} without a sanitizer "
+                    f"(tainted via {taint}; sink path {reach})"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# Blocking effects
+# ----------------------------------------------------------------------
+
+#: Effect kinds, mildest first; "worst" is the right-most present.
+EFFECT_ORDER = ("lock", "sleep", "fsync", "socket", "subprocess")
+
+#: Unresolvable-receiver method names that are socket operations.
+_SOCKET_METHODS = frozenset({"recv", "sendall", "accept"})
+
+
+class _BlockSite:
+    """One direct blocking primitive with the locks held around it."""
+
+    __slots__ = ("kind", "detail", "line", "held")
+
+    def __init__(self, kind: str, detail: str, line: int,
+                 held: FrozenSet[str]) -> None:
+        self.kind = kind
+        self.detail = detail
+        self.line = line
+        self.held = held
+
+
+class _WaitSite:
+    """One unbounded wait (no timeout argument) — policy 2 material."""
+
+    __slots__ = ("detail", "line")
+
+    def __init__(self, detail: str, line: int) -> None:
+        self.detail = detail
+        self.line = line
+
+
+class _SiteVisitor(_FunctionVisitor):
+    """The concurrency walk, additionally recording blocking sites.
+
+    Runs over a *shadow* :class:`FunctionInfo` so the acquisitions and
+    call edges it re-derives do not double up on the real summaries.
+    """
+
+    def __init__(self, program: Program, ctx: ModuleContext,
+                 shadow: FunctionInfo, blocking: List[_BlockSite],
+                 waits: List[_WaitSite]) -> None:
+        super().__init__(program, ctx, shadow)
+        self.blocking = blocking
+        self.waits = waits
+
+    def visit_call(self, call: ast.Call) -> None:
+        self.note_primitives(call)
+        super().visit_call(call)
+
+    def note_primitives(self, call: ast.Call) -> None:
+        callee = self.resolve_callable(call.func)
+        attr = (
+            call.func.attr
+            if isinstance(call.func, ast.Attribute) else None
+        )
+        kind: Optional[str] = None
+        if callee == "time.sleep":
+            kind = "sleep"
+        elif callee == "os.fsync":
+            kind = "fsync"
+        elif callee is not None and (
+            callee == "subprocess" or callee.startswith("subprocess.")
+        ):
+            kind = "subprocess"
+        elif callee in ("socket.create_connection", "socket.socket"):
+            kind = "socket"
+        elif callee is None and attr in _SOCKET_METHODS:
+            kind = "socket"
+        if kind is not None:
+            detail = callee if callee is not None else f".{attr}()"
+            self.blocking.append(_BlockSite(
+                kind, detail, call.lineno, self.held_set()
+            ))
+        self.note_unbounded_wait(call, callee, attr)
+
+    def note_unbounded_wait(self, call: ast.Call,
+                            callee: Optional[str],
+                            attr: Optional[str]) -> None:
+        has_timeout_kw = any(
+            keyword.arg == "timeout" for keyword in call.keywords
+        )
+        if callee is None and attr in ("join", "wait"):
+            if not call.args and not has_timeout_kw:
+                self.waits.append(_WaitSite(
+                    f"{attr}() without a timeout", call.lineno
+                ))
+            return
+        if attr == "acquire" and not call.args and not call.keywords:
+            if self.resolve_lock(call.func.value) is not None:
+                self.waits.append(_WaitSite(
+                    "lock acquire() without a timeout", call.lineno
+                ))
+            return
+        if callee == "socket.create_connection":
+            if len(call.args) < 2 and not has_timeout_kw:
+                self.waits.append(_WaitSite(
+                    "create_connection without a timeout", call.lineno
+                ))
+            return
+        if attr == "settimeout" and len(call.args) == 1:
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and arg.value is None:
+                self.waits.append(_WaitSite(
+                    "settimeout(None) disables the socket timeout",
+                    call.lineno,
+                ))
+
+
+class _Sites:
+    __slots__ = ("blocking", "waits")
+
+    def __init__(self) -> None:
+        self.blocking: List[_BlockSite] = []
+        self.waits: List[_WaitSite] = []
+
+
+def _collect_sites(program: Program) -> Dict[str, _Sites]:
+    sites: Dict[str, _Sites] = {}
+    for func_id, func in program.functions.items():
+        entry = _Sites()
+        sites[func_id] = entry
+        if func.node is None:
+            continue
+        shadow = FunctionInfo(
+            func.func_id, func.class_id, func.ctx, func.name, func.node
+        )
+        shadow.param_types = dict(func.param_types)
+        shadow.local_types = dict(func.local_types)
+        _SiteVisitor(
+            program, func.ctx, shadow, entry.blocking, entry.waits
+        ).visit_body(func.node.body)
+    return sites
+
+
+#: effect kind -> (call chain to the primitive, detail, line, path).
+_Witness = Tuple[Tuple[str, ...], str, int, str]
+
+
+def _effects(
+    program: Program, sites: Dict[str, _Sites],
+) -> Dict[str, Dict[str, _Witness]]:
+    """Transitive blocking effects with a witness chain per kind."""
+    effects: Dict[str, Dict[str, _Witness]] = {
+        func_id: {} for func_id in program.functions
+    }
+    for func_id in sorted(program.functions):
+        func = program.functions[func_id]
+        for site in sites[func_id].blocking:
+            effects[func_id].setdefault(site.kind, (
+                (func_id,), site.detail, site.line, func.ctx.path
+            ))
+        if func.acquires:
+            first = func.acquires[0]
+            effects[func_id].setdefault("lock", (
+                (func_id,), _short(first.lock), first.line,
+                func.ctx.path,
+            ))
+    changed = True
+    while changed:
+        changed = False
+        for func_id in sorted(program.functions):
+            func = program.functions[func_id]
+            mine = effects[func_id]
+            for call in func.calls:
+                if call.is_thread_target:
+                    continue
+                for kind, witness in effects.get(
+                    call.callee, {}
+                ).items():
+                    if kind not in mine:
+                        chain, detail, line, path = witness
+                        mine[kind] = (
+                            (func_id,) + chain, detail, line, path
+                        )
+                        changed = True
+    return effects
+
+
+def build_effect_table(
+    contexts: Sequence[ModuleContext],
+) -> Dict[str, object]:
+    """The per-function blocking-effect table (JSON-ready).
+
+    One entry per function with any inferred effect: the effect set,
+    the worst effect, and a witness chain down to the primitive call.
+    This is the work-list for the asyncio refactor of the serving path
+    (ROADMAP item 2): anything listed here blocks an event loop.
+    """
+    program = _cached_program(contexts)
+    sites = _collect_sites(program)
+    effects = _effects(program, sites)
+    rows: List[Dict[str, object]] = []
+    for func_id in sorted(program.functions):
+        kinds = effects[func_id]
+        if not kinds:
+            continue
+        worst = max(kinds, key=EFFECT_ORDER.index)
+        chain, detail, line, path = kinds[worst]
+        rows.append({
+            "function": func_id,
+            "effects": sorted(kinds, key=EFFECT_ORDER.index),
+            "worst": worst,
+            "witness": {
+                "chain": list(chain),
+                "primitive": detail,
+                "path": path,
+                "line": line,
+            },
+        })
+    return {"version": 1, "functions": rows}
+
+
+@register
+class BlockingEffectRule(ProgramRule):
+    """No blocking under a SanLock; no unbounded wait on a deadline path.
+
+    The serving path is thread-per-connection today, but its locks are
+    shared: a holder of any DESIGN §8 ``SanLock`` that sleeps, fsyncs,
+    or touches a socket stalls every queued thread for the duration
+    (policy 1).  And since PR 7 every RPC carries a deadline — an
+    unbounded ``join``/``wait``/``acquire``/connect anywhere on a
+    deadline-carrying path is a budget the transport cannot enforce
+    (policy 2).  Witness chains name the call path to the primitive.
+    """
+
+    name = "blocking-effect"
+    description = (
+        "no blocking primitive (sleep/fsync/socket/subprocess) while "
+        "holding a SanLock from the DESIGN §8 inventory, and no "
+        "unbounded wait (join/wait/acquire/connect without a timeout) "
+        "reachable from a deadline-carrying function"
+    )
+    invariant = (
+        "serving-path liveness under load: lock holders never block "
+        "on I/O, and propagated deadlines bound every wait beneath "
+        "them"
+    )
+
+    def check_program(
+        self, contexts: Sequence[ModuleContext]
+    ) -> Iterator[Finding]:
+        program = _cached_program(contexts)
+        sites = _collect_sites(program)
+        entry_held = _entry_held(program)
+        acq_star = _transitive_acquires(program)
+        effects = _effects(program, sites)
+        yield from self._policy_blocking_under_lock(
+            program, sites, entry_held, acq_star, effects
+        )
+        yield from self._policy_deadline_waits(program, sites)
+
+    def _policy_blocking_under_lock(
+        self, program: Program, sites: Dict[str, _Sites],
+        entry_held: Dict[str, FrozenSet[str]],
+        acq_star: Dict[str, Set[str]],
+        effects: Dict[str, Dict[str, _Witness]],
+    ) -> Iterator[Finding]:
+        san = program.san_locks
+        if not san:
+            return
+        for func_id in sorted(program.functions):
+            func = program.functions[func_id]
+            base = entry_held.get(func_id, frozenset())
+            for site in sites[func_id].blocking:
+                held = (base | site.held) & san
+                if held:
+                    locks = ", ".join(sorted(_short(h) for h in held))
+                    yield Finding(
+                        path=func.ctx.path, line=site.line,
+                        rule=self.name,
+                        message=(
+                            f"blocking {site.kind} ({site.detail}) in "
+                            f"{func_id} while holding SanLock "
+                            f"{locks}"
+                        ),
+                    )
+            for call in func.calls:
+                if call.is_thread_target:
+                    continue
+                callee_effects = {
+                    kind: witness
+                    for kind, witness in effects.get(
+                        call.callee, {}
+                    ).items()
+                    if kind != "lock"
+                }
+                if not callee_effects:
+                    continue
+                held = (base | call.held) & san
+                # Locks the callee itself acquires or demonstrably
+                # enters with are its own (already reported) problem.
+                held -= acq_star.get(call.callee, set())
+                held -= entry_held.get(call.callee, frozenset())
+                if not held:
+                    continue
+                worst = max(callee_effects, key=EFFECT_ORDER.index)
+                chain, detail, line, _path = callee_effects[worst]
+                rendered = " -> ".join(
+                    _short(f) for f in (func_id,) + chain
+                )
+                locks = ", ".join(sorted(_short(h) for h in held))
+                yield Finding(
+                    path=func.ctx.path, line=call.line,
+                    rule=self.name,
+                    message=(
+                        f"call blocks ({worst}: {detail} via "
+                        f"{rendered}) while holding SanLock {locks}"
+                    ),
+                )
+
+    def _policy_deadline_waits(
+        self, program: Program, sites: Dict[str, _Sites],
+    ) -> Iterator[Finding]:
+        roots = {
+            func_id for func_id, func in program.functions.items()
+            if "deadline" in _param_names(func)
+        }
+        if not roots:
+            return
+        parent: Dict[str, str] = {}
+        reached: Set[str] = set(roots)
+        frontier = sorted(roots)
+        while frontier:
+            grown: List[str] = []
+            for func_id in frontier:
+                for call in program.functions[func_id].calls:
+                    if call.is_thread_target:
+                        continue
+                    callee = call.callee
+                    if (
+                        callee in program.functions
+                        and callee not in reached
+                    ):
+                        reached.add(callee)
+                        parent[callee] = func_id
+                        grown.append(callee)
+            frontier = sorted(grown)
+        for func_id in sorted(reached):
+            func = program.functions[func_id]
+            waits = sites[func_id].waits
+            if not waits:
+                continue
+            chain = [func_id]
+            while chain[-1] in parent:
+                chain.append(parent[chain[-1]])
+            rendered = " -> ".join(
+                _short(f) for f in reversed(chain)
+            )
+            for wait in waits:
+                yield Finding(
+                    path=func.ctx.path, line=wait.line, rule=self.name,
+                    message=(
+                        f"unbounded wait ({wait.detail}) in {func_id} "
+                        f"on a deadline-carrying path ({rendered}); "
+                        "cap it with the remaining deadline budget"
+                    ),
+                )

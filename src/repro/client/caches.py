@@ -62,6 +62,7 @@ class IntraQueryCache:
             obs.inc("cache.intra.miss")
         return page
 
+    # repro: taint-sink
     def put(self, key: PageKey, page: bytes) -> None:
         self._pages[key] = page
         self._pages.move_to_end(key)
@@ -130,6 +131,7 @@ class InterQueryCache:
             obs.inc("cache.inter.miss")
         return entry
 
+    # repro: taint-sink
     def insert(self, key: PageKey, page: bytes, version: int) -> None:
         """Insert a freshly fetched page (fresh by definition)."""
         self._pages[key] = CachedPage(page, version)
@@ -141,6 +143,7 @@ class InterQueryCache:
             obs.inc("cache.inter.insert")
         self._evict_if_needed()
 
+    # repro: taint-sink
     def update(self, key: PageKey, page: bytes, version: int) -> None:
         """Replace a stale page; its cached ancestors are now invalid."""
         self.invalidate_ancestors(key)

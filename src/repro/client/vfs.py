@@ -124,6 +124,10 @@ class ClientSession:
             if cached is not None:
                 return cached
             page = self._fetch_page(key)
+            # repro: allow(verify-before-use) -- Algorithm 4 deferred
+            # verification: the page is cached unverified by design and
+            # finalize() verifies every claim via verify_read_proof;
+            # rollback_cache() evicts on failure before anything escapes.
             self.intra_cache.put(key, page)
             return page
         return self._access_with_inter_cache(key)
@@ -147,6 +151,10 @@ class ClientSession:
         entry = cache.get(key)
         if entry is None:
             page = self._fetch_page(key)
+            # repro: allow(verify-before-use) -- Algorithm 4 deferred
+            # verification: unverified pages enter the inter-query cache
+            # and are verified in bulk by finalize(); rollback_cache()
+            # removes them if the batched proof check fails.
             cache.insert(key, page, self.certificate.version)
             self._inserted_keys.append(key)
             return page
@@ -192,6 +200,10 @@ class ClientSession:
         if obs.ACTIVE:
             obs.add("client.net.bytes", request_bytes + PAGE_SIZE)
         self.page_claims[key] = hash_bytes(page)
+        # repro: allow(verify-before-use) -- Algorithm 4 deferred
+        # verification: the stale-path replacement page is recorded in
+        # page_claims and verified by finalize(); rollback_cache()
+        # evicts the entry if the proof does not check out.
         cache.update(key, page, self.certificate.version)
         self._inserted_keys.append(key)
         return page

@@ -73,6 +73,7 @@ class V2fsCertificate:
             self.ads_root, self.chain_states, self.version, self.vbf_encoded
         )
 
+    # repro: taint-sanitizer
     def verify_signature(self, public_key: PublicKey) -> None:
         """Raise :class:`~repro.errors.CertificateError` on a bad signature."""
         if not verify(public_key, self.message(), self.signature):

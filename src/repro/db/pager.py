@@ -184,6 +184,7 @@ class Pager:
             check_page(raw, f"{self.path} page {page_id}")
         return raw
 
+    # repro: taint-sink
     def write_page(self, page_id: int, data: bytes) -> None:
         """Seal ``data`` (≤ :data:`PAGE_CONTENT_SIZE` bytes) and write it."""
         if page_id <= 0 or page_id >= self.page_count:

@@ -183,6 +183,7 @@ class ShardMap:
         return buf.getvalue()
 
     @classmethod
+    # repro: taint-source
     def decode(cls, data: bytes) -> "ShardMap":
         buf = io.BytesIO(data)
         version, tag = struct.unpack(">QB", _read_exact(buf, 9))

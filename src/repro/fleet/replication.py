@@ -108,6 +108,7 @@ class ReplicaIsp(ShardIsp):
             )
         return self
 
+    # repro: taint-sanitizer
     def apply_delta(
         self, delta: NodeDelta, certificate: V2fsCertificate
     ) -> None:

@@ -149,6 +149,7 @@ class IspServer:
     # Client-facing service
     # ------------------------------------------------------------------
 
+    # repro: taint-source
     def get_certificate(self) -> V2fsCertificate:
         if self.certificate is None:
             raise NetworkError("ISP has no certificate yet")
@@ -186,6 +187,7 @@ class IspServer:
         except KeyError:
             raise NetworkError(f"unknown session {session_id}") from None
 
+    # repro: taint-source
     def get_file_meta(
         self, session_id: int, path: str
     ) -> Tuple[bool, int, int]:
@@ -199,6 +201,7 @@ class IspServer:
         session.vo.add_file(path)
         return True, node.size, node.page_count
 
+    # repro: taint-source
     def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
         session = self._session(session_id)
         if obs.ACTIVE:
@@ -207,6 +210,7 @@ class IspServer:
         session.vo.add_page(path, page_id)
         return page
 
+    # repro: taint-source
     def validate_path(
         self,
         session_id: int,
@@ -242,6 +246,7 @@ class IspServer:
             obs.inc("isp.validate_path.page")
         return ("page", page)
 
+    # repro: taint-source
     def finalize_session(self, session_id: int) -> AdsProof:
         """Build and return the consolidated VO; closes the session."""
         session = self.sessions.remove(session_id)

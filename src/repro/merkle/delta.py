@@ -159,6 +159,7 @@ class NodeDelta:
         return buf.getvalue()
 
     @classmethod
+    # repro: taint-source
     def decode(cls, data: bytes) -> "NodeDelta":
         buf = io.BytesIO(data)
         (version,) = struct.unpack(">Q", _read_exact(buf, 8))

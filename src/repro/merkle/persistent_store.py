@@ -60,6 +60,9 @@ def _fsync_directory(path: str) -> None:
     except OSError:  # pragma: no cover - platform without dir-open
         return
     try:
+        # repro: allow(blocking-effect) -- directory fsync during
+        # compaction must stay inside store.pages: the rename and its
+        # durability barrier are one atomic step of the group commit.
         os.fsync(fd)
     except OSError:  # pragma: no cover - platform without dir-fsync
         pass
@@ -222,6 +225,10 @@ class PersistentNodeStore(NodeStore):
             obs.inc("store.sync")
         with self._lock:
             self._log.flush()
+            # repro: allow(blocking-effect) -- the fsync under
+            # store.pages IS the durable group-commit boundary: no
+            # writer may append between flush and the durable-size
+            # advance, or crash recovery would replay a torn suffix.
             os.fsync(self._log.fileno())
             self._durable_size = self._end_offset()
 
@@ -255,6 +262,9 @@ class PersistentNodeStore(NodeStore):
                 keep += rng.randrange(dirty + 1)
             self._log.truncate(keep)
             self._log.flush()
+            # repro: allow(blocking-effect) -- crash-simulation test
+            # hook: the truncated state must hit disk while the lock
+            # excludes concurrent appends, mirroring sync().
             os.fsync(self._log.fileno())
             self._log.close()
             return keep
@@ -393,6 +403,9 @@ class PersistentNodeStore(NodeStore):
                     out.write(_HEADER.pack(digest, kind, len(payload)))
                     out.write(payload)
                 out.flush()
+                # repro: allow(blocking-effect) -- prune rewrites the
+                # log under store.pages; the temp file must be durable
+                # before os.replace or a crash could lose every node.
                 os.fsync(out.fileno())
             if faults.ACTIVE:
                 faults.fire("store.compact.pre_replace", path=self._path)

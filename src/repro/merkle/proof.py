@@ -265,6 +265,7 @@ class AdsProof:
         return buf.getvalue()
 
     @classmethod
+    # repro: taint-source
     def decode(cls, data: bytes) -> "AdsProof":
         """Decode an untrusted proof encoding.
 

@@ -146,6 +146,7 @@ def _recv_exact(sock: socket.socket, count: int, *, at_start: bool) -> bytes:
     return b"".join(chunks)
 
 
+# repro: taint-source
 def recv_frame_ex(
     sock: socket.socket,
 ) -> Optional[Tuple[bytes, Optional[int]]]:
@@ -186,6 +187,7 @@ def recv_frame_ex(
     return payload, deadline_ms
 
 
+# repro: taint-source
 def recv_frame(sock: socket.socket) -> Optional[bytes]:
     """Receive one frame's payload; ``None`` on clean EOF between frames.
 

@@ -456,6 +456,10 @@ class RpcIspServer:
                     "request deadline expired while queued for dispatch"
                 )
             if self.service_delay_s and kind in self._DATA_SERVICE_KINDS:
+                # repro: allow(blocking-effect) -- deliberate: the sleep
+                # models serial storage service time and must serialize
+                # under rpc.server to emulate a single-spindle ISP; the
+                # fleet router overrides _serve to dispatch lock-free.
                 time.sleep(self.service_delay_s)
             return self._dispatch(kind, args)
 

@@ -86,6 +86,7 @@ class VersionedBloomFilter:
         return header + body
 
     @classmethod
+    # repro: taint-source
     def decode(cls, data: bytes) -> "VersionedBloomFilter":
         """Decode an untrusted filter, validating before allocating.
 
