@@ -432,6 +432,22 @@ class ObsNamingRule(Rule):
                 isinstance(first, ast.Constant)
                 and isinstance(first.value, str)
             ):
+                suffix = self._dynamic_suffix(first)
+                if suffix is not None:
+                    if not obs_catalog.is_dynamic_suffix(suffix):
+                        yield ctx.finding(
+                            node, self.name,
+                            f"f-string metric scope suffix {suffix!r} "
+                            "is not declared in repro.obs."
+                            "DYNAMIC_SCOPE_SUFFIXES",
+                        )
+                    elif not obs_catalog.dynamic_expansions(suffix):
+                        yield ctx.finding(
+                            node, self.name,
+                            f"dynamic scope suffix {suffix!r} has no "
+                            "concrete expansion in repro.obs.SCOPES",
+                        )
+                    continue
                 yield ctx.finding(
                     node, self.name,
                     f"metric scope passed to {func.attr}() is not a "
@@ -449,6 +465,26 @@ class ObsNamingRule(Rule):
                     "repro.obs.SCOPES"
                     + (f" (did you mean {hint[0]!r}?)" if hint else ""),
                 )
+
+    @staticmethod
+    def _dynamic_suffix(node: ast.AST) -> "Optional[str]":
+        """Literal suffix of an ``f"{prefix}.suffix"`` metric scope.
+
+        Only the exact two-part shape — one leading interpolation, one
+        trailing string constant — is recognized; anything fancier
+        stays a non-literal warning.
+        """
+        if not isinstance(node, ast.JoinedStr):
+            return None
+        parts = node.values
+        if (
+            len(parts) == 2
+            and isinstance(parts[0], ast.FormattedValue)
+            and isinstance(parts[1], ast.Constant)
+            and isinstance(parts[1].value, str)
+        ):
+            return parts[1].value
+        return None
 
 
 # ----------------------------------------------------------------------

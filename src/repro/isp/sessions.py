@@ -69,9 +69,9 @@ class SessionRegistry:
             self._track_write()
             self._sessions[session.session_id] = session
         if obs.ACTIVE:
-            # repro: allow(obs-naming) -- the scope prefix is per-server
-            # ("isp" / "fleet.router"); every expansion is declared in
-            # the catalog, which obs enforces at emit time.
+            # Per-server prefix; the ".session.open" family is declared
+            # in catalog.DYNAMIC_SCOPE_SUFFIXES and every expansion is
+            # a concrete SCOPES entry enforced at emit time.
             obs.inc(f"{self._scope}.session.open")
 
     def get(self, session_id: int):
@@ -84,8 +84,6 @@ class SessionRegistry:
             self._track_write()
             session = self._sessions.pop(session_id, None)
         if session is not None and obs.ACTIVE:
-            # repro: allow(obs-naming) -- catalog-declared per-server
-            # scope, enforced at emit time (see ``insert``).
             obs.inc(f"{self._scope}.session.finalize")
         return session
 
@@ -117,8 +115,6 @@ class SessionRegistry:
                 for sid in doomed:
                     del self._sessions[sid]
         if doomed and obs.ACTIVE:
-            # repro: allow(obs-naming) -- catalog-declared per-server
-            # scope, enforced at emit time (see ``insert``).
             obs.add(f"{self._scope}.session.pruned", len(doomed))
         return len(doomed)
 

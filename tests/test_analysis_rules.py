@@ -356,6 +356,51 @@ class TestObsNaming:
             ("obs-naming", "warning")
         ]
 
+    def test_declared_dynamic_suffix_is_clean(self):
+        # f"{prefix}.session.open" with the suffix declared in
+        # DYNAMIC_SCOPE_SUFFIXES needs no per-call-site suppression.
+        assert rules_fired(
+            """
+            from repro.obs import metrics as obs
+
+            def insert(self, session):
+                obs.inc(f"{self._scope}.session.open")
+            """,
+            "repro.isp.sessions",
+        ) == []
+
+    def test_undeclared_dynamic_suffix_is_an_error(self):
+        findings = lint(
+            """
+            from repro.obs import metrics as obs
+
+            def insert(self, session):
+                obs.inc(f"{self._scope}.session.vanished")
+            """,
+            "repro.isp.sessions",
+        )
+        assert [(f.rule, f.severity) for f in findings] == [
+            ("obs-naming", "error")
+        ]
+        assert ".session.vanished" in findings[0].message
+        assert "DYNAMIC_SCOPE_SUFFIXES" in findings[0].message
+
+    def test_multi_part_fstring_stays_a_warning(self):
+        # Only the exact {prefix}+literal shape is recognized; anything
+        # fancier still warns as a non-literal scope.
+        findings = lint(
+            """
+            from repro.obs import metrics as obs
+
+            def insert(self, session, kind):
+                obs.inc(f"{self._scope}.{kind}.open")
+            """,
+            "repro.isp.sessions",
+        )
+        assert [(f.rule, f.severity) for f in findings] == [
+            ("obs-naming", "warning")
+        ]
+
     def test_unrelated_receivers_are_ignored(self):
         assert rules_fired(
             """
@@ -595,6 +640,62 @@ class TestCliAndSelfCheck:
         assert main([
             "lint", "--baseline", str(tmp_path / "nope.json"), str(SRC),
         ]) == 2
+
+    def test_rule_filter_runs_only_the_named_rule(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "db" / "rogue.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("handle = open('x')\n")
+        assert main([
+            "lint", "--no-baseline", "--rule", "vfs-boundary", str(bad),
+        ]) == 1
+        capsys.readouterr()
+        # The violation belongs to vfs-boundary; a run filtered to a
+        # different rule must not see it.
+        assert main([
+            "lint", "--no-baseline", "--rule", "obs-naming", str(bad),
+        ]) == 0
+
+    def test_rule_filter_skips_other_rules_suppressions(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "src" / "repro" / "db" / "rogue.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "# repro: allow(vfs-boundary) -- fixture needs a raw file\n"
+            "handle = open('x')\n"
+        )
+        # The full run uses the suppression; a run filtered to another
+        # rule must neither apply it nor report it unused.
+        assert main(["lint", "--strict", "--no-baseline", str(bad)]) == 0
+        assert main([
+            "lint", "--strict", "--no-baseline",
+            "--rule", "obs-naming", str(bad),
+        ]) == 0
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule", str(SRC)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_effect_table_export(self, tmp_path, capsys):
+        table_path = tmp_path / "effects.json"
+        assert main([
+            "lint", "--no-baseline",
+            "--effect-table", str(table_path), str(SRC),
+        ]) == 0
+        payload = json.loads(table_path.read_text())
+        assert payload["version"] == 1
+        functions = {row["function"] for row in payload["functions"]}
+        # The durable boundary is the canonical blocking function.
+        assert (
+            "repro.merkle.persistent_store.PersistentNodeStore.sync"
+            in functions
+        )
+        by_name = {row["function"]: row for row in payload["functions"]}
+        sync = by_name[
+            "repro.merkle.persistent_store.PersistentNodeStore.sync"
+        ]
+        assert "fsync" in sync["effects"]
+        assert sync["witness"]["chain"][0].endswith(".sync")
 
     def test_list_rules_names_all_six(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
