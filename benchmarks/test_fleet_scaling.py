@@ -4,9 +4,10 @@ and 4 shards.
 The fleet's performance claim is that sharding the page-serving path
 multiplies throughput: each shard serializes its own storage I/O (the
 ``service_delay_s`` knob models per-shard disk/enclave service time,
-slept inside the shard server's dispatch lock exactly where a real
-shard would hold its storage), so concurrent clients whose queries
-touch different partitions stop queueing behind one server.
+slept on the shard server's dedicated storage-spindle lock, outside
+the dispatch lock, exactly where a real shard would hold its disk),
+so concurrent clients whose queries touch different partitions stop
+queueing behind one server.
 
 Four concurrent clients run the paper's Mixed workload in BASELINE
 mode (no client cache — the maximum page-request pressure) through the
@@ -34,8 +35,8 @@ TXS_PER_BLOCK = 5
 WINDOW_HOURS = 3
 CLIENTS = 8
 SHARD_COUNTS = [1, 2, 4]
-#: Per-request storage service time a shard pays inside its dispatch
-#: lock for data-service calls (page reads, path checks, finalize).
+#: Per-request storage service time a shard pays on its storage
+#: spindle for data-service calls (page reads, path checks, finalize).
 SERVICE_DELAY_S = 0.005
 #: The CI gate: 4 shards must clear this speedup over 1 shard.
 TARGET_SPEEDUP_AT_4 = 1.8

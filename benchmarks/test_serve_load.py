@@ -1,0 +1,128 @@
+"""Serving-path throughput: event-loop server vs thread-per-connection.
+
+The async serving path's performance claim is that one selectors loop
+plus a small worker pool sustains thousands of concurrent sessions,
+where the threaded server pays one OS thread per connection.  For each
+client count the same open/get_page/finalize workload is driven twice
+over real loopback sockets by the ``repro.serve`` load generator:
+
+* **threaded** — ``RpcIspServer``, plain (V2/V3) frames, one request
+  in flight per connection (the protocol the threaded server speaks);
+* **async** — ``AsyncIspServer``, pipelined (V4) frames with a window
+  of ``PIPELINE_DEPTH`` requests per connection, snapshot-shared VO
+  batching on.
+
+Every page response carries its Merkle proof and every finalize
+returns the consolidated VO, so the workload exercises the full
+authenticated serving path.  Emits
+``benchmarks/results/BENCH_serve.json``; CI runs a reduced client
+count (``SERVE_BENCH_CLIENTS``) and gates the async server at >= the
+threaded throughput for the largest count measured, with zero errors.
+"""
+
+import json
+import os
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.rpc.server import serve_system
+from repro.serve import AsyncIspServer, run_load
+
+HOURS = 2
+TXS_PER_BLOCK = 4
+#: Concurrent-connection sweep; override with SERVE_BENCH_CLIENTS
+#: (comma-separated) — CI uses a reduced count.
+CLIENT_COUNTS = [
+    int(raw)
+    for raw in os.environ.get("SERVE_BENCH_CLIENTS", "100,1000").split(",")
+]
+REQUESTS_PER_CLIENT = int(os.environ.get("SERVE_BENCH_REQUESTS", "10"))
+PIPELINE_DEPTH = 8
+#: Admission control is not the subject here: both servers get the
+#: same effectively-unbounded in-flight budget so the comparison is
+#: transport model vs transport model, not shed policy.
+MAX_PENDING = 1 << 20
+
+
+def _paths(system):
+    root = system.isp.get_certificate().ads_root
+    return [(path, 0) for path in system.isp.ads.list_files(root)]
+
+
+def _measure(system, paths, server, *, clients, pipelined):
+    server.max_pending = MAX_PENDING
+    server.start()
+    try:
+        return run_load(
+            server.address,
+            paths,
+            clients=clients,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            pipeline_depth=PIPELINE_DEPTH,
+            pipelined=pipelined,
+            timeout_s=300.0,
+        )
+    finally:
+        server.stop()
+
+
+def test_serve_load(benchmark, save_result):
+    system = V2FSSystem(SystemConfig(txs_per_block=TXS_PER_BLOCK))
+    system.advance_all(HOURS)
+    paths = _paths(system)
+
+    def sweep():
+        measurements = []
+        for clients in CLIENT_COUNTS:
+            threaded = _measure(
+                system,
+                paths,
+                serve_system(system),
+                clients=clients,
+                pipelined=False,
+            )
+            async_ = _measure(
+                system,
+                paths,
+                serve_system(system, server_class=AsyncIspServer),
+                clients=clients,
+                pipelined=True,
+            )
+            measurements.append((clients, threaded, async_))
+        return measurements
+
+    measurements = run_once(benchmark, sweep)
+
+    entries = []
+    for clients, threaded, async_ in measurements:
+        entries.append({
+            "clients": clients,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "threaded": threaded,
+            "async": async_,
+            "speedup_x": round(
+                async_["qps"] / threaded["qps"], 3
+            ) if threaded["qps"] else None,
+        })
+
+    result = {
+        "workload": "open/get_page*N/finalize",
+        "pipeline_depth": PIPELINE_DEPTH,
+        "sweep": entries,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_serve.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\n{json.dumps(result, indent=2)}\n[saved to {path}]")
+
+    for entry in entries:
+        for flavor in ("threaded", "async"):
+            stats = entry[flavor]
+            assert stats["errors"] == 0, (flavor, stats)
+            assert stats["failed_clients"] == 0, (flavor, stats)
+            assert not stats["timed_out"], (flavor, stats)
+    # The async server must at least match the thread-per-connection
+    # server at the largest concurrency measured.
+    top = entries[-1]
+    assert top["async"]["qps"] >= top["threaded"]["qps"], top

@@ -168,11 +168,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     system = _build_system(args.hours, args.txs_per_block)
     _arm_faults(args)
-    server = serve_system(system, host=args.host, port=args.port)
+    if args.use_async:
+        from repro.serve import AsyncIspServer
+
+        server = serve_system(
+            system, host=args.host, port=args.port,
+            server_class=AsyncIspServer,
+        )
+        server.workers = args.serve_workers
+    else:
+        server = serve_system(system, host=args.host, port=args.port)
     _serve_shutdown.clear()
     with server:
         host, port = server.address
-        print(f"serving ISP at {host}:{port} "
+        flavor = "async " if args.use_async else ""
+        print(f"serving ISP ({flavor}server) at {host}:{port} "
               f"(query with: python -m repro query --connect {host}:{port})",
               flush=True)
         if args.port_file:
@@ -431,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks a free one)")
     serve.add_argument("--port-file", default=None,
                        help="write the bound host:port to this file")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve from the event-loop server "
+                            "(pipelining + batched proof generation) "
+                            "instead of a thread per connection")
+    serve.add_argument("--serve-workers", type=int, default=8,
+                       help="worker threads for the --async server")
     serve.add_argument("--serve-for", type=float, default=None,
                        help="stop after this many seconds (default: "
                             "serve until interrupted)")

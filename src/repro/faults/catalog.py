@@ -67,6 +67,10 @@ FAILPOINTS: Dict[str, str] = {
         "Stalls a request long enough to trip the client timeout.",
     "rpc.server.truncate":
         "Truncates a response frame mid-payload on the wire.",
+    "rpc.server.crash":
+        "Kills a request handler between admission and release — the "
+        "worst spot for the in-flight counter; regression probe for "
+        "admission-slot leaks.",
     # -- ISP fleet (repro/fleet/) --------------------------------------
     "fleet.router.fanout":
         "Severs the router's fan-out to one owning shard mid-query: a "

@@ -539,6 +539,7 @@ def run_concurrent_chaos(
     armed: bool = True,
     txs_per_block: int = 2,
     store_path: Optional[str] = None,
+    server_class: Optional[type] = None,
 ) -> Dict[str, Any]:
     """N querying threads vs. a live-ingesting ISP over real sockets.
 
@@ -580,7 +581,12 @@ def run_concurrent_chaos(
         chain_plan = [
             rng.choice(sorted(system.chains)) for _ in range(ingest_blocks)
         ]
-        server = serve_system(system)
+        if server_class is None:
+            server = serve_system(system)
+        else:
+            # e.g. repro.serve.AsyncIspServer: the same chaos campaign
+            # against the event-loop serving path.
+            server = serve_system(system, server_class=server_class)
         # Per-thread slots (and list.append, atomic under the GIL) —
         # the harness itself must not need a lock.
         errors: List[str] = []

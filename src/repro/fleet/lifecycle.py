@@ -48,9 +48,15 @@ from repro.fleet.partition import (
 )
 from repro.fleet.replication import ReplicaIsp, ReplicationLog
 from repro.fleet.resilience import ResilienceConfig
-from repro.fleet.router import FleetIsp, FleetRouterServer, HandleFactory
+from repro.fleet.router import (
+    AsyncFleetRouterServer,
+    FleetIsp,
+    FleetRouterServer,
+    HandleFactory,
+)
 from repro.fleet.shard import ShardIsp
 from repro.rpc.server import IspBootstrap, RpcIspServer
+from repro.serve.server import AsyncIspServer
 
 logger = logging.getLogger("repro.fleet")
 
@@ -84,9 +90,15 @@ class Fleet:
         service_delay_s: float = 0.0,
         handle_factory: Optional[HandleFactory] = None,
         config: Optional[ResilienceConfig] = None,
+        server_class: type = RpcIspServer,
     ) -> None:
         if shard_count < 1:
             raise FleetError("a fleet needs at least one shard")
+        #: Server class for every shard and replica endpoint; pass
+        #: :class:`~repro.serve.server.AsyncIspServer` to run the whole
+        #: fleet on event loops (the router upgrades to
+        #: :class:`AsyncFleetRouterServer` to match).
+        self.server_class = server_class
         self.system = system
         self.shard_count = shard_count
         self.strategy = strategy
@@ -225,14 +237,14 @@ class Fleet:
         self._replay_history()
         bootstrap = self._bootstrap()
         for shard_id, shard in self.shards.items():
-            server = RpcIspServer(shard, self.host, 0)
+            server = self.server_class(shard, self.host, 0)
             server.service_delay_s = self.service_delay_s
             server.start()
             self._shard_servers[shard_id] = server
             self._shard_ports[shard_id] = server.address[1]
         for shard_id, pairs in self.replicas.items():
             for label, replica in pairs:
-                server = RpcIspServer(replica, self.host, 0)
+                server = self.server_class(replica, self.host, 0)
                 server.service_delay_s = self.service_delay_s
                 server.start()
                 self._replica_servers[label] = server
@@ -247,7 +259,12 @@ class Fleet:
             config=self.config,
             health=self.health,
         )
-        self.router_server = FleetRouterServer(
+        router_class = (
+            AsyncFleetRouterServer
+            if issubclass(self.server_class, AsyncIspServer)
+            else FleetRouterServer
+        )
+        self.router_server = router_class(
             self.isp, self.host, 0, bootstrap=bootstrap
         )
         self.router_server.start()
@@ -284,7 +301,7 @@ class Fleet:
         if self._shard_servers.get(shard_id) is not None:
             return
         shard = self.shards[shard_id]
-        server = RpcIspServer(
+        server = self.server_class(
             shard, self.host, self._shard_ports[shard_id]
         )
         server.service_delay_s = self.service_delay_s

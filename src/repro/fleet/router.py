@@ -61,6 +61,7 @@ from repro.rpc import codec
 from repro.rpc.client import RemoteIsp
 from repro.rpc.deadline import Deadline
 from repro.rpc.server import RpcIspServer
+from repro.serve.server import AsyncIspServer
 
 logger = logging.getLogger("repro.fleet")
 
@@ -746,7 +747,22 @@ class FleetRouterServer(RpcIspServer):
         return self._dispatch(kind, args)
 
 
+class AsyncFleetRouterServer(FleetRouterServer, AsyncIspServer):
+    """The fleet router on the event loop.
+
+    The MRO composes the two overrides cleanly: transport and lifecycle
+    come from :class:`~repro.serve.server.AsyncIspServer` (event loop,
+    pipelining, worker pool), dispatch comes from
+    :class:`FleetRouterServer` (lock-free fan-out with deadline
+    slicing).  Proof batching stays off automatically —
+    :class:`FleetIsp` has no ``serve_batch`` surface, because
+    coalescing belongs on the shards, each of which can run its own
+    :class:`AsyncIspServer` and batch locally.
+    """
+
+
 __all__ = [
+    "AsyncFleetRouterServer",
     "FleetIsp",
     "FleetRouterServer",
     "RouterSession",

@@ -25,10 +25,10 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.certificate import V2fsCertificate
 from repro.crypto.hashing import Digest
-from repro.errors import NetworkError, StorageError
+from repro.errors import NetworkError, ReproError, StorageError
 from repro.faults import registry as faults
 from repro.isp.sessions import registry_for_isp
-from repro.isp.vo import VOBuilder
+from repro.isp.vo import VOBuilder, build_batch
 from repro.merkle import page_tree
 from repro.merkle.ads import V2fsAds
 from repro.merkle.proof import AdsProof
@@ -192,21 +192,31 @@ class IspServer:
         self, session_id: int, path: str
     ) -> Tuple[bool, int, int]:
         """Return (exists, size, page_count) under the session snapshot."""
+        return self._get_file_meta(self.ads, session_id, path)
+
+    def _get_file_meta(
+        self, ads: V2fsAds, session_id: int, path: str
+    ) -> Tuple[bool, int, int]:
         session = self._session(session_id)
         if obs.ACTIVE:
             obs.inc("isp.get_file_meta")
-        if not self.ads.file_exists(session.root, path):
+        if not ads.file_exists(session.root, path):
             return False, 0, 0
-        node = self.ads.file_node(session.root, path)
+        node = ads.file_node(session.root, path)
         session.vo.add_file(path)
         return True, node.size, node.page_count
 
     # repro: taint-source
     def get_page(self, session_id: int, path: str, page_id: int) -> bytes:
+        return self._get_page(self.ads, session_id, path, page_id)
+
+    def _get_page(
+        self, ads: V2fsAds, session_id: int, path: str, page_id: int
+    ) -> bytes:
         session = self._session(session_id)
         if obs.ACTIVE:
             obs.inc("isp.get_page")
-        page = self.ads.get_page(session.root, path, page_id)
+        page = ads.get_page(session.root, path, page_id)
         session.vo.add_page(path, page_id)
         return page
 
@@ -225,14 +235,26 @@ class IspServer:
         current ADS confirms freshness of its whole subtree; otherwise the
         current page is returned.
         """
+        return self._validate_path(
+            self.ads, session_id, path, page_id, digs_path
+        )
+
+    def _validate_path(
+        self,
+        ads: V2fsAds,
+        session_id: int,
+        path: str,
+        page_id: int,
+        digs_path: List[Tuple[int, int, Digest]],
+    ) -> Union[FreshMatch, PageReply]:
         session = self._session(session_id)
-        node = self.ads.file_node(session.root, path)
+        node = ads.file_node(session.root, path)
         height = page_tree.height_for(node.page_count)
         for level, index, digest in digs_path:
             if level > height:
                 continue
             current = page_tree.node_digest(
-                self.ads.store, node.tree_root, node.page_count,
+                ads.store, node.tree_root, node.page_count,
                 level, index,
             )
             if current == digest:
@@ -240,7 +262,7 @@ class IspServer:
                 if obs.ACTIVE:
                     obs.inc("isp.validate_path.fresh")
                 return ("fresh", level, index, digest)
-        page = self.ads.get_page(session.root, path, page_id)
+        page = ads.get_page(session.root, path, page_id)
         session.vo.add_page(path, page_id)
         if obs.ACTIVE:
             obs.inc("isp.validate_path.page")
@@ -258,3 +280,76 @@ class IspServer:
         if obs.ACTIVE:
             obs.observe("isp.vo.bytes", vo.byte_size())
         return vo
+
+    # ------------------------------------------------------------------
+    # Batched service (shared-traversal snapshot reads)
+    # ------------------------------------------------------------------
+
+    #: Operations :meth:`serve_batch` accepts, by the public method they
+    #: mirror.  All are data-plane snapshot reads (plus finalize, which
+    #: only *renders* reads); control-plane operations (open_session,
+    #: get_certificate) never batch.
+    BATCH_OPS = frozenset({
+        "get_file_meta", "get_page", "validate_path", "finalize_session",
+    })
+
+    # repro: taint-source
+    def serve_batch(self, items: List[Tuple[str, tuple]]) -> List[object]:
+        """Serve many decoded data-plane requests off one shared view.
+
+        ``items`` is a list of ``(op, args)`` pairs with ``op`` in
+        :data:`BATCH_OPS` and ``args`` exactly the public method's
+        arguments.  Every read in the batch — page-tree walks, trie
+        lookups, and the VO renders of any ``finalize_session`` items —
+        goes through a single :meth:`~repro.merkle.ads.V2fsAds.read_view`,
+        so requests pinned to the same snapshot share each subtree fetch
+        (one Merkle traversal serves many requests).
+
+        Returns one result per item *in order*; an item that failed
+        holds its :class:`~repro.errors.ReproError` instance instead, so
+        one bad request never poisons its batchmates.  Results and
+        rendered proof bytes are identical to calling the public methods
+        one at a time (the batching invariant; see
+        :func:`repro.isp.vo.build_batch`).
+        """
+        view = self.ads.read_view()
+        results: List[object] = [None] * len(items)
+        finals: List[Tuple[int, IspSession]] = []
+        for slot, (op, args) in enumerate(items):
+            try:
+                if op == "get_page":
+                    results[slot] = self._get_page(view, *args)
+                elif op == "get_file_meta":
+                    results[slot] = self._get_file_meta(view, *args)
+                elif op == "validate_path":
+                    results[slot] = self._validate_path(view, *args)
+                elif op == "finalize_session":
+                    session = self.sessions.remove(*args)
+                    if session is None:
+                        raise NetworkError(f"unknown session {args[0]}")
+                    finals.append((slot, session))
+                else:
+                    raise NetworkError(f"unbatchable operation {op!r}")
+            except ReproError as error:
+                results[slot] = error
+        if finals:
+            builders = [session.vo for _, session in finals]
+            try:
+                proofs: List[object] = list(build_batch(builders, ads=view))
+            except ReproError:
+                # Isolate the failing session instead of failing the
+                # whole group: re-render one by one, capturing per-item.
+                proofs = []
+                for builder in builders:
+                    try:
+                        proofs.append(builder.build(view))
+                    except ReproError as error:
+                        proofs.append(error)
+            for (slot, _session), proof in zip(finals, proofs):
+                results[slot] = proof
+                if obs.ACTIVE and isinstance(proof, AdsProof):
+                    obs.observe("isp.vo.bytes", proof.byte_size())
+        if obs.ACTIVE:
+            obs.add("isp.batch.requests", len(items))
+            obs.add("isp.batch.node_hits", view.store.hits)
+        return results

@@ -107,6 +107,12 @@ SCOPES: Dict[str, str] = {
         "Page claims covered per consolidated VO (histogram).",
     "isp.vo.nodes":
         "Internal-node claims covered per consolidated VO (histogram).",
+    "isp.batch.requests":
+        "Data-plane requests served through the shared-traversal batch "
+        "path (IspServer.serve_batch).",
+    "isp.batch.node_hits":
+        "Node-store reads served from a batch's shared traversal memo "
+        "— fetches saved versus serving each request unbatched.",
     # -- Merkle ADS + node store (repro/merkle/) -----------------------
     "ads.proof.read":
         "Read proofs generated by the ADS.",
@@ -174,6 +180,23 @@ SCOPES: Dict[str, str] = {
     "rpc.server.deadline.expired":
         "Requests refused because their propagated deadline was "
         "already spent on arrival or while queued for dispatch.",
+    # -- event-loop serving path (repro/serve/) ------------------------
+    "serve.connections":
+        "Open client connections on the event-loop server (gauge).",
+    "serve.inflight":
+        "Requests dispatched to the worker pool and not yet answered "
+        "(gauge; sampled on the event loop).",
+    "serve.loop.lag_s":
+        "Seconds one event-loop wake spent processing before the next "
+        "select (histogram) — sustained growth means the loop itself "
+        "is saturated and work is leaking off the worker pool.",
+    "serve.pipelined.requests":
+        "Requests received as pipelined (V4, frame-id-carrying) frames.",
+    "serve.batch.size":
+        "Requests coalesced per event-loop tick into one shared-"
+        "traversal batch (histogram).",
+    "serve.batch.flushes":
+        "Coalesced batches handed to the worker pool.",
     # -- ISP fleet (repro/fleet/) --------------------------------------
     "fleet.router.session.open":
         "Fleet query sessions opened at the router (one per client "

@@ -341,6 +341,20 @@ class RemoteIsp:
                     conn.settimeout(self.timeout_s)
                     codec.send_frame(conn, request)
                 else:
+                    if left_s <= 0.0:
+                        # The budget ran out between the entry check and
+                        # the send (e.g. spent waiting for a pooled
+                        # connection).  Fail fast: the old clamp turned
+                        # an expired budget into a 1 ms socket wait plus
+                        # a doomed request the server would refuse (or
+                        # worse, serve) after the client had given up.
+                        self._pool.release(conn)
+                        if obs.ACTIVE:
+                            obs.inc("rpc.client.deadline.expired")
+                        raise DeadlineExceededError(
+                            "rpc deadline expired before the request "
+                            "was sent"
+                        )
                     # One clock read covers both the per-attempt socket
                     # timeout and the wire budget (``cap()`` plus
                     # ``to_wire_ms()`` would read it three times, and

@@ -71,6 +71,23 @@ FRAME_HEADER = struct.Struct(">2sII")  # magic, payload length, crc32
 MAGIC_DEADLINE = b"V3"
 FRAME_HEADER_V3 = struct.Struct(">2sIII")  # + deadline budget (ms)
 
+#: Pipelined frame variant: the ``V3`` layout plus a trailing u32
+#: *frame id*.  A pipelining client stamps each request with a
+#: connection-unique id and may send many requests back-to-back; the
+#: server echoes the id on the matching response frame, so responses
+#: may complete (and arrive) out of order.  The deadline field uses
+#: :data:`NO_DEADLINE_MS` as its "absent" sentinel, since a pipelined
+#: request without a deadline still needs the fixed header layout.
+#: Only the event-loop server (:mod:`repro.serve`) speaks this variant;
+#: plain ``V2``/``V3`` endpoints reject it with a typed error.
+MAGIC_PIPELINED = b"V4"
+FRAME_HEADER_V4 = struct.Struct(">2sIIII")  # + deadline (ms) + frame id
+
+#: "No deadline" sentinel for the ``V4`` deadline field.  Real wire
+#: budgets are clamped one below it; 49.7 days is "no deadline" in
+#: practice anyway (see ``Deadline.to_wire_ms``).
+NO_DEADLINE_MS = 0xFFFFFFFF
+
 #: Hard ceiling on one frame's payload.  Large enough for any realistic
 #: consolidated VO at our scale, small enough that a hostile length
 #: prefix cannot make the peer allocate unbounded memory.
@@ -88,12 +105,18 @@ MAX_VBF_BYTES = 16 * 1024 * 1024
 MAX_ERROR_BYTES = 4096
 
 
-def frame(payload: bytes, deadline_ms: Optional[int] = None) -> bytes:
+def frame(
+    payload: bytes,
+    deadline_ms: Optional[int] = None,
+    frame_id: Optional[int] = None,
+) -> bytes:
     """Wrap one message payload into a complete frame.
 
     With ``deadline_ms`` the frame uses the ``V3`` header variant and
     carries the remaining budget on the wire; without it the original
-    ``V2`` layout is emitted byte-for-byte unchanged.
+    ``V2`` layout is emitted byte-for-byte unchanged.  With ``frame_id``
+    the ``V4`` pipelined variant is emitted instead, carrying both the
+    id and the (possibly absent) deadline.
     """
     if len(payload) > MAX_FRAME_BYTES:
         raise WireFormatError(
@@ -102,6 +125,25 @@ def frame(payload: bytes, deadline_ms: Optional[int] = None) -> bytes:
     if obs.ACTIVE:
         obs.inc("rpc.frame.encode")
         obs.add("rpc.frame.encode.bytes", len(payload))
+    if frame_id is not None:
+        if not 0 <= frame_id <= 0xFFFFFFFF:
+            raise WireFormatError(
+                f"frame id {frame_id} does not fit the u32 wire field"
+            )
+        if deadline_ms is None:
+            deadline_ms = NO_DEADLINE_MS
+        elif not 0 <= deadline_ms <= 0xFFFFFFFF:
+            raise WireFormatError(
+                f"deadline {deadline_ms} ms does not fit the u32 wire field"
+            )
+        elif deadline_ms == NO_DEADLINE_MS:
+            # The sentinel itself is reserved; a 49.7-day budget loses
+            # one millisecond to it, which nothing can observe.
+            deadline_ms = NO_DEADLINE_MS - 1
+        return FRAME_HEADER_V4.pack(
+            MAGIC_PIPELINED, len(payload), zlib.crc32(payload),
+            deadline_ms, frame_id,
+        ) + payload
     if deadline_ms is None:
         return FRAME_HEADER.pack(
             MAGIC, len(payload), zlib.crc32(payload)
@@ -162,6 +204,14 @@ def recv_frame_ex(
     if not header:
         return None
     magic, length, crc = FRAME_HEADER.unpack(header)
+    if magic == MAGIC_PIPELINED:
+        # Pipelined frames need id-echoing responses; a blocking
+        # one-request-at-a-time endpoint cannot correlate them, so the
+        # client gets a typed refusal instead of a silent id mismatch.
+        raise WireFormatError(
+            "pipelined (V4) frame on a non-pipelined endpoint; "
+            "use plain V2/V3 frames here"
+        )
     if magic != MAGIC and magic != MAGIC_DEADLINE:
         raise WireFormatError(f"bad frame magic {magic!r}")
     if length > MAX_FRAME_BYTES:
@@ -185,6 +235,84 @@ def recv_frame_ex(
         obs.inc("rpc.frame.decode")
         obs.add("rpc.frame.decode.bytes", len(payload))
     return payload, deadline_ms
+
+
+#: Bytes of header needed to know a frame's full length, per magic.
+_HEADER_SIZES = {
+    MAGIC: FRAME_HEADER.size,
+    MAGIC_DEADLINE: FRAME_HEADER_V3.size,
+    MAGIC_PIPELINED: FRAME_HEADER_V4.size,
+}
+
+
+class FrameDecoder:
+    """Incremental frame parser for non-blocking sockets.
+
+    The event-loop server cannot block in :func:`recv_frame_ex`; it
+    :meth:`feed`\\ s whatever ``recv`` returned and drains complete
+    frames with :meth:`frames`.  Accepts all three magics and returns
+    ``(payload, deadline_ms, frame_id)`` triples (``None`` fields for
+    the variants that lack them).  Hostile input fails exactly like the
+    blocking reader: an unknown magic or oversized length prefix raises
+    :class:`~repro.errors.WireFormatError` as soon as the header is
+    complete — before any payload is buffered past the bound — and a
+    CRC mismatch raises once the payload is complete.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def buffered(self) -> int:
+        """Bytes fed but not yet drained as complete frames."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    # repro: taint-source
+    def frames(self) -> List[Tuple[bytes, Optional[int], Optional[int]]]:
+        """Drain every complete frame buffered so far."""
+        out: List[Tuple[bytes, Optional[int], Optional[int]]] = []
+        while True:
+            parsed = self._next()
+            if parsed is None:
+                return out
+            out.append(parsed)
+
+    def _next(self) -> Optional[Tuple[bytes, Optional[int], Optional[int]]]:
+        buf = self._buf
+        if len(buf) < FRAME_HEADER.size:
+            return None
+        magic = bytes(buf[:2])
+        header_size = _HEADER_SIZES.get(magic)
+        if header_size is None:
+            raise WireFormatError(f"bad frame magic {magic!r}")
+        length, crc = struct.unpack_from(">II", buf, 2)
+        if length > MAX_FRAME_BYTES:
+            raise WireFormatError(
+                f"frame length {length} exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        if len(buf) < header_size + length:
+            return None
+        deadline_ms: Optional[int] = None
+        frame_id: Optional[int] = None
+        if magic == MAGIC_DEADLINE:
+            deadline_ms = struct.unpack_from(">I", buf, 10)[0]
+        elif magic == MAGIC_PIPELINED:
+            deadline_ms, frame_id = struct.unpack_from(">II", buf, 10)
+            if deadline_ms == NO_DEADLINE_MS:
+                deadline_ms = None
+        payload = bytes(buf[header_size:header_size + length])
+        del buf[:header_size + length]
+        if zlib.crc32(payload) != crc:
+            raise WireFormatError(
+                "frame checksum mismatch (corrupt payload)"
+            )
+        if obs.ACTIVE:
+            obs.inc("rpc.frame.decode")
+            obs.add("rpc.frame.decode.bytes", len(payload))
+        return payload, deadline_ms, frame_id
 
 
 # repro: taint-source

@@ -86,10 +86,16 @@ class RpcIspServer:
         #: Modeled storage service time per data-service request
         #: (seconds).  Zero in normal operation; the fleet scaling
         #: benchmark sets it so each shard charges realistic per-page
-        #: I/O time — the sleep runs *inside* the dispatch lock, so one
-        #: server serializes its service time while independent shard
-        #: servers overlap theirs (sleeping threads release the GIL).
+        #: I/O time.  The sleep serializes on :attr:`_storage_lock` — a
+        #: dedicated "spindle" lock — so one server still models a
+        #: single serial storage device while independent shard servers
+        #: overlap theirs, but dispatch itself (certificate fetches,
+        #: session opens, finalize of other sessions) no longer queues
+        #: behind modeled I/O.  It used to run inside the dispatch
+        #: lock, which serialized *every* operation on the server and
+        #: skewed single-node baselines; see DESIGN §11.
         self.service_delay_s = 0.0
+        self._storage_lock = SanLock("rpc.storage")
         #: Guards every operation on the wrapped ISP.  Updates applied
         #: outside the RPC path (CI ingestion) must hold it too — see
         #: :func:`serve_system`.
@@ -374,6 +380,22 @@ class RpcIspServer:
                     "request arrived with its deadline already spent"
                 )
             )
+        # Rebase the wire deadline *before* taking an admission slot:
+        # between _admit() and the try/finally below there must be no
+        # statement that can raise, or an exotic failure (out-of-memory,
+        # interpreter shutdown) would leak the slot and permanently
+        # shrink admission capacity.  Audited pairing: _admit() has
+        # exactly one success path, and every post-admission exit —
+        # including InjectedFault from the rpc.server.crash failpoint
+        # and the BaseException SimulatedCrash, which _handle_admitted
+        # deliberately does not catch — unwinds through the finally.
+        # (Wire faults run in _client_loop before _handle, so a
+        # connection dropped there never held a slot at all.)
+        deadline = (
+            Deadline.from_wire_ms(deadline_ms)
+            if deadline_ms is not None
+            else None
+        )
         if not self._admit():
             if obs.ACTIVE:
                 obs.inc("rpc.server.shed")
@@ -384,11 +406,6 @@ class RpcIspServer:
                     retry_after_s=self.shed_retry_after_s,
                 )
             )
-        deadline = (
-            Deadline.from_wire_ms(deadline_ms)
-            if deadline_ms is not None
-            else None
-        )
         try:
             return self._handle_admitted(payload, deadline)
         finally:
@@ -397,6 +414,13 @@ class RpcIspServer:
     def _handle_admitted(
         self, payload: bytes, deadline: Optional[Deadline]
     ) -> bytes:
+        if faults.ACTIVE:
+            # Admission-leak probe: dies *between* admission and release
+            # — the worst spot for the in-flight counter.  A raise here
+            # must still unwind through _handle's finally, or capacity
+            # shrinks forever; tests arm it and assert _pending drains
+            # back to zero.
+            faults.fire("rpc.server.crash")
         try:
             kind, args = codec.decode_request(payload)
         except WireFormatError as error:
@@ -448,20 +472,40 @@ class RpcIspServer:
         hold a lock across it.  A request whose deadline expired while
         it queued for the lock is refused before any dispatch work.
         """
+        if self.service_delay_s and kind in self._DATA_SERVICE_KINDS:
+            # Refuse an already-dead request before charging spindle
+            # time for it (the post-queue check below still catches a
+            # deadline that expires while waiting for the spindle).
+            self._check_deadline(deadline)
+            self._charge_service_delay(1)
         with self.lock:
-            if deadline is not None and deadline.expired:
-                if obs.ACTIVE:
-                    obs.inc("rpc.server.deadline.expired")
-                raise DeadlineExceededError(
-                    "request deadline expired while queued for dispatch"
-                )
-            if self.service_delay_s and kind in self._DATA_SERVICE_KINDS:
-                # repro: allow(blocking-effect) -- deliberate: the sleep
-                # models serial storage service time and must serialize
-                # under rpc.server to emulate a single-spindle ISP; the
-                # fleet router overrides _serve to dispatch lock-free.
-                time.sleep(self.service_delay_s)
+            self._check_deadline(deadline)
             return self._dispatch(kind, args)
+
+    def _check_deadline(self, deadline: Optional[Deadline]) -> None:
+        if deadline is not None and deadline.expired:
+            if obs.ACTIVE:
+                obs.inc("rpc.server.deadline.expired")
+            raise DeadlineExceededError(
+                "request deadline expired while queued for dispatch"
+            )
+
+    def _charge_service_delay(self, requests: int) -> None:
+        """Charge modeled storage service time for ``requests`` reads.
+
+        Serializes on the dedicated :attr:`_storage_lock` (one spindle
+        per server), **not** the dispatch lock: while one request waits
+        out its modeled I/O, other operations on the same server keep
+        dispatching.  Sleeping inside the dispatch lock used to
+        serialize every session on the server and skew every
+        single-node benchmark baseline.
+        """
+        with self._storage_lock:
+            # repro: allow(blocking-effect) -- deliberate: the sleep
+            # models serial storage service time and must serialize
+            # under the dedicated rpc.storage spindle lock; it is never
+            # nested inside rpc.server.
+            time.sleep(self.service_delay_s * requests)
 
     def _dispatch(self, kind: int, args: tuple) -> bytes:
         isp = self.isp

@@ -1,0 +1,352 @@
+"""Single-threaded load generator for the RPC serving path.
+
+Drives hundreds to thousands of *concurrent* client sessions from one
+``selectors`` event loop — the same architecture as
+:class:`~repro.serve.server.AsyncIspServer`, so the driver scales to
+client counts where a thread-per-client harness would measure the
+harness.  Each simulated client runs the canonical query shape:
+
+    connect → open_session → ``requests_per_client`` ``get_page``
+    requests with up to ``pipeline_depth`` in flight → finalize → EOF
+
+Against a pipelined server (``pipelined=True``) requests are stamped
+with ``V4`` frame ids and matched to responses by id, so they may
+complete out of order.  Against the threaded server (``pipelined=False``)
+the same window of plain frames is kept in flight — that server reads
+one request at a time from the socket buffer and answers strictly in
+order, so FIFO matching is sound.
+
+The driver measures *serving*, not verification: responses are decoded
+(so errors and shed signals are observed and counted) but proofs are
+not verified here — byte-identity of batched VOs is gated separately by
+the test suite.  Latency percentiles cover successful data requests
+only; errors are tallied, never silently folded into the timing.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import time
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError, OverloadedError, ReproError
+from repro.rpc import codec
+
+__all__ = ["LoadClientError", "run_load"]
+
+
+class LoadClientError(NetworkError):
+    """The load run itself failed (not one simulated client)."""
+
+
+# Client lifecycle states.
+_CONNECTING = "connecting"
+_OPENING = "opening"
+_RUNNING = "running"
+_FINALIZING = "finalizing"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class _Client:
+    __slots__ = (
+        "index", "sock", "state", "decoder", "outbuf", "registered",
+        "session_id", "next_seq", "completed", "inflight_ids",
+        "inflight_fifo", "latencies", "errors", "shed",
+    )
+
+    def __init__(self, index: int, sock: socket.socket) -> None:
+        self.index = index
+        self.sock = sock
+        self.state = _CONNECTING
+        self.decoder = codec.FrameDecoder()
+        self.outbuf = bytearray()
+        self.registered = 0
+        self.session_id: Optional[int] = None
+        self.next_seq = 0
+        self.completed = 0
+        #: Pipelined mode: frame id -> send timestamp.
+        self.inflight_ids: Dict[int, float] = {}
+        #: Plain mode: send timestamps in request order.
+        self.inflight_fifo: Deque[float] = collections.deque()
+        self.latencies: List[float] = []
+        self.errors = 0
+        self.shed = 0
+
+    def inflight(self) -> int:
+        return len(self.inflight_ids) + len(self.inflight_fifo)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _raise_nofile_limit(needed: int) -> None:
+    """Best-effort bump of RLIMIT_NOFILE for large client counts."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < needed:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(needed, hard), hard)
+            )
+    except (ValueError, OSError):  # pragma: no cover - capped by hard limit
+        pass
+
+
+def run_load(
+    address: Tuple[str, int],
+    paths: Sequence[Tuple[str, int]],
+    *,
+    clients: int = 100,
+    requests_per_client: int = 20,
+    pipeline_depth: int = 8,
+    pipelined: bool = True,
+    finalize: bool = True,
+    timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """Run one load scenario; returns a result/stat dictionary.
+
+    ``paths`` is the population of ``(path, page_id)`` pairs to read;
+    clients sample it round-robin so the working set is shared (the
+    interesting case for snapshot-shared batching).
+    """
+    if not paths:
+        raise LoadClientError("run_load needs a non-empty path population")
+    if clients < 1 or requests_per_client < 1 or pipeline_depth < 1:
+        raise LoadClientError("clients/requests/depth must be positive")
+    _raise_nofile_limit(clients + 64)
+    sel = selectors.DefaultSelector()
+    pool: List[_Client] = []
+    failed_connects = 0
+    for index in range(clients):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        try:
+            sock.connect(address)
+        except BlockingIOError:
+            pass
+        except OSError:
+            sock.close()
+            failed_connects += 1
+            continue
+        client = _Client(index, sock)
+        pool.append(client)
+        sel.register(sock, selectors.EVENT_WRITE, client)
+        client.registered = selectors.EVENT_WRITE
+    if not pool:
+        raise LoadClientError(f"could not connect any client to {address}")
+
+    started = time.monotonic()
+    deadline = started + timeout_s
+    live = len(pool)
+
+    def fail(client: _Client) -> None:
+        nonlocal live
+        if client.state in (_DONE, _FAILED):
+            return
+        client.state = _FAILED
+        live -= 1
+        if client.registered:
+            sel.unregister(client.sock)
+            client.registered = 0
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+
+    def finish(client: _Client) -> None:
+        nonlocal live
+        client.state = _DONE
+        live -= 1
+        if client.registered:
+            sel.unregister(client.sock)
+            client.registered = 0
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+
+    def send(client: _Client, payload: bytes) -> None:
+        if pipelined:
+            client.outbuf += codec.frame(payload, frame_id=client.next_seq)
+        else:
+            client.outbuf += codec.frame(payload)
+        client.next_seq += 1
+
+    def issue_pages(client: _Client) -> None:
+        """Top the request window up to ``pipeline_depth``."""
+        while (
+            client.completed + client.inflight() < requests_per_client
+            and client.inflight() < pipeline_depth
+        ):
+            path, page_id = paths[
+                (client.index + client.completed + client.inflight())
+                % len(paths)
+            ]
+            now = time.monotonic()
+            if pipelined:
+                client.inflight_ids[client.next_seq] = now
+            else:
+                client.inflight_fifo.append(now)
+            send(
+                client,
+                codec.encode_get_page(client.session_id, path, page_id),
+            )
+
+    def on_response(
+        client: _Client, payload: bytes, frame_id: Optional[int]
+    ) -> None:
+        now = time.monotonic()
+        kind, value = codec.decode_response(payload)
+        if client.state == _OPENING:
+            if kind == codec.RESP_SESSION:
+                client.session_id = value
+                client.state = _RUNNING
+                issue_pages(client)
+            else:
+                client.errors += 1
+                fail(client)
+            return
+        if client.state == _FINALIZING:
+            if kind == codec.RESP_ERROR:
+                client.errors += 1
+            finish(client)
+            return
+        # _RUNNING: a page (or error) response.
+        if pipelined:
+            sent_at = client.inflight_ids.pop(frame_id, None)
+        else:
+            sent_at = (
+                client.inflight_fifo.popleft()
+                if client.inflight_fifo
+                else None
+            )
+        if sent_at is None:
+            client.errors += 1
+            fail(client)
+            return
+        client.completed += 1
+        if kind == codec.RESP_ERROR:
+            client.errors += 1
+            if isinstance(value, OverloadedError):
+                client.shed += 1
+        else:
+            client.latencies.append(now - sent_at)
+        if client.completed < requests_per_client:
+            issue_pages(client)
+        elif client.inflight() == 0:
+            if finalize:
+                client.state = _FINALIZING
+                send(
+                    client,
+                    codec.encode_finalize_session(client.session_id),
+                )
+            else:
+                finish(client)
+
+    def pump(client: _Client) -> None:
+        """Flush pending output, then recompute selector interest."""
+        while client.outbuf:
+            try:
+                sent = client.sock.send(bytes(client.outbuf[:1 << 16]))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                fail(client)
+                return
+            del client.outbuf[:sent]
+        if client.state in (_DONE, _FAILED):
+            return
+        interest = selectors.EVENT_READ
+        if client.outbuf:
+            interest |= selectors.EVENT_WRITE
+        if interest != client.registered:
+            sel.modify(client.sock, interest, client)
+            client.registered = interest
+
+    while live > 0:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        for key, mask in sel.select(timeout=min(remaining, 1.0)):
+            client = key.data
+            if client.state in (_DONE, _FAILED):
+                continue
+            if client.state == _CONNECTING:
+                error_code = client.sock.getsockopt(
+                    socket.SOL_SOCKET, socket.SO_ERROR
+                )
+                if error_code:
+                    fail(client)
+                    continue
+                client.state = _OPENING
+                send(client, codec.encode_open_session(None))
+                pump(client)
+                continue
+            if mask & selectors.EVENT_READ:
+                try:
+                    chunk = client.sock.recv(1 << 16)
+                except (BlockingIOError, InterruptedError):
+                    chunk = None
+                except OSError:
+                    fail(client)
+                    continue
+                if chunk == b"":
+                    fail(client)  # server hung up mid-session
+                    continue
+                if chunk:
+                    try:
+                        client.decoder.feed(chunk)
+                        frames = client.decoder.frames()
+                    except ReproError:
+                        fail(client)
+                        continue
+                    for payload, _deadline_ms, frame_id in frames:
+                        on_response(client, payload, frame_id)
+                        if client.state in (_DONE, _FAILED):
+                            break
+            if client.state not in (_DONE, _FAILED):
+                pump(client)
+
+    timed_out = live > 0
+    for client in pool:
+        if client.state not in (_DONE, _FAILED):
+            fail(client)
+    sel.close()
+    elapsed = time.monotonic() - started
+
+    latencies = sorted(
+        latency for client in pool for latency in client.latencies
+    )
+    completed = len(latencies)
+    errors = sum(client.errors for client in pool) + failed_connects
+    return {
+        "clients": clients,
+        "connected": len(pool),
+        "requests_per_client": requests_per_client,
+        "pipeline_depth": pipeline_depth,
+        "pipelined": pipelined,
+        "finalized": finalize,
+        "duration_s": elapsed,
+        "completed_requests": completed,
+        "qps": (completed / elapsed) if elapsed > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "errors": errors,
+        "shed": sum(client.shed for client in pool),
+        "failed_clients": sum(
+            1 for client in pool if client.state == _FAILED
+        ) + failed_connects,
+        "timed_out": timed_out,
+    }

@@ -1,0 +1,772 @@
+"""Event-loop RPC server: pipelining + snapshot-shared proof batching.
+
+:class:`AsyncIspServer` serves the exact wire protocol of
+:mod:`repro.rpc.codec` from a single ``selectors`` event loop instead of
+a thread per connection.  It subclasses
+:class:`~repro.rpc.server.RpcIspServer` and reuses its entire dispatch
+stack unchanged — admission control (:meth:`_admit`/:meth:`_release`),
+deadline refusal, the coarse ISP lock, the transport failpoints, and
+the adversary seam (:meth:`_send`) — so every wire-adversary and chaos
+suite written against the threaded server runs against this one by
+mixing the same subclasses over ``AsyncIspServer``.
+
+Architecture (one loop thread + a bounded worker pool):
+
+* The **loop thread** owns every socket.  It accepts, reads whatever is
+  available into a per-connection :class:`~repro.rpc.codec.FrameDecoder`,
+  and flushes per-connection output buffers — never blocking and never
+  touching the ISP.  All loop-side connection state (``_conns``,
+  ``_batch_pending``, per-connection buffers) is confined to this
+  thread.
+* **Workers** run everything the ``blocking-effect`` analysis would flag
+  on the loop: request decode, admission, the dispatch lock, the modeled
+  storage sleep, and ISP calls.  They never touch a socket; responses
+  are *posted* back to the loop as completion records through
+  :attr:`_completions` (guarded by ``serve.outbox``) plus a wake-pipe
+  byte.
+* **Pipelining**: ``V4`` frames carry a client-chosen id; each becomes
+  an independent worker task and its response frame echoes the id, so
+  responses complete — and hit the wire — out of order, and one slow
+  request never head-of-line-blocks its connection.  Plain ``V2``/``V3``
+  frames keep the threaded server's contract (strictly one in flight,
+  responses in request order) via a per-connection backlog.
+* **Batching**: data-plane requests (:attr:`_DATA_SERVICE_KINDS`) that
+  arrive within one loop tick are coalesced into a single
+  :meth:`~repro.isp.server.IspServer.serve_batch` call — one dispatch
+  lock hold, one snapshot read-view whose node cache shares Merkle
+  subtree reads across the batch, one storage-delay charge for the
+  whole group — while every request still gets its own byte-identical
+  response (gated by tests and the CI ``serve`` job).
+
+Trust model is unchanged: the server stays untrusted and nothing it
+sends is believed until the client verifies it against the certificate.
+"""
+
+from __future__ import annotations
+
+import collections
+import logging
+import queue
+import selectors
+import socket
+import time
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    NetworkError,
+    OverloadedError,
+    ReproError,
+    WireFormatError,
+)
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedFault
+from repro.isp.server import IspServer
+from repro.obs import metrics as obs
+from repro.rpc import codec
+from repro.rpc.deadline import Deadline
+from repro.rpc.server import IspBootstrap, RpcIspServer
+from repro.sanitize.runtime import SanLock, SanThread
+
+logger = logging.getLogger("repro.serve")
+
+
+class _Conn:
+    """Loop-thread-confined state for one client connection."""
+
+    __slots__ = (
+        "sock", "fd", "decoder", "outbuf", "registered", "inflight",
+        "plain_busy", "plain_backlog", "read_eof", "closing", "closed",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.decoder = codec.FrameDecoder()
+        self.outbuf = bytearray()
+        #: Selector interest mask currently registered (0 = none).
+        self.registered = 0
+        #: Requests handed to workers but not yet completed.
+        self.inflight = 0
+        #: Plain (id-less) frame serialization: the threaded server
+        #: answers strictly one-at-a-time in order, so id-less clients
+        #: get the same contract here — one dispatched at a time, the
+        #: rest parked in ``plain_backlog``.
+        self.plain_busy = False
+        self.plain_backlog: Deque["_Request"] = collections.deque()
+        self.read_eof = False
+        self.closing = False
+        self.closed = False
+
+
+class _Request:
+    """One received frame awaiting dispatch."""
+
+    __slots__ = ("conn", "payload", "deadline_ms", "frame_id", "deadline")
+
+    def __init__(
+        self,
+        conn: _Conn,
+        payload: bytes,
+        deadline_ms: Optional[int],
+        frame_id: Optional[int],
+    ) -> None:
+        self.conn = conn
+        self.payload = payload
+        self.deadline_ms = deadline_ms
+        self.frame_id = frame_id
+        self.deadline: Optional[Deadline] = None
+
+
+class _ConnHandle:
+    """Socket-shaped stand-in handed to the inherited send seams.
+
+    Workers must not touch sockets, but the inherited transport code
+    (:meth:`RpcIspServer._send`, :meth:`_wire_faults`, and every test
+    adversary that overrides ``_send``) calls ``sendall``/``shutdown``
+    on what it believes is a socket.  This proxy satisfies that surface
+    by *posting* the bytes (or the close) to the event loop, so the
+    adversary subclasses corrupt, truncate, and sever exactly as they
+    do against the threaded server — without a worker ever writing to
+    the wire.
+    """
+
+    __slots__ = ("_server", "_conn")
+
+    def __init__(self, server: "AsyncIspServer", conn: _Conn) -> None:
+        self._server = server
+        self._conn = conn
+
+    def sendall(self, data: bytes) -> None:
+        self._server._post("data", self._conn, bytes(data))
+
+    def send(self, data: bytes) -> int:
+        self._server._post("data", self._conn, bytes(data))
+        return len(data)
+
+    def shutdown(self, _how: int = socket.SHUT_RDWR) -> None:
+        self._server._post("close", self._conn, None)
+
+    def close(self) -> None:
+        self._server._post("close", self._conn, None)
+
+    def fileno(self) -> int:
+        return self._conn.fd
+
+
+class AsyncIspServer(RpcIspServer):
+    """Serve one ISP to thousands of clients from one event loop."""
+
+    #: Map of batchable request kinds to their serve_batch op names.
+    #: Exactly the data-service kinds: the operations whose proofs can
+    #: share a snapshot read-view (control-plane kinds — open_session,
+    #: certificate, bootstrap — mutate or read server state the batch
+    #: view does not cover).
+    _BATCH_OPS: Dict[int, str] = {
+        codec.REQ_GET_FILE_META: "get_file_meta",
+        codec.REQ_GET_PAGE: "get_page",
+        codec.REQ_VALIDATE_PATH: "validate_path",
+        codec.REQ_FINALIZE_SESSION: "finalize_session",
+    }
+
+    def __init__(
+        self,
+        isp: IspServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bootstrap: Optional[IspBootstrap] = None,
+        *,
+        workers: int = 8,
+        batching: bool = True,
+    ) -> None:
+        super().__init__(isp, host, port, bootstrap)
+        if workers < 1:
+            raise ValueError("worker pool needs at least one thread")
+        self.workers = workers
+        #: Coalesce same-tick data-plane requests into one serve_batch
+        #: call.  Auto-disabled when the wrapped ISP does not implement
+        #: the batch surface (e.g. a test double).
+        self.batching = batching and hasattr(isp, "serve_batch")
+        #: A connection whose client stops reading accumulates its
+        #: pipelined responses here; beyond this bound it is dropped
+        #: (bounded memory beats unbounded buffering of an unread VO
+        #: stream).
+        self.max_outbuf_bytes = 4 * codec.MAX_FRAME_BYTES
+        self._loop_thread: Optional[SanThread] = None
+        self._worker_threads: List[SanThread] = []
+        self._tasks: "queue.Queue[Optional[tuple]]" = queue.Queue()
+        self._out_lock = SanLock("serve.outbox")
+        #: Completion records posted by workers, drained by the loop.
+        self._completions: Deque[tuple] = collections.deque()  # repro: guarded-by(_out_lock)
+        self._wake_pending = False  # repro: guarded-by(_out_lock)
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+        # Loop-thread-confined state --------------------------------
+        self._conns: Dict[int, _Conn] = {}
+        self._batch_pending: List[_Request] = []
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AsyncIspServer":
+        """Bind, listen, and serve from the loop + worker threads."""
+        if self._listener is not None:
+            raise NetworkError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(1024)
+        listener.setblocking(False)
+        self._listener = listener
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._running.set()
+        self._worker_threads = [
+            SanThread(
+                target=self._worker_main,
+                name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._worker_threads:
+            thread.start()
+        self._loop_thread = SanThread(
+            target=self._loop_main, name="serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop, drain the pool, close every socket."""
+        if self._listener is None:
+            return
+        self._running.clear()
+        self._wake_loop()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=5.0)
+            if self._loop_thread.is_alive():  # pragma: no cover - wedged
+                logger.warning("serve loop did not exit; abandoning it")
+            self._loop_thread = None
+        for _ in self._worker_threads:
+            self._tasks.put(None)
+        for thread in self._worker_threads:
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+            if thread.is_alive():  # pragma: no cover - wedged worker
+                logger.warning(
+                    "worker %s did not exit within %.1fs; abandoning it",
+                    thread.name, self.JOIN_TIMEOUT_S,
+                )
+        self._worker_threads = []
+        for sock in (self._listener, self._wake_r, self._wake_w):
+            if sock is None:
+                continue
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._listener = None
+        self._wake_r = self._wake_w = None
+        self._tasks = queue.Queue()
+        with self._out_lock:
+            self._completions.clear()
+            self._wake_pending = False
+
+    # ------------------------------------------------------------------
+    # Worker -> loop completion channel
+    # ------------------------------------------------------------------
+
+    def _post(self, op: str, conn: _Conn, data: object) -> None:
+        """Post one completion record to the loop and wake it."""
+        with self._out_lock:
+            self._completions.append((op, conn, data))
+            if self._wake_pending:
+                return
+            self._wake_pending = True
+        self._wake_loop()
+
+    def _wake_loop(self) -> None:
+        wake = self._wake_w
+        if wake is None:
+            return
+        try:
+            wake.send(b"\x00")
+        except OSError:
+            # A full pipe already guarantees a pending wakeup; a closed
+            # one means the server is stopping.
+            pass
+
+    def _drain_completions(self) -> List[tuple]:
+        with self._out_lock:
+            drained = list(self._completions)
+            self._completions.clear()
+            self._wake_pending = False
+        return drained
+
+    # ------------------------------------------------------------------
+    # Event loop (single thread; owns all sockets)
+    # ------------------------------------------------------------------
+
+    def _loop_main(self) -> None:
+        sel = selectors.DefaultSelector()
+        assert self._listener is not None and self._wake_r is not None
+        sel.register(self._listener, selectors.EVENT_READ, "accept")
+        sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+        try:
+            while self._running.is_set():
+                events = sel.select()
+                tick_start = time.monotonic()
+                touched: Set[_Conn] = set()
+                for key, mask in events:
+                    tag = key.data
+                    if tag == "accept":
+                        self._accept_ready(sel)
+                    elif tag == "wake":
+                        self._drain_wake_pipe()
+                    else:
+                        conn = tag
+                        if mask & selectors.EVENT_READ:
+                            self._read_ready(conn)
+                        touched.add(conn)
+                for op, conn, data in self._drain_completions():
+                    self._apply_completion(conn, op, data)
+                    touched.add(conn)
+                self._flush_batch()
+                for conn in touched:
+                    self._settle(sel, conn)
+                if obs.ACTIVE and (events or touched):
+                    obs.observe(
+                        "serve.loop.lag_s", time.monotonic() - tick_start
+                    )
+                    obs.set_gauge("serve.inflight", self._inflight)
+                    obs.set_gauge("serve.connections", len(self._conns))
+        finally:
+            for conn in list(self._conns.values()):
+                self._close_conn(sel, conn)
+            sel.close()
+
+    def _drain_wake_pipe(self) -> None:
+        assert self._wake_r is not None
+        try:
+            while self._wake_r.recv(1 << 16):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:  # pragma: no cover - stopping
+            pass
+
+    def _accept_ready(self, sel: selectors.BaseSelector) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed by stop()
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP test doubles
+                pass
+            conn = _Conn(sock)
+            self._conns[conn.fd] = conn
+            sel.register(sock, selectors.EVENT_READ, conn)
+            conn.registered = selectors.EVENT_READ
+
+    def _read_ready(self, conn: _Conn) -> None:
+        while not conn.closed and not conn.closing:
+            try:
+                chunk = conn.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                conn.closing = True
+                conn.outbuf.clear()
+                return
+            if not chunk:
+                conn.read_eof = True
+                return
+            try:
+                conn.decoder.feed(chunk)
+                frames = conn.decoder.frames()
+            except WireFormatError as error:
+                # Protocol garbage: answer with a typed error, then
+                # drop the connection — same contract as the threaded
+                # server's _client_loop.
+                try:
+                    conn.outbuf += codec.frame(codec.encode_error(error))
+                except WireFormatError:  # pragma: no cover
+                    pass
+                conn.closing = True
+                return
+            for payload, deadline_ms, frame_id in frames:
+                self._on_frame(conn, payload, deadline_ms, frame_id)
+
+    def _on_frame(
+        self,
+        conn: _Conn,
+        payload: bytes,
+        deadline_ms: Optional[int],
+        frame_id: Optional[int],
+    ) -> None:
+        if obs.ACTIVE and frame_id is not None:
+            obs.inc("serve.pipelined.requests")
+        request = _Request(conn, payload, deadline_ms, frame_id)
+        if frame_id is None:
+            if conn.plain_busy:
+                conn.plain_backlog.append(request)
+                return
+            conn.plain_busy = True
+        self._submit(request)
+
+    def _submit(self, request: _Request) -> None:
+        request.conn.inflight += 1
+        self._inflight += 1
+        kind = request.payload[0] if request.payload else -1
+        if self.batching and kind in self._BATCH_OPS:
+            self._batch_pending.append(request)
+        else:
+            self._tasks.put(("one", request))
+
+    def _flush_batch(self) -> None:
+        if not self._batch_pending:
+            return
+        batch, self._batch_pending = self._batch_pending, []
+        if obs.ACTIVE:
+            obs.observe("serve.batch.size", len(batch))
+            obs.inc("serve.batch.flushes")
+        self._tasks.put(("batch", batch))
+
+    def _apply_completion(self, conn: _Conn, op: str, data: object) -> None:
+        if op == "done":
+            self._inflight -= 1
+            if conn.closed:
+                return
+            conn.inflight -= 1
+            if data:  # this completion was a plain (id-less) request
+                conn.plain_busy = False
+                if conn.plain_backlog and not conn.closing:
+                    conn.plain_busy = True
+                    self._submit(conn.plain_backlog.popleft())
+        elif op == "data":
+            if not conn.closed and not conn.closing:
+                conn.outbuf += data  # type: ignore[arg-type]
+        elif op == "close":
+            # An adversary (or the truncate failpoint) severed the
+            # connection mid-response: whatever bytes it posted first
+            # still flush, nothing after them does.
+            conn.closing = True
+
+    def _settle(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        """Flush what the socket accepts now, then close or re-arm."""
+        if conn.closed:
+            return
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(memoryview(conn.outbuf)[:1 << 18]))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(sel, conn)
+                return
+            if sent <= 0:  # pragma: no cover - defensive
+                break
+            del conn.outbuf[:sent]
+        if len(conn.outbuf) > self.max_outbuf_bytes:
+            logger.warning(
+                "dropping connection with %d buffered response bytes "
+                "(client not reading)", len(conn.outbuf),
+            )
+            self._close_conn(sel, conn)
+            return
+        if not conn.outbuf and (
+            conn.closing or (conn.read_eof and conn.inflight == 0)
+        ):
+            self._close_conn(sel, conn)
+            return
+        interest = 0
+        if not conn.read_eof and not conn.closing:
+            interest |= selectors.EVENT_READ
+        if conn.outbuf:
+            interest |= selectors.EVENT_WRITE
+        if interest != conn.registered:
+            if conn.registered == 0:
+                sel.register(conn.sock, interest, conn)
+            elif interest == 0:
+                sel.unregister(conn.sock)
+            else:
+                sel.modify(conn.sock, interest, conn)
+            conn.registered = interest
+
+    def _close_conn(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn.registered:
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+            conn.registered = 0
+        self._conns.pop(conn.fd, None)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        conn.outbuf.clear()
+        conn.plain_backlog.clear()
+
+    # ------------------------------------------------------------------
+    # Worker pool (all blocking work lives here)
+    # ------------------------------------------------------------------
+
+    def _worker_main(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            tag, work = item
+            try:
+                if tag == "one":
+                    self._run_one(work)
+                else:
+                    self._run_batch(work)
+            except InjectedFault:
+                # The rpc.server.crash probe killed this handler; the
+                # admission slot was already released on the unwind and
+                # the connection severed below — the pool thread lives.
+                logger.warning("injected handler crash; request dropped")
+            except Exception:  # pragma: no cover - server bug backstop
+                logger.exception("serve worker: unhandled error")
+
+    def _run_one(self, request: _Request) -> None:
+        handle = _ConnHandle(self, request.conn)
+        try:
+            if faults.ACTIVE and not self._wire_faults(handle):
+                return
+            try:
+                response = self._handle(request.payload, request.deadline_ms)
+            except BaseException:
+                # A dying handler severs its connection, exactly like a
+                # handler-thread death on the threaded server.
+                handle.close()
+                raise
+            try:
+                self._respond(handle, response, request.frame_id)
+            except OSError:
+                # An adversary seam raised mid-send: threaded parity is
+                # connection death (_client_loop returns and closes).
+                handle.close()
+        finally:
+            self._post("done", request.conn, request.frame_id is None)
+
+    def _respond(
+        self, handle: _ConnHandle, payload: bytes, frame_id: Optional[int]
+    ) -> None:
+        """Send one response through the inherited adversary seam."""
+        if frame_id is None:
+            self._send(handle, payload)
+        else:
+            self._send_pipelined(handle, payload, frame_id)
+
+    def _send_pipelined(
+        self, handle: _ConnHandle, payload: bytes, frame_id: int
+    ) -> None:
+        """Transmit one id-echoing V4 response frame.
+
+        Replicates :meth:`RpcIspServer._send`'s truncate failpoint so
+        chaos schedules tear pipelined responses too.
+        """
+        if faults.ACTIVE:
+            try:
+                faults.fire("rpc.server.truncate")
+            except InjectedFault:
+                logger.warning(
+                    "failpoint rpc.server.truncate: sending torn frame"
+                )
+                whole = codec.frame(payload, frame_id=frame_id)
+                handle.sendall(whole[: max(1, len(whole) // 2)])
+                handle.shutdown(socket.SHUT_RDWR)
+                return
+        handle.sendall(codec.frame(payload, frame_id=frame_id))
+
+    # -- batched path ---------------------------------------------------
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        """Serve one tick's coalesced data-plane requests.
+
+        Pre-dispatch refusals (deadline already spent, admission shed)
+        are per-request and identical to :meth:`RpcIspServer._handle`;
+        admitted requests then share one storage-delay charge, one
+        dispatch-lock hold, and one snapshot read-view.  Every request
+        posts exactly one ``done`` completion.
+        """
+        admitted: List[_Request] = []
+        for request in batch:
+            handle = _ConnHandle(self, request.conn)
+            if faults.ACTIVE and not self._wire_faults(handle):
+                self._post("done", request.conn, request.frame_id is None)
+                continue
+            if obs.ACTIVE:
+                obs.inc("rpc.server.requests")
+            if request.deadline_ms is not None and request.deadline_ms <= 0:
+                if obs.ACTIVE:
+                    obs.inc("rpc.server.deadline.expired")
+                self._answer(
+                    request,
+                    codec.encode_error(DeadlineExceededError(
+                        "request arrived with its deadline already spent"
+                    )),
+                    is_error=True,
+                )
+                continue
+            request.deadline = (
+                Deadline.from_wire_ms(request.deadline_ms)
+                if request.deadline_ms is not None
+                else None
+            )
+            if not self._admit():
+                if obs.ACTIVE:
+                    obs.inc("rpc.server.shed")
+                self._answer(
+                    request,
+                    codec.encode_error(OverloadedError(
+                        f"server at max_pending={self.max_pending}; shed",
+                        retry_after_s=self.shed_retry_after_s,
+                    )),
+                    is_error=True,
+                )
+                continue
+            admitted.append(request)
+        if not admitted:
+            return
+        try:
+            responses = self._serve_admitted_batch(admitted)
+        finally:
+            for _ in admitted:
+                self._release()
+        for request, (response, is_error) in zip(admitted, responses):
+            self._answer(request, response, is_error=is_error)
+
+    def _answer(
+        self, request: _Request, response: bytes, *, is_error: bool
+    ) -> None:
+        if is_error and obs.ACTIVE:
+            obs.inc("rpc.server.errors")
+        handle = _ConnHandle(self, request.conn)
+        try:
+            self._respond(handle, response, request.frame_id)
+        except OSError:
+            handle.close()
+        finally:
+            self._post("done", request.conn, request.frame_id is None)
+
+    def _serve_admitted_batch(
+        self, batch: List[_Request]
+    ) -> List[Tuple[bytes, bool]]:
+        """Decode, dispatch, and encode one admitted batch.
+
+        Returns one ``(response_payload, is_error)`` per request, in
+        batch order.  Never raises for a single request's failure —
+        per-request errors become error frames in that request's slot.
+        """
+        responses: List[Optional[Tuple[bytes, bool]]] = [None] * len(batch)
+        ops: List[Tuple[str, tuple]] = []
+        slots: List[int] = []
+        kinds: List[int] = []
+        for index, request in enumerate(batch):
+            try:
+                kind, args = codec.decode_request(request.payload)
+            except WireFormatError as error:
+                responses[index] = (codec.encode_error(error), True)
+                continue
+            op = self._BATCH_OPS.get(kind)
+            if op is None:  # pragma: no cover - loop pre-filters kinds
+                responses[index] = (
+                    codec.encode_error(
+                        NetworkError(f"unbatchable request kind 0x{kind:02x}")
+                    ),
+                    True,
+                )
+                continue
+            if request.deadline is not None and request.deadline.expired:
+                if obs.ACTIVE:
+                    obs.inc("rpc.server.deadline.expired")
+                responses[index] = (
+                    codec.encode_error(DeadlineExceededError(
+                        "request deadline expired while queued for dispatch"
+                    )),
+                    True,
+                )
+                continue
+            ops.append((op, args))
+            slots.append(index)
+            kinds.append(kind)
+        if ops:
+            if self.service_delay_s:
+                # One spindle pass charges the whole group: batched
+                # service models one seek amortized over the coalesced
+                # reads rather than n independent seeks.
+                self._charge_service_delay(len(ops))
+            try:
+                with self.lock:
+                    results = self.isp.serve_batch(ops)
+            # Error-frame contract: a batch dispatch failure must reach
+            # every waiting client as RESP_ERROR, never kill the link;
+            # SimulatedCrash is a BaseException and still propagates.
+            except Exception as error:
+                if isinstance(error, ReproError):
+                    encoded = codec.encode_error(error)
+                else:
+                    logger.exception("batch dispatch failed")
+                    encoded = codec.encode_error(NetworkError(
+                        f"internal server error: {type(error).__name__}"
+                    ))
+                for index in slots:
+                    responses[index] = (encoded, True)
+            else:
+                for index, kind, result in zip(slots, kinds, results):
+                    responses[index] = self._encode_batch_result(kind, result)
+        return [
+            response
+            if response is not None
+            else (  # pragma: no cover - every slot is filled above
+                codec.encode_error(NetworkError("internal server error")),
+                True,
+            )
+            for response in responses
+        ]
+
+    def _encode_batch_result(
+        self, kind: int, result: object
+    ) -> Tuple[bytes, bool]:
+        if isinstance(result, ReproError):
+            return codec.encode_error(result), True
+        try:
+            if kind == codec.REQ_GET_FILE_META:
+                return codec.encode_file_meta(*result), False
+            if kind == codec.REQ_GET_PAGE:
+                return codec.encode_page(result), False
+            if kind == codec.REQ_VALIDATE_PATH:
+                return codec.encode_validation(result), False
+            return codec.encode_vo(result), False
+        # Error-frame contract: an encoding failure (e.g. an oversized
+        # page) must answer that one request with RESP_ERROR, not
+        # poison the whole batch.
+        except Exception as error:
+            if isinstance(error, ReproError):
+                return codec.encode_error(error), True
+            logger.exception("failed to encode batch result 0x%02x", kind)
+            return (
+                codec.encode_error(NetworkError(
+                    f"internal server error: {type(error).__name__}"
+                )),
+                True,
+            )
+
+
+__all__ = ["AsyncIspServer"]

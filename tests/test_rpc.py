@@ -315,3 +315,172 @@ class TestTamperingOverTheWire:
             # The server survives and keeps serving.
             with RemoteIsp(host, port) as remote:
                 assert remote.get_certificate() is not None
+
+
+class TestDeadlineClampRegression:
+    """PR 9 satellite: an expired budget fails fast client-side.
+
+    The bound-deadline send path used to clamp ``left_s`` into the
+    ``settimeout`` floor, so a budget that drained between the entry
+    check and the send turned into a 1 ms socket wait plus a request
+    the server would refuse (or worse, serve) after the client had
+    already given up.
+    """
+
+    def test_spent_budget_raises_before_send(self):
+        from repro.errors import DeadlineExceededError
+        from repro.rpc.deadline import Deadline
+
+        class SpentAfterEntry(Deadline):
+            """Passes the entry check, then reports an empty budget —
+            models a budget that drains while acquiring a pooled
+            connection."""
+
+            def __init__(self):
+                super().__init__(time.monotonic() + 60.0)
+
+            def remaining(self):
+                return 0.0
+
+        served = []
+
+        class CountingServer(RpcIspServer):
+            def _handle(self, payload, deadline_ms=None):
+                served.append(payload)
+                return super()._handle(payload, deadline_ms)
+
+        system = build_system(hours=1, txs_per_block=2)
+        server = serve_system(system, server_class=CountingServer)
+        with server:
+            host, port = server.address
+            with RemoteIsp(host, port) as remote:
+                with pytest.raises(
+                    DeadlineExceededError, match="before the request"
+                ):
+                    remote.get_certificate(deadline=SpentAfterEntry())
+        # Fail-fast means *nothing* went over the wire.
+        assert served == []
+
+
+class TestAdmissionLeakRegression:
+    """PR 9 satellite: a handler death between _admit and _release must
+    not leak the in-flight slot (capacity would shrink forever)."""
+
+    @staticmethod
+    def _server():
+        system = build_system(hours=1, txs_per_block=2)
+        server = serve_system(system)
+        return server
+
+    def test_injected_raise_releases_slot(self):
+        from repro.faults import registry as faults
+        from repro.faults.registry import InjectedFault
+        from repro.rpc import codec
+
+        server = self._server()
+        faults.reset()
+        faults.arm("rpc.server.crash", "raise", times=3)
+        try:
+            for _ in range(3):
+                with pytest.raises(InjectedFault):
+                    server._handle(codec.encode_ping())
+                assert server._pending == 0
+            # Capacity intact: the next requests are served normally.
+            for _ in range(3):
+                payload = server._handle(codec.encode_ping())
+                kind, _ = codec.decode_response(payload)
+                assert kind == codec.RESP_PONG
+            assert server._pending == 0
+        finally:
+            faults.reset()
+
+    def test_simulated_crash_releases_slot(self):
+        """Even a BaseException (SimulatedCrash) unwinds the slot."""
+        from repro.faults import registry as faults
+        from repro.faults.registry import SimulatedCrash
+        from repro.rpc import codec
+
+        server = self._server()
+        faults.reset()
+        faults.arm("rpc.server.crash", "crash", times=1)
+        try:
+            with pytest.raises(SimulatedCrash):
+                server._handle(codec.encode_ping())
+            assert server._pending == 0
+            payload = server._handle(codec.encode_ping())
+            kind, _ = codec.decode_response(payload)
+            assert kind == codec.RESP_PONG
+        finally:
+            faults.reset()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_crash_over_the_wire_keeps_capacity(self):
+        """End to end: handler deaths sever their connections but the
+        server keeps its full admission capacity for later clients."""
+        from repro.faults import registry as faults
+        from repro.rpc import codec
+
+        system = build_system(hours=1, txs_per_block=2)
+        server = serve_system(system)
+        faults.reset()
+        faults.arm("rpc.server.crash", "raise", times=4)
+        try:
+            with server:
+                host, port = server.address
+                for _ in range(4):
+                    with socket.create_connection(
+                        (host, port), timeout=5
+                    ) as sock:
+                        codec.send_frame(sock, codec.encode_ping())
+                        # Handler died: connection severed without a
+                        # response frame.
+                        assert sock.recv(1 << 16) == b""
+                assert server._pending == 0
+                with RemoteIsp(host, port) as remote:
+                    assert remote.get_certificate() is not None
+        finally:
+            faults.reset()
+
+
+class TestServiceDelayOffDispatchLock:
+    """PR 9 satellite: the modeled storage sleep serializes on its own
+    spindle lock, not the dispatch lock — control-plane operations must
+    not queue behind modeled I/O."""
+
+    def test_certificate_not_delayed_by_spindle(self):
+        system = build_system(hours=1, txs_per_block=2)
+        server = serve_system(system)
+        server.service_delay_s = 0.25
+        with server:
+            host, port = server.address
+            slow = RemoteIsp(host, port)
+            fast = RemoteIsp(host, port)
+            try:
+                root = slow.get_certificate().ads_root
+                path = system.isp.ads.list_files(root)[0]
+                session = slow.open_session(None)
+                started = threading.Event()
+                durations = {}
+
+                def data_plane():
+                    started.set()
+                    t0 = time.monotonic()
+                    slow.get_page(session, path, 0)
+                    durations["page"] = time.monotonic() - t0
+
+                worker = threading.Thread(target=data_plane)
+                worker.start()
+                started.wait()
+                time.sleep(0.05)  # the page op is inside its sleep now
+                t0 = time.monotonic()
+                fast.get_certificate()
+                durations["cert"] = time.monotonic() - t0
+                worker.join()
+            finally:
+                slow.close()
+                fast.close()
+        # The data op pays the spindle; the control op must not.
+        assert durations["page"] >= 0.25
+        assert durations["cert"] < 0.2

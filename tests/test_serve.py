@@ -1,0 +1,466 @@
+"""The event-loop serving path: pipelining, batching, adversaries.
+
+Covers the contracts :mod:`repro.serve` adds on top of the threaded
+server:
+
+* protocol equivalence — the unmodified verifying client works against
+  :class:`AsyncIspServer` byte-for-byte;
+* pipelining semantics — V4 responses are correlated by frame id, may
+  arrive out of order, and a slow request does not head-of-line-block
+  its connection;
+* batching — proofs generated through the per-tick batch path are
+  byte-identical to unbatched ones, both at the ISP surface and end to
+  end over the wire;
+* adversary parity — the wire-level attacks from ``test_security`` are
+  re-run with the adversaries mixed over ``AsyncIspServer``, and the
+  concurrent chaos campaign runs against the event-loop server with
+  the sanitizer armed.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client.query_client import QueryClient
+from repro.client.vfs import QueryMode
+from repro.core.system import SystemConfig, V2FSSystem
+from repro.errors import ReproError, WireFormatError
+from repro.isp.vo import build_batch
+from repro.rpc import RemoteIsp, codec, connect_client
+from repro.rpc.server import RpcIspServer, serve_system
+from repro.serve import AsyncIspServer, run_load
+
+SQL = "SELECT COUNT(*) FROM eth_transactions"
+
+
+def build_system(hours=2, txs_per_block=4):
+    system = V2FSSystem(SystemConfig(txs_per_block=txs_per_block))
+    system.advance_all(hours)
+    return system
+
+
+def baseline_client(system, server, **remote_kwargs):
+    host, port = server.address
+    return QueryClient(
+        isp=RemoteIsp(host, port, **remote_kwargs),
+        chains=system.chains,
+        attestation_report=system.attestation_report,
+        attestation_root=system.attestation.root_public_key,
+        expected_measurement=system.ci.enclave.measurement,
+        mode=QueryMode.BASELINE,
+    )
+
+
+def drain_frames(sock, count, timeout_s=10.0):
+    """Collect ``count`` frames from a blocking socket via the decoder."""
+    decoder = codec.FrameDecoder()
+    frames = []
+    sock.settimeout(timeout_s)
+    while len(frames) < count:
+        chunk = sock.recv(1 << 16)
+        if not chunk:
+            raise AssertionError(
+                f"connection closed after {len(frames)}/{count} frames"
+            )
+        decoder.feed(chunk)
+        frames.extend(decoder.frames())
+    return frames
+
+
+class TestProtocolEquivalence:
+    def test_verified_query_through_async_server(self):
+        """The stock verifying client works unmodified."""
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        with server:
+            client = baseline_client(system, server)
+            result = client.query(SQL)
+            assert result.rows
+            client.isp.close()
+
+    def test_async_matches_threaded_result(self):
+        system = build_system()
+        threaded = serve_system(system)
+        with threaded:
+            client = baseline_client(system, threaded)
+            expected = client.query(SQL).rows
+            client.isp.close()
+        async_server = serve_system(system, server_class=AsyncIspServer)
+        with async_server:
+            client = baseline_client(system, async_server)
+            assert client.query(SQL).rows == expected
+            client.isp.close()
+
+    def test_live_ingestion_while_serving(self):
+        """MVCC under the event loop: queries verify during updates."""
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        with server:
+            client = baseline_client(system, server, max_retries=4)
+
+            def ingest():
+                for _ in range(8):
+                    system.advance_block("eth")
+                    time.sleep(0.1)  # let queries land between publishes
+
+            ingester = threading.Thread(target=ingest, daemon=True)
+            ingester.start()
+            try:
+                deadline = time.monotonic() + 20.0
+                done = 0
+                while done < 5 and time.monotonic() < deadline:
+                    try:
+                        assert client.query(SQL).rows
+                        done += 1
+                    except ReproError:
+                        time.sleep(0.02)  # certificate race: retry
+            finally:
+                ingester.join()
+                client.isp.close()
+            assert done == 5
+
+
+class TestPipelining:
+    def test_out_of_order_completion(self):
+        """A slow request does not head-of-line-block the connection.
+
+        Frame 1 carries an artificially slowed request, frame 2 a fast
+        one; with >=2 workers the fast response must come back first,
+        and both must echo their request's frame id.
+        """
+        release = threading.Event()
+
+        class SlowPingServer(AsyncIspServer):
+            def _serve(self, kind, args, deadline=None):
+                if kind == codec.REQ_PING:
+                    release.wait(timeout=5.0)
+                return super()._serve(kind, args, deadline)
+
+        system = build_system()
+        server = serve_system(system, server_class=SlowPingServer)
+        server.workers = 4
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(codec.frame(codec.encode_ping(), frame_id=1))
+                # Give the slow request time to reach its worker so the
+                # ordering assertion is meaningful, not racy.
+                time.sleep(0.05)
+                sock.sendall(
+                    codec.frame(codec.encode_get_certificate(), frame_id=2)
+                )
+                first = drain_frames(sock, 1)[0]
+                payload, _deadline, frame_id = first
+                assert frame_id == 2
+                assert payload[0] == codec.RESP_CERTIFICATE
+                release.set()
+                second = drain_frames(sock, 1)[0]
+                payload, _deadline, frame_id = second
+                assert frame_id == 1
+                assert payload[0] == codec.RESP_PONG
+            finally:
+                release.set()
+                sock.close()
+
+    def test_many_pipelined_requests_all_correlated(self):
+        """A burst of tagged requests gets exactly one tagged reply each."""
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                count = 32
+                for frame_id in range(count):
+                    sock.sendall(
+                        codec.frame(codec.encode_ping(), frame_id=frame_id)
+                    )
+                frames = drain_frames(sock, count)
+                ids = sorted(frame_id for _, _, frame_id in frames)
+                assert ids == list(range(count))
+                assert all(
+                    payload[0] == codec.RESP_PONG for payload, _, _ in frames
+                )
+            finally:
+                sock.close()
+
+    def test_plain_frames_stay_ordered(self):
+        """Id-less V2 frames keep the threaded one-at-a-time contract."""
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(codec.frame(codec.encode_ping()))
+                sock.sendall(codec.frame(codec.encode_get_certificate()))
+                sock.sendall(codec.frame(codec.encode_ping()))
+                frames = drain_frames(sock, 3)
+                kinds = [payload[0] for payload, _, _ in frames]
+                assert kinds == [
+                    codec.RESP_PONG,
+                    codec.RESP_CERTIFICATE,
+                    codec.RESP_PONG,
+                ]
+                assert all(frame_id is None for _, _, frame_id in frames)
+            finally:
+                sock.close()
+
+    def test_v4_frame_rejected_by_threaded_server(self):
+        """Non-pipelined endpoints refuse V4 with a typed error."""
+        system = build_system()
+        server = serve_system(system)
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(codec.frame(codec.encode_ping(), frame_id=7))
+                payload, _, _ = drain_frames(sock, 1)[0]
+                kind, value = codec.decode_response(payload)
+                assert kind == codec.RESP_ERROR
+                assert "pipelined" in str(value)
+            finally:
+                sock.close()
+
+
+class TestBatching:
+    @staticmethod
+    def _session_ops(isp):
+        """One representative mixed read session; returns its ops."""
+        root = isp.get_certificate().ads_root
+        paths = isp.ads.list_files(root)[:3]
+        session = isp.open_session(None)
+        ops = []
+        for path in paths:
+            ops.append(("get_file_meta", (session, path)))
+            ops.append(("get_page", (session, path, 0)))
+        ops.append(("finalize_session", (session,)))
+        return session, ops
+
+    def test_serve_batch_voes_byte_identical(self):
+        """serve_batch proofs == one-by-one proofs, byte for byte."""
+        results = []
+        for batched in (False, True):
+            system = build_system()
+            isp = system.isp
+            _session, ops = self._session_ops(isp)
+            if batched:
+                outputs = isp.serve_batch(ops)
+            else:
+                dispatch = {
+                    "get_file_meta": isp.get_file_meta,
+                    "get_page": isp.get_page,
+                    "finalize_session": isp.finalize_session,
+                }
+                outputs = [dispatch[op](*args) for op, args in ops]
+            assert not any(
+                isinstance(output, ReproError) for output in outputs
+            )
+            results.append(outputs)
+        unbatched, batched = results
+        assert unbatched[:-1] == batched[:-1]  # metas and pages
+        assert unbatched[-1].encode() == batched[-1].encode()  # the VO
+
+    def test_build_batch_matches_individual_builds(self):
+        """Unit-level: VOs rendered through one shared read-view are
+        byte-identical to independently rendered ones."""
+        from repro.isp.vo import VOBuilder
+        from repro.merkle.ads import V2fsAds
+
+        ads = V2fsAds()
+        root = ads.apply_writes(
+            ads.root,
+            {f"/f{i}": {j: b"p%d-%d" % (i, j) for j in range(4)}
+             for i in range(3)},
+            {f"/f{i}": 4 * 4096 for i in range(3)},
+        )
+        builders = []
+        for i in range(3):
+            builder = VOBuilder(ads, root)
+            builder.add_page(f"/f{i}", 0)
+            builder.add_page(f"/f{(i + 1) % 3}", 2)
+            builder.add_file(f"/f{(i + 2) % 3}")
+            builders.append(builder)
+        solo = [builder.build() for builder in builders]
+        grouped = build_batch(builders)
+        assert [p.encode() for p in solo] == [p.encode() for p in grouped]
+
+    def test_wire_vo_identical_threaded_vs_async(self):
+        """End to end: the VO served through the batching event-loop
+        server is byte-identical to the threaded server's."""
+        system = build_system()
+        voes = []
+        for server_class in (RpcIspServer, AsyncIspServer):
+            server = serve_system(system, server_class=server_class)
+            with server:
+                host, port = server.address
+                isp = RemoteIsp(host, port)
+                root = isp.get_certificate().ads_root
+                session = isp.open_session(None)
+                paths = system.isp.ads.list_files(root)[:3]
+                for path in paths:
+                    isp.get_file_meta(session, path)
+                    isp.get_page(session, path, 0)
+                voes.append(isp.finalize_session(session).encode())
+                isp.close()
+        assert voes[0] == voes[1]
+
+    def test_batched_load_run_is_clean(self):
+        """The loadgen's shared-snapshot workload completes error-free
+        and actually exercises the batch path."""
+        from repro.obs import metrics as obs
+
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        assert server.batching
+        with server:
+            root = system.isp.get_certificate().ads_root
+            paths = [(p, 0) for p in system.isp.ads.list_files(root)[:8]]
+            before = obs.REGISTRY.counters_snapshot()
+            stats = run_load(
+                server.address, paths,
+                clients=16, requests_per_client=8, pipeline_depth=4,
+                pipelined=True, finalize=True, timeout_s=60.0,
+            )
+            delta = obs.REGISTRY.counters_delta(before)
+        assert stats["errors"] == 0
+        assert stats["failed_clients"] == 0
+        assert not stats["timed_out"]
+        assert stats["completed_requests"] == 16 * 8
+        assert delta.get("serve.pipelined.requests", 0) > 0
+        assert delta.get("isp.batch.requests", 0) > 0
+
+
+class TestAsyncWireAdversaries:
+    """The test_security wire attacks, mixed over the event-loop server."""
+
+    def test_bit_flipped_page_frame_rejected(self):
+        class AsyncBitFlippingServer(AsyncIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_PAGE:
+                    frame = bytearray(codec.frame(payload))
+                    frame[-1] ^= 0x01  # payload bit flip, CRC now stale
+                    conn.sendall(bytes(frame))
+                    return
+                super()._send(conn, payload)
+
+        system = build_system()
+        server = serve_system(system, server_class=AsyncBitFlippingServer)
+        with server:
+            client = baseline_client(
+                system, server, max_retries=1, backoff_s=0.01
+            )
+            with pytest.raises(WireFormatError, match="checksum"):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_bit_flipped_page_with_fixed_crc_rejected(self):
+        class AsyncCrcFixingServer(AsyncIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_PAGE:
+                    payload = payload[:-1] + bytes([payload[-1] ^ 0x01])
+                super()._send(conn, payload)
+
+        system = build_system()
+        server = serve_system(system, server_class=AsyncCrcFixingServer)
+        with server:
+            client = baseline_client(
+                system, server, max_retries=1, backoff_s=0.01
+            )
+            with pytest.raises(ReproError):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_truncated_vo_frame_rejected(self):
+        class AsyncVoTruncatingServer(AsyncIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_VO:
+                    frame = codec.frame(payload)
+                    conn.sendall(frame[: len(frame) - 9])
+                    conn.shutdown(socket.SHUT_RDWR)
+                    return
+                super()._send(conn, payload)
+
+        system = build_system()
+        server = serve_system(system, server_class=AsyncVoTruncatingServer)
+        with server:
+            client = baseline_client(
+                system, server, max_retries=1, backoff_s=0.01
+            )
+            with pytest.raises(WireFormatError, match="mid-frame"):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        class AsyncOversizedFrameServer(AsyncIspServer):
+            def _send(self, conn, payload):
+                if payload and payload[0] == codec.RESP_VO:
+                    conn.sendall(codec.FRAME_HEADER.pack(
+                        codec.MAGIC, codec.MAX_FRAME_BYTES + 1, 0
+                    ))
+                    conn.shutdown(socket.SHUT_RDWR)
+                    return
+                super()._send(conn, payload)
+
+        system = build_system()
+        server = serve_system(system, server_class=AsyncOversizedFrameServer)
+        with server:
+            client = baseline_client(
+                system, server, max_retries=1, backoff_s=0.01
+            )
+            with pytest.raises(WireFormatError, match="exceeds"):
+                client.query(SQL)
+            client.isp.close()
+
+    def test_garbage_magic_gets_typed_refusal(self):
+        """Hostile bytes on the wire: typed error frame, then the drop."""
+        system = build_system()
+        server = serve_system(system, server_class=AsyncIspServer)
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(b"XXnothing good can come of this")
+                payload, _, _ = drain_frames(sock, 1)[0]
+                kind, value = codec.decode_response(payload)
+                assert kind == codec.RESP_ERROR
+                assert isinstance(value, ReproError)
+                sock.settimeout(5.0)
+                assert sock.recv(1 << 16) == b""  # then: connection dropped
+            finally:
+                sock.close()
+
+
+class TestAsyncChaos:
+    def test_concurrent_chaos_clean_on_async_server(self):
+        """The sanitizer-armed chaos campaign over the event loop."""
+        from repro.faults.chaos import run_concurrent_chaos
+
+        result = run_concurrent_chaos(
+            11, clients=3, queries_per_client=3, ingest_blocks=3,
+            server_class=AsyncIspServer,
+        )
+        assert result["client_errors"] == []
+        assert result["queries_ok"] == 9
+        assert result["reports"] == []
+
+
+class TestAsyncFleet:
+    def test_fleet_on_async_servers(self):
+        from repro.fleet.lifecycle import Fleet
+
+        system = build_system()
+        fleet = Fleet(
+            system, shard_count=2, replicas=2, server_class=AsyncIspServer,
+        )
+        fleet.start()
+        try:
+            host, port = fleet.router_address
+            client = connect_client(host, port)
+            assert client.query(SQL).rows
+            client.isp.close()
+        finally:
+            fleet.stop()
