@@ -23,7 +23,11 @@ from repro.analysis.core import (
     parse_paths,
     subtract_baseline,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 #: Default baseline looked up relative to the current directory.
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -72,9 +76,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="write current findings as a baseline and exit 0",
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
+        "--format", default="text", choices=["text", "json", "sarif"],
         dest="output_format",
-        help="report format; json is stable and sorted for diffing",
+        help="report format; json is stable and sorted for diffing, "
+             "sarif (2.1.0) uploads as GitHub code-scanning alerts",
     )
     parser.add_argument(
         "--rule", action="append", default=None, metavar="NAME",
@@ -88,6 +93,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         dest="effect_table",
         help="also export the per-function blocking-effect table "
              "(the ROADMAP async-refactor work-list) as JSON",
+    )
+    parser.add_argument(
+        "--role-table", default=None, metavar="FILE",
+        dest="role_table",
+        help="also export the thread-role reachability table (which "
+             "functions each spawned role can reach) as JSON",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -145,6 +156,20 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    if args.role_table:
+        from repro.analysis.ownership import build_role_table
+
+        table = build_role_table(contexts)
+        with open(args.role_table, "w", encoding="utf-8") as handle:
+            json.dump(table, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote role table with {len(table['roles'])} role(s) "
+            f"over {len(table['functions'])} function(s) to "
+            f"{args.role_table}",
+            file=sys.stderr,
+        )
+
     if args.write_baseline:
         payload = {"version": 1, "findings": baseline_entries(findings)}
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
@@ -178,6 +203,8 @@ def run(args: argparse.Namespace) -> int:
 
     if args.output_format == "json":
         sys.stdout.write(render_json(findings))
+    elif args.output_format == "sarif":
+        sys.stdout.write(render_sarif(findings, rules))
     else:
         print(render_text(findings))
 

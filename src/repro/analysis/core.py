@@ -161,6 +161,7 @@ def all_rules() -> List[Rule]:
     # Importing the rule modules populates the registry on first use.
     from repro.analysis import concurrency as _concurrency  # noqa: F401
     from repro.analysis import dataflow as _dataflow  # noqa: F401
+    from repro.analysis import ownership as _ownership  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
     return [_RULES[name] for name in sorted(_RULES)]

@@ -1,0 +1,1588 @@
+"""Thread-confinement and resource-ownership analysis.
+
+PR 9's event-loop server (:mod:`repro.serve`) rests on two invariants
+that previously existed only as comments and a one-time hand audit:
+
+1. **confinement** — per-connection state (the ``_Conn`` table, the
+   batch queue, out-buffers, selector interest masks) is touched only
+   by the selectors loop thread;
+2. **ownership** — every acquired resource (admission slot, selector
+   registration, socket, sanitizer arming) is released on every path,
+   including exceptional ones, so a crashed handler can never wedge
+   the verifiable serving path.
+
+This module turns both into ``ProgramRule``\\ s over the PR 5 program
+index (call graph, receiver/type inference, thread-spawn detection)
+and the PR 8 blocking-site lattice:
+
+* **thread-confinement** — ``# repro: confined-to(<role>)`` on a
+  ``self.<field> = ...`` line declares the only thread role allowed to
+  touch the field.  Each function's *role set* is computed from spawn
+  roots: a ``Thread``/``SanThread`` ``target=`` is a root of the role
+  declared by ``# repro: thread-role(<role>)`` on its ``def`` line
+  (or ``thread:<name>`` if undeclared), public functions root the
+  implicit ``main`` role, and roles propagate to every (non-spawn)
+  callee.  An access to a confined field from a function reachable
+  under any other role is an error carrying the spawn→call→access
+  witness chain.
+
+* **loop-blocking** — ``# repro: thread-role(<role>, nonblocking)``
+  additionally forbids any blocking primitive of effect >= ``sleep``
+  (PR 8's lattice: sleep/fsync/socket/subprocess; bare lock
+  acquisition stays legal) anywhere reachable under that role.  The
+  sanctioned exception — the completion-deque + wake-pipe pattern,
+  where the loop drains nonblocking sockets it owns — is expressed as
+  a sanitizer: ``# repro: loop-safe`` on a ``def`` line exempts that
+  function's *own direct* socket-kind sites, and nothing else (its
+  callees are still traversed, and sleep/fsync/subprocess are never
+  excused).  ``selectors.select`` is invisible to the lattice by
+  design: it is the loop's one legitimate wait.
+
+* **must-release** — a per-function CFG evaluator (try/except/
+  finally/with/return/raise aware; every call is a may-raise edge)
+  checks declared acquire/release pairs and tracked value resources:
+
+  - ``# repro: acquires(<resource>[, conditional])`` /
+    ``# repro: releases(<resource>)`` on ``def`` lines declare named
+    pairs (``_admit``/``_release``, ``arm``/``disarm``).  A
+    ``conditional`` acquire only materializes in direct
+    ``if f():`` / ``if not f():`` test position (any other shape is a
+    documented miss, never a false positive).
+  - socket factories (``socket.socket``, ``create_connection``,
+    ``accept``) assigned to a plain name are tracked until
+    ``.close()``/``.detach()`` or until they *escape* (stored into an
+    attribute/subscript, returned, passed into a container or an
+    unresolvable callee) — escape ends tracking silently, so only
+    provable leaks are reported.
+  - ``<sel>.register(sock)`` on a tracked socket opens a registration
+    that ``unregister(sock)`` must close.
+  - interprocedural summaries let wrappers count: a callee that
+    releases/closes its ``i``-th parameter on every path transfers
+    ownership; a function left holding a named resource on *every*
+    exit is promoted to an acquirer (its callers inherit the
+    obligation); holding on only *some* exits is the leak.
+
+Deliberate conservatism, in the no-false-positive direction: except
+handlers are assumed to catch everything their ``try`` body raises,
+resources reaching any escape are no longer tracked, and resources
+bound to anything but a plain local name are never tracked at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.concurrency import (
+    FunctionInfo,
+    Program,
+    _cached_program,
+    _dotted,
+    _field_assignment_lines,
+    _FunctionVisitor,
+    _is_private,
+    _short,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    ProgramRule,
+    register,
+)
+from repro.analysis.dataflow import _collect_sites, _param_names
+
+ROLE_MAIN = "main"
+
+_CONFINED_RE = re.compile(
+    r"#\s*repro:\s*confined-to\(\s*([A-Za-z_][\w\-]*)\s*\)"
+)
+_THREAD_ROLE_RE = re.compile(
+    r"#\s*repro:\s*thread-role\(\s*([A-Za-z_][\w\-]*)"
+    r"(?:\s*,\s*(nonblocking))?\s*\)"
+)
+_LOOP_SAFE_RE = re.compile(r"#\s*repro:\s*loop-safe\b")
+_ACQUIRES_RE = re.compile(
+    r"#\s*repro:\s*acquires\(\s*([A-Za-z_][\w.\-]*)"
+    r"(?:\s*,\s*(conditional))?\s*\)"
+)
+_RELEASES_RE = re.compile(
+    r"#\s*repro:\s*releases\(\s*([A-Za-z_][\w.\-]*)\s*\)"
+)
+
+#: Socket-producing callables (dotted form, resolved via the symbol
+#: table) whose direct ``name = ...`` assignment opens a tracked value
+#: resource.
+_SOCKET_FACTORIES = frozenset({
+    "socket.socket", "socket.create_connection",
+})
+
+#: Method names that end a tracked value resource's lifetime.
+_CLOSERS = frozenset({"close", "detach"})
+
+
+def _def_line_match(func: FunctionInfo,
+                    pattern: "re.Pattern[str]") -> Optional["re.Match[str]"]:
+    """Match ``pattern`` on the ``def`` line or the line directly above
+    (the same placement rule as ``taint-source`` annotations)."""
+    node = func.node
+    if node is None:
+        return None
+    for lineno in (node.lineno, node.lineno - 1):
+        if not 1 <= lineno <= len(func.ctx.lines):
+            continue
+        match = pattern.search(func.ctx.lines[lineno - 1])
+        if match is not None:
+            return match
+    return None
+
+
+class ConfinedField:
+    """One ``# repro: confined-to(<role>)`` annotation."""
+
+    __slots__ = ("class_id", "attr", "role", "line", "path")
+
+    def __init__(self, class_id: str, attr: str, role: str,
+                 line: int, path: str) -> None:
+        self.class_id = class_id
+        self.attr = attr
+        self.role = role
+        self.line = line
+        self.path = path
+
+    @property
+    def field_id(self) -> str:
+        return f"{self.class_id}.{self.attr}"
+
+
+class RoleDecl:
+    """One ``# repro: thread-role(<role>[, nonblocking])`` function."""
+
+    __slots__ = ("func_id", "role", "nonblocking", "line")
+
+    def __init__(self, func_id: str, role: str, nonblocking: bool,
+                 line: int) -> None:
+        self.func_id = func_id
+        self.role = role
+        self.nonblocking = nonblocking
+        self.line = line
+
+
+class PairDecl:
+    """One acquires/releases annotation on a function."""
+
+    __slots__ = ("func_id", "resource", "conditional")
+
+    def __init__(self, func_id: str, resource: str,
+                 conditional: bool) -> None:
+        self.func_id = func_id
+        self.resource = resource
+        self.conditional = conditional
+
+
+class Ownership:
+    """Every ownership-layer annotation, indexed."""
+
+    def __init__(self) -> None:
+        #: field id -> ConfinedField.
+        self.confined: Dict[str, ConfinedField] = {}
+        #: (class_id, attr) pairs for MRO-aware lookup.
+        self.confined_by_class: Dict[str, Dict[str, ConfinedField]] = {}
+        #: func id -> RoleDecl.
+        self.role_decls: Dict[str, RoleDecl] = {}
+        #: func ids carrying ``# repro: loop-safe``.
+        self.loop_safe: Set[str] = set()
+        #: func id -> PairDecl for acquirers / releasers.
+        self.acquirers: Dict[str, PairDecl] = {}
+        self.releasers: Dict[str, PairDecl] = {}
+        #: rule name -> hygiene findings discovered while indexing.
+        self.index_findings: Dict[str, List[Finding]] = {}
+
+    def note(self, rule: str, finding: Finding) -> None:
+        self.index_findings.setdefault(rule, []).append(finding)
+
+    def lookup_confined(self, program: Program, class_id: str,
+                        attr: str) -> Optional[ConfinedField]:
+        for cid in program.mro(class_id):
+            hit = self.confined_by_class.get(cid, {}).get(attr)
+            if hit is not None:
+                return hit
+        return None
+
+
+def _collect_ownership(program: Program,
+                       contexts: Sequence[ModuleContext]) -> Ownership:
+    own = Ownership()
+    for ctx in contexts:
+        assign_lines = _field_assignment_lines(ctx)
+        for lineno, text in enumerate(ctx.lines, start=1):
+            match = _CONFINED_RE.search(text)
+            if match is None:
+                continue
+            role = match.group(1)
+            owner = assign_lines.get(lineno)
+            if owner is None:
+                own.note(ThreadConfinementRule.name, Finding(
+                    path=ctx.path, line=lineno,
+                    rule=ThreadConfinementRule.name,
+                    message=(
+                        "confined-to annotation is not attached to a "
+                        "'self.<field> = ...' assignment line"
+                    ),
+                ))
+                continue
+            class_id, attr = owner
+            annotation = ConfinedField(class_id, attr, role, lineno,
+                                       ctx.path)
+            existing = own.confined_by_class.get(class_id, {}).get(attr)
+            if existing is not None and existing.role != role:
+                own.note(ThreadConfinementRule.name, Finding(
+                    path=ctx.path, line=lineno,
+                    rule=ThreadConfinementRule.name,
+                    message=(
+                        f"field {attr!r} is annotated confined-to"
+                        f"({role}) here but confined-to"
+                        f"({existing.role}) elsewhere; pick one role"
+                    ),
+                ))
+                continue
+            own.confined_by_class.setdefault(class_id, {})[attr] = \
+                annotation
+            own.confined[annotation.field_id] = annotation
+    for func_id, func in program.functions.items():
+        match = _def_line_match(func, _THREAD_ROLE_RE)
+        if match is not None:
+            own.role_decls[func_id] = RoleDecl(
+                func_id, match.group(1), match.group(2) is not None,
+                func.node.lineno,
+            )
+        if _def_line_match(func, _LOOP_SAFE_RE) is not None:
+            own.loop_safe.add(func_id)
+        match = _def_line_match(func, _ACQUIRES_RE)
+        if match is not None:
+            own.acquirers[func_id] = PairDecl(
+                func_id, match.group(1), match.group(2) is not None
+            )
+        match = _def_line_match(func, _RELEASES_RE)
+        if match is not None:
+            own.releasers[func_id] = PairDecl(
+                func_id, match.group(1), False
+            )
+    return own
+
+
+# ----------------------------------------------------------------------
+# Role reachability
+# ----------------------------------------------------------------------
+
+
+class RoleModel:
+    """Which thread roles can reach each function, with witnesses."""
+
+    def __init__(self) -> None:
+        #: func id -> set of role names reachable there.
+        self.roles: Dict[str, Set[str]] = {}
+        #: role -> list of (root func id, spawner func id or None,
+        #: spawn line or None) — how the role comes into existence.
+        self.roots: Dict[str, List[Tuple[str, Optional[str],
+                                         Optional[int]]]] = {}
+        #: (func id, role) -> (caller func id, call line): the first
+        #: discovered (deterministic) edge that carried the role in.
+        self.parent: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        #: roles declared ``nonblocking``.
+        self.nonblocking: Set[str] = set()
+
+    def chain(self, func_id: str, role: str) -> List[Tuple[str, int]]:
+        """The call path (func, line-called-at) from the role root down
+        to ``func_id``, root first."""
+        path: List[Tuple[str, int]] = []
+        current = func_id
+        seen = {current}
+        while (current, role) in self.parent:
+            caller, line = self.parent[(current, role)]
+            path.append((current, line))
+            if caller in seen:
+                break
+            seen.add(caller)
+            current = caller
+        path.append((current, 0))
+        path.reverse()
+        return path
+
+    def render_chain(self, func_id: str, role: str) -> str:
+        parts = [_short(f) for f, _line in self.chain(func_id, role)]
+        return " -> ".join(parts)
+
+    def spawn_note(self, role: str) -> str:
+        roots = self.roots.get(role, [])
+        for root, spawner, line in roots:
+            if spawner is not None:
+                return (
+                    f"role {role!r} is spawned in {_short(spawner)} "
+                    f"(line {line}, target {_short(root)})"
+                )
+        if roots:
+            return f"role {role!r} roots at {_short(roots[0][0])}"
+        return f"role {role!r} has no known spawn root"
+
+
+def _build_roles(program: Program, own: Ownership) -> RoleModel:
+    model = RoleModel()
+    model.roles = {func_id: set() for func_id in program.functions}
+    in_edges: Set[str] = set()
+    for func in program.functions.values():
+        for site in func.calls:
+            if site.callee in program.functions:
+                in_edges.add(site.callee)
+    # Spawn roots: every thread target starts its declared role (or an
+    # implicit thread:<name> role when undeclared).
+    for func_id in sorted(program.functions):
+        func = program.functions[func_id]
+        for site in func.calls:
+            if not site.is_thread_target:
+                continue
+            if site.callee not in program.functions:
+                continue
+            decl = own.role_decls.get(site.callee)
+            role = decl.role if decl is not None else (
+                f"thread:{site.callee.rsplit('.', 1)[-1]}"
+            )
+            model.roles[site.callee].add(role)
+            model.roots.setdefault(role, []).append(
+                (site.callee, func_id, site.line)
+            )
+    # Declared roles root themselves even if no spawn site is visible
+    # (fixtures, indirection the spawn detection cannot see).
+    for func_id, decl in own.role_decls.items():
+        model.roles[func_id].add(decl.role)
+        entries = model.roots.setdefault(decl.role, [])
+        if not any(root == func_id for root, _s, _l in entries):
+            entries.append((func_id, None, None))
+        if decl.nonblocking:
+            model.nonblocking.add(decl.role)
+    # Main roots: public functions, plus private helpers with no known
+    # callers (assumed reachable from tests / API users).
+    for func_id in sorted(program.functions):
+        if model.roles[func_id]:
+            continue
+        if not _is_private(func_id) or func_id not in in_edges:
+            model.roles[func_id].add(ROLE_MAIN)
+            model.roots.setdefault(ROLE_MAIN, []).append(
+                (func_id, None, None)
+            )
+    # Union-propagate roles along non-spawn call edges (may-analysis),
+    # recording the first parent edge per (callee, role) in sorted
+    # caller order so witness chains are deterministic.
+    changed = True
+    while changed:
+        changed = False
+        for func_id in sorted(program.functions):
+            func = program.functions[func_id]
+            mine = model.roles[func_id]
+            if not mine:
+                continue
+            for site in func.calls:
+                if site.is_thread_target:
+                    continue
+                callee = site.callee
+                if callee not in program.functions:
+                    continue
+                for role in sorted(mine):
+                    if role not in model.roles[callee]:
+                        model.roles[callee].add(role)
+                        model.parent[(callee, role)] = (
+                            func_id, site.line
+                        )
+                        changed = True
+    return model
+
+
+def build_role_table(
+    contexts: Sequence[ModuleContext],
+) -> Dict[str, object]:
+    """The role-reachability table (JSON-ready, CI artifact).
+
+    One row per declared role with its spawn roots, plus every
+    function reachable under a non-``main`` role with its full role
+    set — the worklist a reviewer checks before moving code between
+    the loop thread and the worker pool.
+    """
+    program = _cached_program(contexts)
+    own = _collect_ownership(program, contexts)
+    model = _build_roles(program, own)
+    roles_out = []
+    for role in sorted(model.roots):
+        if role == ROLE_MAIN:
+            continue
+        roles_out.append({
+            "role": role,
+            "nonblocking": role in model.nonblocking,
+            "roots": [
+                {"target": root, "spawned_in": spawner, "line": line}
+                for root, spawner, line in model.roots[role]
+            ],
+        })
+    functions_out = []
+    for func_id in sorted(program.functions):
+        roles = model.roles.get(func_id, set())
+        extra = roles - {ROLE_MAIN}
+        if not extra:
+            continue
+        functions_out.append({
+            "function": func_id,
+            "roles": sorted(roles),
+        })
+    return {
+        "version": 1,
+        "roles": roles_out,
+        "functions": functions_out,
+    }
+
+
+# ----------------------------------------------------------------------
+# thread-confinement
+# ----------------------------------------------------------------------
+
+
+class _ConfinedAccess:
+    __slots__ = ("field_id", "is_write", "line")
+
+    def __init__(self, field_id: str, is_write: bool, line: int) -> None:
+        self.field_id = field_id
+        self.is_write = is_write
+        self.line = line
+
+
+class _ConfinedVisitor(_FunctionVisitor):
+    """The concurrency walk, recording confined-field accesses.
+
+    Runs over a *shadow* :class:`FunctionInfo` so the call edges and
+    acquisitions it re-derives do not double up on the real summaries
+    (the same pattern as dataflow's ``_SiteVisitor``).
+    """
+
+    def __init__(self, program: Program, ctx: ModuleContext,
+                 shadow: FunctionInfo, own: Ownership,
+                 out: List[_ConfinedAccess]) -> None:
+        super().__init__(program, ctx, shadow)
+        self.own = own
+        self.out = out
+
+    def note_field_access(self, attr: ast.Attribute,
+                          is_write: bool) -> None:
+        super().note_field_access(attr, is_write)
+        owner = self.resolve_receiver(attr.value)
+        if owner is None:
+            return
+        annotation = self.own.lookup_confined(
+            self.program, owner, attr.attr
+        )
+        if annotation is None:
+            return
+        self.out.append(_ConfinedAccess(
+            annotation.field_id, is_write, attr.lineno
+        ))
+
+
+def _confined_accesses(
+    program: Program, own: Ownership,
+) -> Dict[str, List[_ConfinedAccess]]:
+    accesses: Dict[str, List[_ConfinedAccess]] = {}
+    if not own.confined:
+        return accesses
+    for func_id, func in program.functions.items():
+        if func.node is None:
+            continue
+        out: List[_ConfinedAccess] = []
+        shadow = FunctionInfo(
+            func.func_id, func.class_id, func.ctx, func.name, func.node
+        )
+        shadow.param_types = dict(func.param_types)
+        shadow.local_types = dict(func.local_types)
+        _ConfinedVisitor(
+            program, func.ctx, shadow, own, out
+        ).visit_body(func.node.body)
+        if out:
+            accesses[func_id] = out
+    return accesses
+
+
+def _check_confinement(
+    program: Program, own: Ownership, model: RoleModel,
+) -> List[Finding]:
+    findings = list(own.index_findings.get(
+        ThreadConfinementRule.name, ()
+    ))
+    if not own.confined:
+        return findings
+    declared_roles = {d.role for d in own.role_decls.values()}
+    known_roles = declared_roles | {ROLE_MAIN}
+    for annotation in sorted(own.confined.values(),
+                             key=lambda a: (a.path, a.line)):
+        if annotation.role not in known_roles:
+            hint = difflib.get_close_matches(
+                annotation.role, sorted(known_roles), n=1, cutoff=0.5
+            )
+            findings.append(Finding(
+                path=annotation.path, line=annotation.line,
+                rule=ThreadConfinementRule.name,
+                message=(
+                    f"confined-to names unknown role "
+                    f"{annotation.role!r} for field {annotation.attr!r}"
+                    + (f" (did you mean {hint[0]!r}?)" if hint else "")
+                    + "; roles are declared with "
+                      "'# repro: thread-role(<role>)' on a thread "
+                      "target's def line (plus the implicit 'main')"
+                ),
+            ))
+    accesses = _confined_accesses(program, own)
+    for func_id in sorted(accesses):
+        func = program.functions[func_id]
+        roles = model.roles.get(func_id, set())
+        for access in accesses[func_id]:
+            annotation = own.confined[access.field_id]
+            # Construction in the owning class's __init__ happens
+            # before the object is shared with any thread.
+            if (
+                func.name == "__init__"
+                and func.class_id is not None
+                and annotation.class_id in program.mro(func.class_id)
+            ):
+                continue
+            wrong = sorted(roles - {annotation.role})
+            if not wrong:
+                continue
+            kind = "write to" if access.is_write else "read of"
+            role = wrong[0]
+            chain = model.render_chain(func_id, role)
+            extra = (
+                f" (also on roles {', '.join(wrong[1:])})"
+                if len(wrong) > 1 else ""
+            )
+            findings.append(Finding(
+                path=func.ctx.path, line=access.line,
+                rule=ThreadConfinementRule.name,
+                message=(
+                    f"{kind} {_short(access.field_id)} (confined to "
+                    f"role {annotation.role!r}) in {func_id} is "
+                    f"reachable on role {role!r}{extra}: "
+                    f"{model.spawn_note(role)}; call path {chain}"
+                ),
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# loop-blocking
+# ----------------------------------------------------------------------
+
+
+def _check_loop_blocking(
+    program: Program, own: Ownership, model: RoleModel,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for func_id in sorted(own.loop_safe):
+        decl_roles = model.roles.get(func_id, set())
+        if not decl_roles & model.nonblocking:
+            findings.append(Finding(
+                path=program.functions[func_id].ctx.path,
+                line=program.functions[func_id].node.lineno,
+                rule=LoopBlockingRule.name,
+                message=(
+                    f"loop-safe on {func_id} is unreachable from any "
+                    "nonblocking role; the annotation sanctions "
+                    "nothing (remove it or spawn the function under a "
+                    "'thread-role(<role>, nonblocking)' root)"
+                ),
+            ))
+    if not model.nonblocking:
+        return findings
+    sites = _collect_sites(program)
+    for func_id in sorted(program.functions):
+        func = program.functions[func_id]
+        roles = model.roles.get(func_id, set()) & model.nonblocking
+        if not roles:
+            continue
+        blocking = [
+            site for site in sites[func_id].blocking
+            if site.kind != "lock"
+        ]
+        if not blocking:
+            continue
+        if func_id in own.loop_safe:
+            # The sanctioned wake-pipe/nonblocking-socket pattern:
+            # only this function's own direct socket operations are
+            # excused; a sleep/fsync/subprocess is never loop-safe.
+            blocking = [s for s in blocking if s.kind != "socket"]
+        role = sorted(roles)[0]
+        chain = model.render_chain(func_id, role)
+        for site in blocking:
+            findings.append(Finding(
+                path=func.ctx.path, line=site.line,
+                rule=LoopBlockingRule.name,
+                message=(
+                    f"blocking {site.kind} ({site.detail}) in "
+                    f"{func_id} is reachable on nonblocking role "
+                    f"{role!r}: {model.spawn_note(role)}; call path "
+                    f"{chain}; move it to a worker or mark the "
+                    "function '# repro: loop-safe' if it only drains "
+                    "nonblocking sockets the loop owns"
+                ),
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# must-release: per-function CFG evaluation over ownership states
+# ----------------------------------------------------------------------
+#
+# A *token* is one held obligation:
+#   ("sock", line)        -- a socket opened by a tracked factory call;
+#   ("reg", line)         -- a selector registration of a tracked sock;
+#   ("res", R, line)      -- named resource R acquired at `line`;
+#   ("seedres", R)        -- R symbolically held at entry, used only to
+#                            derive the "releases R on every path"
+#                            summary (never reported);
+#   ("param", i)          -- the function's own i-th parameter, used to
+#                            derive releases/escapes-param summaries.
+#
+# A *state* is a frozenset of (token, bound_name_or_None) pairs; the
+# walker carries a *set of states* (path-sensitive through branches and
+# try/except) and accumulates return/raise/break/continue outcomes.
+# Every call is a may-raise edge: an acquire's raise edge carries the
+# pre-state (the exception means nothing was acquired), a release's
+# kill applies on both edges (``close()`` that raises still closed),
+# and any other call's raise edge carries the current state — which is
+# exactly how a leak on an exceptional path becomes visible.
+
+Token = Tuple
+State = FrozenSet[Tuple[Token, Optional[str]]]
+
+_STATE_CAP = 64
+
+
+class _ReleaseSummary:
+    """What a caller needs to know about one callee's ownership."""
+
+    __slots__ = ("acquires", "releases", "releases_param",
+                 "escapes_param")
+
+    def __init__(self) -> None:
+        #: resource name -> True when the acquire is conditional.
+        self.acquires: Dict[str, bool] = {}
+        self.releases: Set[str] = set()
+        #: parameter indices this function closes/releases on every
+        #: path (ownership transfers in).
+        self.releases_param: Set[int] = set()
+        #: parameter indices that escape (stored, re-spawned, handed
+        #: to something unresolvable) — callers stop tracking.
+        self.escapes_param: Set[int] = set()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _ReleaseSummary)
+            and self.acquires == other.acquires
+            and self.releases == other.releases
+            and self.releases_param == other.releases_param
+            and self.escapes_param == other.escapes_param
+        )
+
+
+class _Outcomes:
+    """Non-fall-through exits accumulated while walking a body."""
+
+    __slots__ = ("ret", "raise_", "brk", "cont")
+
+    def __init__(self) -> None:
+        self.ret: Set[State] = set()
+        self.raise_: Set[State] = set()
+        self.brk: Set[State] = set()
+        self.cont: Set[State] = set()
+
+    def absorb(self, other: "_Outcomes") -> None:
+        self.ret |= other.ret
+        self.raise_ |= other.raise_
+        self.brk |= other.brk
+        self.cont |= other.cont
+
+
+def _cap(states: Set[State]) -> Set[State]:
+    if len(states) <= _STATE_CAP:
+        return states
+    merged: Set[Tuple[Token, Optional[str]]] = set()
+    for state in states:
+        merged |= state
+    return {frozenset(merged)}
+
+
+def _add(states: Set[State], pair: Tuple[Token, Optional[str]],
+         ) -> Set[State]:
+    return {frozenset(s | {pair}) for s in states}
+
+
+def _drop_token(states: Set[State], predicate) -> Set[State]:
+    return {
+        frozenset(p for p in s if not predicate(p[0], p[1]))
+        for s in states
+    }
+
+
+class _CfgWalker:
+    """Evaluates one function body over ownership states."""
+
+    def __init__(self, program: Program, own: Ownership,
+                 summaries: Dict[str, _ReleaseSummary],
+                 func: FunctionInfo, collect: bool) -> None:
+        self.program = program
+        self.own = own
+        self.summaries = summaries
+        self.func = func
+        self.collect = collect
+        shadow = FunctionInfo(
+            func.func_id, func.class_id, func.ctx, func.name, func.node
+        )
+        shadow.param_types = dict(func.param_types)
+        shadow.local_types = dict(func.local_types)
+        self.resolver = _FunctionVisitor(program, func.ctx, shadow)
+        self.params = _param_names(func)
+        #: tokens that escaped anywhere (walker-global, conservative).
+        self.escaped: Set[Token] = set()
+        #: param indices genuinely released (closed), not just dropped.
+        self.released_params: Set[int] = set()
+        #: value/named tokens generated in this function body.
+        self.acquired: Dict[Token, int] = {}
+        self.summary = _ReleaseSummary()
+        #: (token) -> set of exit-kind strings where it was still held.
+        self.leaks: Dict[Token, Set[str]] = {}
+
+    # -- helpers --------------------------------------------------------
+
+    def bound_token(self, state: State, name: str) -> List[Token]:
+        return [tok for tok, bound in state if bound == name]
+
+    def any_bound(self, states: Set[State], name: str) -> bool:
+        return any(
+            bound == name for s in states for _tok, bound in s
+        )
+
+    def escape_name(self, states: Set[State], name: str) -> Set[State]:
+        for s in states:
+            for tok, bound in s:
+                if bound == name:
+                    self.escaped.add(tok)
+        return _drop_token(states, lambda tok, bound: bound == name)
+
+    def escape_names_in(self, states: Set[State],
+                        expr: Optional[ast.expr]) -> Set[State]:
+        if expr is None:
+            return states
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and self.any_bound(
+                states, node.id
+            ):
+                states = self.escape_name(states, node.id)
+        return states
+
+    def kill_name(self, states: Set[State], name: str) -> Set[State]:
+        """A genuine release of whatever ``name`` holds."""
+        for s in states:
+            for tok, bound in s:
+                if bound == name and tok[0] == "param":
+                    self.released_params.add(tok[1])
+        return _drop_token(
+            states,
+            lambda tok, bound: bound == name and tok[0] != "reg",
+        )
+
+    def kill_reg(self, states: Set[State], name: str) -> Set[State]:
+        return _drop_token(
+            states,
+            lambda tok, bound: bound == name and tok[0] == "reg",
+        )
+
+    def kill_resource(self, states: Set[State],
+                      resource: str) -> Set[State]:
+        return _drop_token(
+            states,
+            lambda tok, bound: tok[0] in ("res", "seedres")
+            and tok[1] == resource,
+        )
+
+    def unbind(self, states: Set[State], name: str) -> Set[State]:
+        """Rebinding a name ends tracking of whatever it held (treated
+        as an escape: conservative, never a finding)."""
+        if self.any_bound(states, name):
+            return self.escape_name(states, name)
+        return states
+
+    # -- expressions ----------------------------------------------------
+
+    def eval_expr(self, expr: ast.expr, states: Set[State],
+                  out: _Outcomes) -> Tuple[Set[State], List[Token]]:
+        """Returns (post-states, value-tokens the expression produces).
+
+        Only a *direct* factory/accept call produces tokens a caller
+        may bind; tokens produced in any nested position are dropped
+        (never tracked), so they can never be reported."""
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr, states, out)
+        if isinstance(expr, ast.Lambda):
+            return states, []
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                states, _gen = self.eval_expr(child, states, out)
+            elif isinstance(child, ast.comprehension):
+                states, _gen = self.eval_expr(child.iter, states, out)
+                for cond in child.ifs:
+                    states, _gen = self.eval_expr(cond, states, out)
+        return states, []
+
+    def _callee_of(self, call: ast.Call) -> Tuple[Optional[str],
+                                                  Optional[str]]:
+        callee = self.resolver.resolve_callable(call.func)
+        attr = (
+            call.func.attr
+            if isinstance(call.func, ast.Attribute) else None
+        )
+        return callee, attr
+
+    def _callee_summary(
+        self, callee: Optional[str]
+    ) -> Optional[_ReleaseSummary]:
+        if callee is None or callee not in self.program.functions:
+            return None
+        return self.summaries.get(callee)
+
+    def _apply_arg_policy(self, call: ast.Call, callee: Optional[str],
+                          states: Set[State]) -> Set[State]:
+        """Escape/release/keep for tracked names in argument position.
+
+        The receiver of a method call is *borrowed* (``conn.settimeout``
+        keeps ownership where it is); arguments follow the callee's
+        summary when the callee resolves and maps, and escape
+        otherwise."""
+        summary = self._callee_summary(callee)
+        callee_func = (
+            self.program.functions.get(callee)
+            if callee is not None else None
+        )
+        mappable = (
+            summary is not None
+            and callee_func is not None
+            and callee_func.node is not None
+            and callee_func.node.args.vararg is None
+            and callee_func.node.args.kwarg is None
+            and not any(isinstance(a, ast.Starred) for a in call.args)
+            and all(k.arg is not None for k in call.keywords)
+        )
+        params = (
+            _param_names(callee_func) if mappable else []
+        )
+        slots: List[Tuple[Optional[int], ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            slots.append((
+                index if mappable and index < len(params) else None,
+                arg,
+            ))
+        for keyword in call.keywords:
+            idx = (
+                params.index(keyword.arg)
+                if mappable and keyword.arg in params else None
+            )
+            slots.append((idx, keyword.value))
+        for idx, arg in slots:
+            if isinstance(arg, ast.Name) and self.any_bound(
+                states, arg.id
+            ):
+                if mappable and idx is not None:
+                    if idx in summary.releases_param:
+                        states = self.kill_name(states, arg.id)
+                        states = self.kill_reg(states, arg.id)
+                    elif idx in summary.escapes_param:
+                        states = self.escape_name(states, arg.id)
+                    # else: borrowed, tracking continues.
+                else:
+                    states = self.escape_name(states, arg.id)
+            else:
+                # Names nested deeper (containers, f-strings, calls)
+                # escape: the value is out of our hands.
+                states = self.escape_names_in(states, arg)
+        return states
+
+    def eval_call(self, call: ast.Call, states: Set[State],
+                  out: _Outcomes,
+                  suppress_acquire: bool = False,
+                  ) -> Tuple[Set[State], List[Token]]:
+        # Arguments evaluate first (nested calls raise before the
+        # outer call runs).
+        for arg in call.args:
+            states, _gen = self.eval_expr(arg, states, out)
+        for keyword in call.keywords:
+            states, _gen = self.eval_expr(keyword.value, states, out)
+        if isinstance(call.func, ast.Attribute):
+            states, _gen = self.eval_expr(call.func.value, states, out)
+
+        callee, attr = self._callee_of(call)
+        line = call.lineno
+        gen: List[Token] = []
+
+        receiver_name = (
+            call.func.value.id
+            if isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name) else None
+        )
+        first_arg_name = (
+            call.args[0].id
+            if call.args and isinstance(call.args[0], ast.Name)
+            else None
+        )
+
+        # Selector registration pairing on a tracked socket.
+        if attr == "register" and first_arg_name is not None and \
+                self.any_bound(states, first_arg_name):
+            out.raise_ |= _cap(set(states))
+            tok = ("reg", line)
+            self.acquired[tok] = line
+            states = _add(states, (tok, first_arg_name))
+            states = self._apply_mask_args(call, states, out)
+            return _cap(states), []
+        if attr == "unregister" and first_arg_name is not None:
+            states = self.kill_reg(states, first_arg_name)
+            out.raise_ |= _cap(set(states))
+            return _cap(states), []
+
+        # Releases: kill on both the normal and the exceptional edge
+        # (a close() that raises still closed the descriptor; the
+        # `try: x.close() except OSError: pass` idiom stays clean).
+        if attr in _CLOSERS and receiver_name is not None and \
+                self.any_bound(states, receiver_name):
+            states = self.kill_name(states, receiver_name)
+            out.raise_ |= _cap(set(states))
+            return _cap(states), []
+
+        # Named-resource effects through the callee's summary.
+        summary = self._callee_summary(callee)
+        if summary is not None and summary.releases:
+            for resource in sorted(summary.releases):
+                states = self.kill_resource(states, resource)
+        states = self._apply_arg_policy(call, callee, states)
+        if summary is not None and summary.acquires and \
+                not suppress_acquire:
+            out.raise_ |= _cap(set(states))
+            for resource, conditional in sorted(
+                summary.acquires.items()
+            ):
+                if conditional:
+                    continue  # only if-test position materializes
+                tok = ("res", resource, line)
+                self.acquired[tok] = line
+                states = _add(states, (tok, None))
+            return _cap(states), []
+
+        # Value-resource factories.
+        if callee in _SOCKET_FACTORIES or attr == "accept":
+            out.raise_ |= _cap(set(states))  # pre-state: not acquired
+            tok = ("sock", line)
+            self.acquired[tok] = line
+            return _cap(states), [tok]
+        if callee == "socket.socketpair":
+            out.raise_ |= _cap(set(states))
+            first: Token = ("sock", line)
+            second: Token = ("sock", -line)
+            self.acquired[first] = line
+            self.acquired[second] = line
+            return _cap(states), [first, second]
+
+        out.raise_ |= _cap(set(states))
+        return _cap(states), []
+
+    def _apply_mask_args(self, call: ast.Call, states: Set[State],
+                         out: _Outcomes) -> Set[State]:
+        """register(sock, mask, data=...): remaining args may embed
+        tracked names (data=conn keeps the *conn*, not the sock)."""
+        for arg in call.args[1:]:
+            states = self.escape_names_in(states, arg)
+        for keyword in call.keywords:
+            states = self.escape_names_in(states, keyword.value)
+        return states
+
+    # -- statements -----------------------------------------------------
+
+    def walk_body(self, body: Sequence[ast.stmt],
+                  states: Set[State]) -> Tuple[Set[State], _Outcomes]:
+        out = _Outcomes()
+        current = _cap(set(states))
+        for stmt in body:
+            if not current:
+                break
+            current = self.stmt(stmt, current, out)
+        return _cap(current), out
+
+    def stmt(self, s: ast.stmt, states: Set[State],
+             out: _Outcomes) -> Set[State]:
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef)):
+            return states
+        if isinstance(s, ast.Assign):
+            states, gen = self._eval_value(s.value, states, out)
+            for target in s.targets:
+                states = self.assign_target(target, s.value, gen,
+                                            states)
+            return states
+        if isinstance(s, ast.AnnAssign):
+            if s.value is None:
+                return states
+            states, gen = self._eval_value(s.value, states, out)
+            return self.assign_target(s.target, s.value, gen, states)
+        if isinstance(s, ast.AugAssign):
+            states, _gen = self.eval_expr(s.value, states, out)
+            return states
+        if isinstance(s, ast.Expr):
+            states, _gen = self._eval_value(s.value, states, out)
+            return states
+        if isinstance(s, ast.Return):
+            if s.value is not None:
+                states, _gen = self.eval_expr(s.value, states, out)
+                states = self.escape_names_in(states, s.value)
+            out.ret |= states
+            return set()
+        if isinstance(s, ast.Raise):
+            if s.exc is not None:
+                states, _gen = self.eval_expr(s.exc, states, out)
+                states = self.escape_names_in(states, s.exc)
+            out.raise_ |= states
+            return set()
+        if isinstance(s, ast.Break):
+            out.brk |= states
+            return set()
+        if isinstance(s, ast.Continue):
+            out.cont |= states
+            return set()
+        if isinstance(s, ast.If):
+            return self.stmt_if(s, states, out)
+        if isinstance(s, ast.While):
+            return self.stmt_loop(s, states, out, test=s.test)
+        if isinstance(s, (ast.For, ast.AsyncFor)):
+            states, _gen = self.eval_expr(s.iter, states, out)
+            for node in ast.walk(s.target):
+                if isinstance(node, ast.Name):
+                    states = self.unbind(states, node.id)
+            return self.stmt_loop(s, states, out, test=None)
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            return self.stmt_with(s, states, out)
+        if isinstance(s, ast.Try):
+            return self.stmt_try(s, states, out)
+        if isinstance(s, ast.Assert):
+            states, _gen = self.eval_expr(s.test, states, out)
+            return states
+        if isinstance(s, ast.Delete):
+            for target in s.targets:
+                if isinstance(target, ast.Name):
+                    states = self.unbind(states, target.id)
+            return states
+        # Import/Global/Nonlocal/Pass and anything exotic: evaluate
+        # any immediate expression children for their raise edges.
+        for child in ast.iter_child_nodes(s):
+            if isinstance(child, ast.expr):
+                states, _gen = self.eval_expr(child, states, out)
+        return states
+
+    def _eval_value(self, value: ast.expr, states: Set[State],
+                    out: _Outcomes) -> Tuple[Set[State], List[Token]]:
+        """A direct call in value position may produce bindable tokens."""
+        if isinstance(value, ast.Call):
+            return self.eval_call(value, states, out)
+        return self.eval_expr(value, states, out)
+
+    def assign_target(self, target: ast.expr, value: ast.expr,
+                      gen: List[Token],
+                      states: Set[State]) -> Set[State]:
+        if isinstance(target, ast.Name):
+            states = self.unbind(states, target.id)
+            if len(gen) == 1:
+                states = _add(states, (gen[0], target.id))
+            elif isinstance(value, ast.Name):
+                # Aliasing ends tracking (conservative, silent).
+                states = self.escape_names_in(states, value)
+            return _cap(states)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = [
+                elt.id if isinstance(elt, ast.Name) else None
+                for elt in target.elts
+            ]
+            for name in names:
+                if name is not None:
+                    states = self.unbind(states, name)
+            if len(gen) == len(names):
+                # socketpair() into (a, b)
+                for token, name in zip(gen, names):
+                    if name is not None:
+                        states = _add(states, (token, name))
+            elif len(gen) == 1 and names and names[0] is not None:
+                # sock, addr = listener.accept()
+                states = _add(states, (gen[0], names[0]))
+            elif isinstance(value, ast.Name):
+                states = self.escape_names_in(states, value)
+            return _cap(states)
+        # Attribute / Subscript / Starred target: the value escapes
+        # (generated tokens stay unbound and are never reported).
+        states = self.escape_names_in(states, value)
+        return states
+
+    def _cond_acquire(
+        self, test: ast.expr
+    ) -> Tuple[Optional[ast.Call], bool]:
+        call: Optional[ast.Call] = None
+        negated = False
+        if isinstance(test, ast.UnaryOp) and isinstance(
+            test.op, ast.Not
+        ) and isinstance(test.operand, ast.Call):
+            call, negated = test.operand, True
+        elif isinstance(test, ast.Call):
+            call = test
+        if call is None:
+            return None, False
+        callee, _attr = self._callee_of(call)
+        summary = self._callee_summary(callee)
+        if summary is None or not summary.acquires:
+            return None, False
+        return call, negated
+
+    def stmt_if(self, s: ast.If, states: Set[State],
+                out: _Outcomes) -> Set[State]:
+        call, negated = self._cond_acquire(s.test)
+        if call is not None:
+            # ``if f():`` / ``if not f():`` over an acquirer: the
+            # acquired token exists only on the success branch.
+            states, _gen = self.eval_call(
+                call, states, out, suppress_acquire=True
+            )
+            callee, _attr = self._callee_of(call)
+            summary = self._callee_summary(callee)
+            acq_states = states
+            for resource, conditional in sorted(
+                summary.acquires.items()
+            ):
+                tok: Token = ("res", resource, call.lineno)
+                self.acquired[tok] = call.lineno
+                acq_states = _add(acq_states, (tok, None))
+                if not conditional:
+                    states = _add(states, (tok, None))
+            body_in = states if negated else acq_states
+            else_in = acq_states if negated else states
+        else:
+            states, _gen = self.eval_expr(s.test, states, out)
+            body_in = else_in = states
+        body_fall, body_out = self.walk_body(s.body, body_in)
+        out.absorb(body_out)
+        if s.orelse:
+            else_fall, else_out = self.walk_body(s.orelse, else_in)
+            out.absorb(else_out)
+        else:
+            else_fall = else_in
+        return _cap(body_fall | else_fall)
+
+    def stmt_loop(self, s: ast.stmt, states: Set[State],
+                  out: _Outcomes,
+                  test: Optional[ast.expr]) -> Set[State]:
+        head = _cap(set(states))
+        brk: Set[State] = set()
+        for _ in range(8):
+            entry = head
+            if test is not None:
+                entry, _gen = self.eval_expr(test, entry, out)
+            body_fall, body_out = self.walk_body(s.body, entry)
+            out.ret |= body_out.ret
+            out.raise_ |= body_out.raise_
+            brk |= body_out.brk
+            new_head = _cap(head | body_fall | body_out.cont)
+            if new_head == head:
+                break
+            head = new_head
+        after = head
+        if s.orelse:
+            else_fall, else_out = self.walk_body(s.orelse, head)
+            out.absorb(else_out)
+            after = else_fall
+        return _cap(after | brk)
+
+    def stmt_with(self, s: ast.stmt, states: Set[State],
+                  out: _Outcomes) -> Set[State]:
+        cleanup: List[str] = []
+        for item in s.items:
+            if isinstance(item.context_expr, ast.Call):
+                states, gen = self.eval_call(
+                    item.context_expr, states, out
+                )
+            else:
+                states, gen = self.eval_expr(
+                    item.context_expr, states, out
+                )
+            if isinstance(item.optional_vars, ast.Name):
+                name = item.optional_vars.id
+                states = self.unbind(states, name)
+                if len(gen) == 1:
+                    # ``with create_connection(..) as s:`` —
+                    # __exit__ closes on every path out of the body.
+                    states = _add(states, (gen[0], name))
+                    cleanup.append(name)
+        body_fall, body_out = self.walk_body(s.body, states)
+        for name in cleanup:
+            body_fall = self.kill_name(body_fall, name)
+            body_out.ret = self.kill_name(body_out.ret, name)
+            body_out.raise_ = self.kill_name(body_out.raise_, name)
+            body_out.brk = self.kill_name(body_out.brk, name)
+            body_out.cont = self.kill_name(body_out.cont, name)
+        out.absorb(body_out)
+        return body_fall
+
+    def stmt_try(self, s: ast.Try, states: Set[State],
+                 out: _Outcomes) -> Set[State]:
+        body_fall, body_out = self.walk_body(s.body, states)
+        pre = _Outcomes()
+        pre.ret |= body_out.ret
+        pre.brk |= body_out.brk
+        pre.cont |= body_out.cont
+        fall = body_fall
+        if s.orelse:
+            else_fall, else_out = self.walk_body(s.orelse, body_fall)
+            pre.absorb(else_out)  # else raises bypass these handlers
+            fall = else_fall
+        if s.handlers:
+            # Handlers are assumed to catch everything the body
+            # raises (no exception-type narrowing): a miss in the
+            # propagate direction, never a false positive.
+            entry = body_out.raise_
+            for handler in s.handlers:
+                if handler.name is not None:
+                    entry = self.unbind(entry, handler.name)
+                h_fall, h_out = self.walk_body(handler.body, entry)
+                fall = fall | h_fall
+                pre.absorb(h_out)
+        else:
+            pre.raise_ |= body_out.raise_
+        if s.finalbody:
+            fall, fin_out = self.walk_body(s.finalbody, fall)
+            out.absorb(fin_out)
+            for kind in ("ret", "raise_", "brk", "cont"):
+                entry = getattr(pre, kind)
+                if not entry:
+                    continue
+                k_fall, k_out = self.walk_body(s.finalbody, entry)
+                out.absorb(k_out)
+                setattr(out, kind,
+                        getattr(out, kind) | k_fall)
+        else:
+            out.absorb(pre)
+        return _cap(fall)
+
+    # -- the run --------------------------------------------------------
+
+    def run(self, universe: Set[str]) -> None:
+        node = self.func.node
+        if node is None:
+            return
+        init: Set[Tuple[Token, Optional[str]]] = set()
+        for index, name in enumerate(self.params):
+            init.add((("param", index), name))
+        for resource in sorted(universe):
+            init.add((("seedres", resource), None))
+        fall, out = self.walk_body(node.body, {frozenset(init)})
+        normal = fall | out.ret
+        exceptional = out.raise_
+        escaped_params = {
+            tok[1] for tok in self.escaped if tok[0] == "param"
+        }
+        self.summary.escapes_param = set(escaped_params)
+        if normal:
+            for resource in sorted(universe):
+                if all(
+                    (("seedres", resource), None) not in s
+                    for s in normal
+                ):
+                    self.summary.releases.add(resource)
+            for index in sorted(self.released_params):
+                if index in escaped_params:
+                    continue
+                if all(
+                    all(tok != ("param", index) for tok, _b in s)
+                    for s in normal
+                ):
+                    self.summary.releases_param.add(index)
+            # Promotion: a *private helper* holding a named resource
+            # on every normal exit is an acquirer its callers inherit
+            # (an _enter-style wrapper).  Public functions get no such
+            # benefit of the doubt — nobody is obliged to call their
+            # release counterpart, so holding on every exit is the
+            # leak, not an idiom.
+            if _is_private(self.func.func_id):
+                by_resource: Dict[str, List[Token]] = {}
+                for tok in self.acquired:
+                    if tok[0] == "res":
+                        by_resource.setdefault(tok[1], []).append(tok)
+                for resource, tokens in sorted(by_resource.items()):
+                    if all(
+                        any((tok, None) in s for tok in tokens)
+                        for s in normal
+                    ):
+                        self.summary.acquires[resource] = False
+        if not self.collect:
+            return
+        promoted = set(self.summary.acquires)
+        for kind, exit_states in (("return", normal),
+                                  ("exception", exceptional)):
+            for state in exit_states:
+                for tok, _bound in state:
+                    if tok[0] in ("param", "seedres"):
+                        continue
+                    if tok in self.escaped:
+                        continue
+                    if tok[0] == "res" and tok[1] in promoted:
+                        continue
+                    self.leaks.setdefault(tok, set()).add(kind)
+
+    def leak_findings(self, own: Ownership) -> List[Finding]:
+        findings: List[Finding] = []
+        releaser_for: Dict[str, str] = {}
+        for func_id, decl in sorted(own.releasers.items()):
+            releaser_for.setdefault(decl.resource, func_id)
+        for tok in sorted(self.leaks, key=repr):
+            kinds = "/".join(sorted(self.leaks[tok]))
+            line = self.acquired.get(tok, 0)
+            if tok[0] == "sock":
+                label = f"socket opened at line {line}"
+                advice = "close it on every path (try/finally)"
+            elif tok[0] == "reg":
+                label = f"selector registration at line {line}"
+                advice = "unregister it on every path"
+            else:
+                label = f"resource {tok[1]!r} acquired at line {line}"
+                pair = releaser_for.get(tok[1])
+                advice = (
+                    f"release it via {_short(pair)} on every path"
+                    if pair else "release it on every path"
+                )
+            findings.append(Finding(
+                path=self.func.ctx.path, line=line,
+                rule=MustReleaseRule.name,
+                message=(
+                    f"{label} in {self.func.func_id} is still held "
+                    f"on {kinds} exit paths; {advice}"
+                ),
+            ))
+        return findings
+
+_PRIMITIVE_ATTRS = _CLOSERS | {"register", "unregister", "accept"}
+
+
+def _has_primitive(program: Program, func: FunctionInfo) -> bool:
+    """Cheap prefilter: does this body mention any ownership primitive
+    (socket factory, accept, close, selector (un)register)?"""
+    if func.node is None:
+        return False
+    symbols = program.symbols.get(func.ctx.module, {})
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _PRIMITIVE_ATTRS:
+            return True
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _sep, rest = dotted.partition(".")
+        resolved = symbols.get(head, head) + (
+            "." + rest if rest else ""
+        )
+        if resolved in _SOCKET_FACTORIES or \
+                resolved == "socket.socketpair":
+            return True
+    return False
+
+
+def _check_must_release(program: Program,
+                        own: Ownership) -> List[Finding]:
+    findings = list(own.index_findings.get(MustReleaseRule.name, ()))
+    universe = (
+        {d.resource for d in own.acquirers.values()}
+        | {d.resource for d in own.releasers.values()}
+    )
+    released = {d.resource for d in own.releasers.values()}
+    for func_id in sorted(own.acquirers):
+        decl = own.acquirers[func_id]
+        if decl.resource in released:
+            continue
+        func = program.functions[func_id]
+        findings.append(Finding(
+            path=func.ctx.path, line=func.node.lineno,
+            rule=MustReleaseRule.name,
+            message=(
+                f"resource {decl.resource!r} has an acquirer "
+                f"({func_id}) but no '# repro: releases"
+                f"({decl.resource})' anywhere; the pair cannot be "
+                "checked"
+            ),
+        ))
+    # Annotated functions *are* the primitive: their summaries are
+    # fixed by the annotation and their bodies are not walked.
+    annotated = set(own.acquirers) | set(own.releasers)
+    summaries: Dict[str, _ReleaseSummary] = {
+        func_id: _ReleaseSummary() for func_id in program.functions
+    }
+    for func_id, decl in own.acquirers.items():
+        summaries[func_id].acquires[decl.resource] = decl.conditional
+    for func_id, decl in own.releasers.items():
+        summaries[func_id].releases.add(decl.resource)
+    primitive = {
+        func_id: _has_primitive(program, func)
+        for func_id, func in program.functions.items()
+    }
+
+    def relevant(func_id: str, nonempty: Set[str]) -> bool:
+        if func_id in annotated:
+            return False
+        if primitive[func_id]:
+            return True
+        func = program.functions[func_id]
+        return any(site.callee in nonempty for site in func.calls)
+
+    for _round in range(8):
+        nonempty = {
+            func_id for func_id, summary in summaries.items()
+            if summary.acquires or summary.releases
+            or summary.releases_param or summary.escapes_param
+        }
+        changed = False
+        for func_id in sorted(program.functions):
+            if not relevant(func_id, nonempty):
+                continue
+            walker = _CfgWalker(
+                program, own, summaries,
+                program.functions[func_id], collect=False,
+            )
+            walker.run(universe)
+            if walker.summary != summaries[func_id]:
+                summaries[func_id] = walker.summary
+                changed = True
+        if not changed:
+            break
+    nonempty = {
+        func_id for func_id, summary in summaries.items()
+        if summary.acquires or summary.releases
+        or summary.releases_param or summary.escapes_param
+    }
+    for func_id in sorted(program.functions):
+        if not relevant(func_id, nonempty):
+            continue
+        walker = _CfgWalker(
+            program, own, summaries,
+            program.functions[func_id], collect=True,
+        )
+        walker.run(universe)
+        findings.extend(walker.leak_findings(own))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# The rules
+# ----------------------------------------------------------------------
+
+
+class _Analysis:
+    """All three rule results over one program, computed once."""
+
+    def __init__(self, program: Program, own: Ownership,
+                 model: RoleModel) -> None:
+        self.findings: Dict[str, List[Finding]] = {
+            ThreadConfinementRule.name:
+                _check_confinement(program, own, model),
+            LoopBlockingRule.name:
+                _check_loop_blocking(program, own, model),
+            MustReleaseRule.name:
+                _check_must_release(program, own),
+        }
+
+
+#: One-entry cache keyed by context identity, same shape as
+#: concurrency's program cache: lint runs every ProgramRule over the
+#: same context list back-to-back.
+_analysis_cache: List[Tuple[Tuple[int, ...], _Analysis]] = []
+
+
+def _cached_analysis(contexts: Sequence[ModuleContext]) -> _Analysis:
+    key = tuple(id(ctx) for ctx in contexts)
+    for cached_key, cached in _analysis_cache:
+        if cached_key == key:
+            return cached
+    program = _cached_program(contexts)
+    own = _collect_ownership(program, contexts)
+    model = _build_roles(program, own)
+    analysis = _Analysis(program, own, model)
+    _analysis_cache[:] = [(key, analysis)]
+    return analysis
+
+
+@register
+class ThreadConfinementRule(ProgramRule):
+    name = "thread-confinement"
+    description = (
+        "accesses to '# repro: confined-to(<role>)' fields must be "
+        "unreachable from any other thread role"
+    )
+    invariant = (
+        "per-connection serving state is touched only by the thread "
+        "role that owns it, so the event loop never races its workers"
+    )
+
+    def check_program(
+        self, contexts: Sequence[ModuleContext],
+    ) -> Iterator[Finding]:
+        yield from _cached_analysis(contexts).findings[self.name]
+
+
+@register
+class LoopBlockingRule(ProgramRule):
+    name = "loop-blocking"
+    description = (
+        "no blocking primitive (effect >= sleep) may be reachable on "
+        "a 'thread-role(<role>, nonblocking)' role; '# repro: "
+        "loop-safe' sanctions only direct nonblocking-socket drains"
+    )
+    invariant = (
+        "the event-loop thread never blocks, so one slow handler "
+        "cannot stall every pipelined session behind it"
+    )
+
+    def check_program(
+        self, contexts: Sequence[ModuleContext],
+    ) -> Iterator[Finding]:
+        yield from _cached_analysis(contexts).findings[self.name]
+
+
+@register
+class MustReleaseRule(ProgramRule):
+    name = "must-release"
+    description = (
+        "declared acquire/release pairs, sockets, and selector "
+        "registrations must be released on every path, including "
+        "exceptional ones"
+    )
+    invariant = (
+        "a crashed handler can never wedge the serving path by "
+        "leaking an admission slot, selector registration, or socket"
+    )
+
+    def check_program(
+        self, contexts: Sequence[ModuleContext],
+    ) -> Iterator[Finding]:
+        yield from _cached_analysis(contexts).findings[self.name]

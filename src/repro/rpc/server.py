@@ -220,7 +220,7 @@ class RpcIspServer:
     # Connection handling
     # ------------------------------------------------------------------
 
-    def _accept_loop(self) -> None:
+    def _accept_loop(self) -> None:  # repro: thread-role(acceptor)
         assert self._listener is not None
         while self._running.is_set():
             try:
@@ -245,7 +245,7 @@ class RpcIspServer:
                 self._threads.append(thread)
             thread.start()
 
-    def _client_loop(self, conn: socket.socket) -> None:
+    def _client_loop(self, conn: socket.socket) -> None:  # repro: thread-role(handler)
         try:
             while self._running.is_set():
                 try:
@@ -338,7 +338,7 @@ class RpcIspServer:
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _admit(self) -> bool:
+    def _admit(self) -> bool:  # repro: acquires(rpc.admission.slot, conditional)
         """Reserve one admission slot; False means shed this request."""
         if self.max_pending <= 0:
             return True
@@ -348,7 +348,7 @@ class RpcIspServer:
             self._pending += 1
             return True
 
-    def _release(self) -> None:
+    def _release(self) -> None:  # repro: releases(rpc.admission.slot)
         if self.max_pending <= 0:
             return
         with self._admission_lock:

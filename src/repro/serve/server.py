@@ -80,23 +80,23 @@ class _Conn:
     )
 
     def __init__(self, sock: socket.socket) -> None:
-        self.sock = sock
+        self.sock = sock  # repro: confined-to(loop)
         self.fd = sock.fileno()
-        self.decoder = codec.FrameDecoder()
-        self.outbuf = bytearray()
+        self.decoder = codec.FrameDecoder()  # repro: confined-to(loop)
+        self.outbuf = bytearray()  # repro: confined-to(loop)
         #: Selector interest mask currently registered (0 = none).
-        self.registered = 0
+        self.registered = 0  # repro: confined-to(loop)
         #: Requests handed to workers but not yet completed.
-        self.inflight = 0
+        self.inflight = 0  # repro: confined-to(loop)
         #: Plain (id-less) frame serialization: the threaded server
         #: answers strictly one-at-a-time in order, so id-less clients
         #: get the same contract here — one dispatched at a time, the
         #: rest parked in ``plain_backlog``.
-        self.plain_busy = False
-        self.plain_backlog: Deque["_Request"] = collections.deque()
-        self.read_eof = False
-        self.closing = False
-        self.closed = False
+        self.plain_busy = False  # repro: confined-to(loop)
+        self.plain_backlog: Deque["_Request"] = collections.deque()  # repro: confined-to(loop)
+        self.read_eof = False  # repro: confined-to(loop)
+        self.closing = False  # repro: confined-to(loop)
+        self.closed = False  # repro: confined-to(loop)
 
 
 class _Request:
@@ -202,9 +202,9 @@ class AsyncIspServer(RpcIspServer):
         self._wake_r: Optional[socket.socket] = None
         self._wake_w: Optional[socket.socket] = None
         # Loop-thread-confined state --------------------------------
-        self._conns: Dict[int, _Conn] = {}
-        self._batch_pending: List[_Request] = []
-        self._inflight = 0
+        self._conns: Dict[int, _Conn] = {}  # repro: confined-to(loop)
+        self._batch_pending: List[_Request] = []  # repro: confined-to(loop)
+        self._inflight = 0  # repro: confined-to(loop)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -310,7 +310,7 @@ class AsyncIspServer(RpcIspServer):
     # Event loop (single thread; owns all sockets)
     # ------------------------------------------------------------------
 
-    def _loop_main(self) -> None:
+    def _loop_main(self) -> None:  # repro: thread-role(loop, nonblocking)
         sel = selectors.DefaultSelector()
         assert self._listener is not None and self._wake_r is not None
         sel.register(self._listener, selectors.EVENT_READ, "accept")
@@ -344,11 +344,19 @@ class AsyncIspServer(RpcIspServer):
                     obs.set_gauge("serve.inflight", self._inflight)
                     obs.set_gauge("serve.connections", len(self._conns))
         finally:
+            # Reset every piece of loop-confined state on the loop
+            # thread itself (stop() must not touch it: the join gives
+            # it happens-before visibility, not ownership).  Requests
+            # parked in _batch_pending were never admitted, so there
+            # is no slot to return — only the counters to zero, or a
+            # stop() racing an in-flight batch would poison a restart.
             for conn in list(self._conns.values()):
                 self._close_conn(sel, conn)
+            self._batch_pending.clear()
+            self._inflight = 0
             sel.close()
 
-    def _drain_wake_pipe(self) -> None:
+    def _drain_wake_pipe(self) -> None:  # repro: loop-safe
         assert self._wake_r is not None
         try:
             while self._wake_r.recv(1 << 16):
@@ -358,7 +366,7 @@ class AsyncIspServer(RpcIspServer):
         except OSError:  # pragma: no cover - stopping
             pass
 
-    def _accept_ready(self, sel: selectors.BaseSelector) -> None:
+    def _accept_ready(self, sel: selectors.BaseSelector) -> None:  # repro: loop-safe
         assert self._listener is not None
         while True:
             try:
@@ -377,7 +385,7 @@ class AsyncIspServer(RpcIspServer):
             sel.register(sock, selectors.EVENT_READ, conn)
             conn.registered = selectors.EVENT_READ
 
-    def _read_ready(self, conn: _Conn) -> None:
+    def _read_ready(self, conn: _Conn) -> None:  # repro: loop-safe
         while not conn.closed and not conn.closing:
             try:
                 chunk = conn.sock.recv(1 << 16)
@@ -524,7 +532,7 @@ class AsyncIspServer(RpcIspServer):
     # Worker pool (all blocking work lives here)
     # ------------------------------------------------------------------
 
-    def _worker_main(self) -> None:
+    def _worker_main(self) -> None:  # repro: thread-role(worker)
         while True:
             item = self._tasks.get()
             if item is None:
@@ -605,46 +613,53 @@ class AsyncIspServer(RpcIspServer):
         dispatch-lock hold, and one snapshot read-view.  Every request
         posts exactly one ``done`` completion.
         """
+        # The whole admission sweep lives inside the try: a raise from
+        # a refusal answer (or anywhere between two _admit calls) must
+        # still return every slot already taken for this batch, or the
+        # worker backstop would swallow the error with admission
+        # capacity permanently shrunk.
         admitted: List[_Request] = []
-        for request in batch:
-            handle = _ConnHandle(self, request.conn)
-            if faults.ACTIVE and not self._wire_faults(handle):
-                self._post("done", request.conn, request.frame_id is None)
-                continue
-            if obs.ACTIVE:
-                obs.inc("rpc.server.requests")
-            if request.deadline_ms is not None and request.deadline_ms <= 0:
-                if obs.ACTIVE:
-                    obs.inc("rpc.server.deadline.expired")
-                self._answer(
-                    request,
-                    codec.encode_error(DeadlineExceededError(
-                        "request arrived with its deadline already spent"
-                    )),
-                    is_error=True,
-                )
-                continue
-            request.deadline = (
-                Deadline.from_wire_ms(request.deadline_ms)
-                if request.deadline_ms is not None
-                else None
-            )
-            if not self._admit():
-                if obs.ACTIVE:
-                    obs.inc("rpc.server.shed")
-                self._answer(
-                    request,
-                    codec.encode_error(OverloadedError(
-                        f"server at max_pending={self.max_pending}; shed",
-                        retry_after_s=self.shed_retry_after_s,
-                    )),
-                    is_error=True,
-                )
-                continue
-            admitted.append(request)
-        if not admitted:
-            return
         try:
+            for request in batch:
+                handle = _ConnHandle(self, request.conn)
+                if faults.ACTIVE and not self._wire_faults(handle):
+                    self._post(
+                        "done", request.conn, request.frame_id is None
+                    )
+                    continue
+                if obs.ACTIVE:
+                    obs.inc("rpc.server.requests")
+                if request.deadline_ms is not None and request.deadline_ms <= 0:
+                    if obs.ACTIVE:
+                        obs.inc("rpc.server.deadline.expired")
+                    self._answer(
+                        request,
+                        codec.encode_error(DeadlineExceededError(
+                            "request arrived with its deadline already spent"
+                        )),
+                        is_error=True,
+                    )
+                    continue
+                request.deadline = (
+                    Deadline.from_wire_ms(request.deadline_ms)
+                    if request.deadline_ms is not None
+                    else None
+                )
+                if not self._admit():  # repro: allow(must-release) -- one slot per admitted entry, all released 1:1 by the finally below; the checker cannot count loop iterations
+                    if obs.ACTIVE:
+                        obs.inc("rpc.server.shed")
+                    self._answer(
+                        request,
+                        codec.encode_error(OverloadedError(
+                            f"server at max_pending={self.max_pending}; shed",
+                            retry_after_s=self.shed_retry_after_s,
+                        )),
+                        is_error=True,
+                    )
+                    continue
+                admitted.append(request)
+            if not admitted:
+                return
             responses = self._serve_admitted_batch(admitted)
         finally:
             for _ in admitted:

@@ -332,3 +332,142 @@ class TestErrorMapping:
         )
         _, decoded = codec.decode_response(payload)
         assert type(decoded) is ReproError
+
+
+class TestFrameDecoderIncremental:
+    """The event-loop decoder against adversarial feed patterns.
+
+    recv() on a non-blocking socket returns arbitrary chunk sizes, so
+    the incremental decoder must behave identically whether a frame
+    arrives whole, byte-at-a-time, or split anywhere inside the header
+    — and must reject hostile input (bad magic, oversized length) as
+    soon as the 10 shared header bytes are present, even mid-stream.
+    """
+
+    def _feed_byte_at_a_time(self, wire):
+        decoder = codec.FrameDecoder()
+        collected = []
+        for index in range(len(wire)):
+            decoder.feed(wire[index:index + 1])
+            collected.extend(decoder.frames())
+        assert decoder.buffered() == 0
+        return collected
+
+    def test_v2_byte_at_a_time(self):
+        frames = self._feed_byte_at_a_time(codec.frame(b"payload-v2"))
+        assert frames == [(b"payload-v2", None, None)]
+
+    def test_v3_byte_at_a_time(self):
+        frames = self._feed_byte_at_a_time(
+            codec.frame(b"payload-v3", deadline_ms=1500)
+        )
+        assert frames == [(b"payload-v3", 1500, None)]
+
+    def test_v4_byte_at_a_time(self):
+        frames = self._feed_byte_at_a_time(
+            codec.frame(b"payload-v4", deadline_ms=250, frame_id=9)
+        )
+        assert frames == [(b"payload-v4", 250, 9)]
+
+    def test_v4_without_deadline_byte_at_a_time(self):
+        # The NO_DEADLINE_MS sentinel must decode back to None.
+        frames = self._feed_byte_at_a_time(
+            codec.frame(b"x", frame_id=3)
+        )
+        assert frames == [(b"x", None, 3)]
+
+    def test_mixed_variants_in_one_byte_stream(self):
+        wire = (
+            codec.frame(b"a")
+            + codec.frame(b"b", deadline_ms=7)
+            + codec.frame(b"c", deadline_ms=None, frame_id=1)
+        )
+        assert self._feed_byte_at_a_time(wire) == [
+            (b"a", None, None), (b"b", 7, None), (b"c", None, 1),
+        ]
+
+    @pytest.mark.parametrize("split", [1, 2, 5, 9, 13])
+    def test_header_split_across_recvs(self, split):
+        # Splits inside the shared 10-byte header, exactly at its end,
+        # and inside the V4 extension must all reassemble.
+        wire = codec.frame(b"split-me", deadline_ms=80, frame_id=4)
+        decoder = codec.FrameDecoder()
+        decoder.feed(wire[:split])
+        assert decoder.frames() == []
+        decoder.feed(wire[split:])
+        assert decoder.frames() == [(b"split-me", 80, 4)]
+
+    def test_payload_split_across_recvs(self):
+        wire = codec.frame(b"A" * 1000)
+        decoder = codec.FrameDecoder()
+        decoder.feed(wire[:300])
+        assert decoder.frames() == []
+        decoder.feed(wire[300:999])
+        assert decoder.frames() == []
+        decoder.feed(wire[999:])
+        assert decoder.frames() == [(b"A" * 1000, None, None)]
+
+    def test_oversized_frame_rejected_mid_stream(self):
+        # A valid frame followed by an oversized length prefix: the
+        # good frame drains, then the rejection fires as soon as the
+        # 10 header bytes are present — before any payload buffers.
+        decoder = codec.FrameDecoder()
+        decoder.feed(codec.frame(b"good"))
+        evil = codec.FRAME_HEADER.pack(
+            codec.MAGIC, codec.MAX_FRAME_BYTES + 1, 0
+        )
+        decoder.feed(evil[:9])
+        assert decoder.frames() == [(b"good", None, None)]
+        decoder.feed(evil[9:10])
+        with pytest.raises(WireFormatError, match="exceeds"):
+            decoder.frames()
+
+    def test_oversized_v4_rejected_without_full_header(self):
+        # V4 headers are 18 bytes, but the length field sits in the
+        # first 10: the bound check must not wait for the extension.
+        evil = struct.pack(
+            ">2sII", codec.MAGIC_PIPELINED, codec.MAX_FRAME_BYTES + 1, 0
+        )
+        decoder = codec.FrameDecoder()
+        decoder.feed(evil)
+        with pytest.raises(WireFormatError, match="exceeds"):
+            decoder.frames()
+
+    def test_bad_magic_mid_stream(self):
+        decoder = codec.FrameDecoder()
+        decoder.feed(codec.frame(b"fine"))
+        decoder.feed(b"ZZ" + struct.pack(">II", 0, 0))
+        out = []
+        with pytest.raises(WireFormatError, match="magic"):
+            out = decoder.frames()
+            decoder.frames()
+        assert out == []  # the raise happened on the first drain
+
+    def test_bad_magic_waits_for_full_shared_header(self):
+        # Two garbage bytes alone are not enough to condemn the stream
+        # (the blocking reader reads 10 bytes before judging, too).
+        decoder = codec.FrameDecoder()
+        decoder.feed(b"ZZ")
+        assert decoder.frames() == []
+        decoder.feed(b"\x00" * 8)
+        with pytest.raises(WireFormatError, match="magic"):
+            decoder.frames()
+
+    def test_crc_mismatch_raises_after_payload_completes(self):
+        wire = bytearray(codec.frame(b"corrupt-me"))
+        wire[-1] ^= 0xFF
+        decoder = codec.FrameDecoder()
+        decoder.feed(bytes(wire[:-1]))
+        assert decoder.frames() == []  # incomplete: no verdict yet
+        decoder.feed(bytes(wire[-1:]))
+        with pytest.raises(WireFormatError, match="checksum"):
+            decoder.frames()
+
+    def test_buffered_reflects_undrained_bytes(self):
+        decoder = codec.FrameDecoder()
+        wire = codec.frame(b"abc")
+        decoder.feed(wire[:7])
+        assert decoder.buffered() == 7
+        decoder.feed(wire[7:])
+        assert decoder.frames() == [(b"abc", None, None)]
+        assert decoder.buffered() == 0

@@ -434,6 +434,117 @@ class TestAsyncWireAdversaries:
                 sock.close()
 
 
+class TestStopRacesInflight:
+    """stop() against an in-flight batch: nothing leaks, restart works.
+
+    The must-release / thread-confinement audit of the stop path: all
+    loop-confined state (conn table, batch queue, inflight counter) is
+    reset by the loop thread's own finally — so a stop() that lands
+    while a worker still holds a batch cannot leave sockets registered,
+    counters poisoned, or the server unable to start again.
+    """
+
+    @staticmethod
+    def _slow_batch_server(entered, release):
+        class SlowBatchServer(AsyncIspServer):
+            def _serve_admitted_batch(self, batch):
+                entered.set()
+                release.wait(timeout=5.0)
+                return super()._serve_admitted_batch(batch)
+
+        return SlowBatchServer
+
+    def test_stop_mid_batch_releases_every_conn_and_counter(self):
+        entered = threading.Event()
+        release = threading.Event()
+        system = build_system()
+        server = serve_system(
+            system,
+            server_class=self._slow_batch_server(entered, release),
+        )
+        server.start()
+        host, port = server.address
+        sock = socket.create_connection((host, port))
+        try:
+            # A batchable request (bogus session: even the error reply
+            # goes through _run_batch) that parks on a worker.
+            sock.sendall(codec.frame(
+                codec.encode_get_file_meta(999, "races"), frame_id=1
+            ))
+            assert entered.wait(timeout=5.0)
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            # Let stop() reach the worker join before the batch ends.
+            time.sleep(0.05)
+            release.set()
+            stopper.join(timeout=15.0)
+            assert not stopper.is_alive()
+            # The dying loop severed the connection.
+            sock.settimeout(5.0)
+            try:
+                trailing = sock.recv(1 << 16)
+            except OSError:
+                trailing = b""
+            assert trailing == b""
+        finally:
+            release.set()
+            sock.close()
+            if server._listener is not None:
+                server.stop()
+        # Loop-confined state was reset on the loop thread itself.
+        assert server._conns == {}
+        assert server._batch_pending == []
+        assert server._inflight == 0
+        assert server._listener is None
+
+    def test_restart_after_racing_stop_serves_again(self):
+        entered = threading.Event()
+        release = threading.Event()
+        system = build_system()
+        server = serve_system(
+            system,
+            server_class=self._slow_batch_server(entered, release),
+        )
+        server.start()
+        host, port = server.address
+        sock = socket.create_connection((host, port))
+        try:
+            sock.sendall(codec.frame(
+                codec.encode_get_file_meta(999, "races"), frame_id=1
+            ))
+            assert entered.wait(timeout=5.0)
+            stop_then_release = threading.Thread(target=server.stop)
+            stop_then_release.start()
+            time.sleep(0.05)
+            release.set()
+            stop_then_release.join(timeout=15.0)
+        finally:
+            release.set()
+            sock.close()
+        # A stop that raced an in-flight batch must not poison the
+        # next lifecycle: start again and serve a full round trip.
+        release.set()
+        server.start()
+        try:
+            host, port = server.address
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(codec.frame(codec.encode_ping(), frame_id=7))
+                payload, _deadline, frame_id = drain_frames(sock, 1)[0]
+                assert frame_id == 7
+                assert payload[0] == codec.RESP_PONG
+            finally:
+                sock.close()
+            # The "done" completion may drain a tick after the bytes
+            # flush; poll briefly instead of racing the loop.
+            deadline = time.monotonic() + 5.0
+            while server._inflight and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server._inflight == 0
+        finally:
+            server.stop()
+
+
 class TestAsyncChaos:
     def test_concurrent_chaos_clean_on_async_server(self):
         """The sanitizer-armed chaos campaign over the event loop."""
